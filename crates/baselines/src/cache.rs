@@ -1,0 +1,168 @@
+//! Cache abstractions shared by the dynamic baselines.
+//!
+//! The paper evaluates one cache policy (ideal LRU). Real CDN practice in
+//! the same era produced several others — GreedyDual-Size, LFU — so the
+//! router logic (token-bucket capacity enforcement, miss-then-insert flow)
+//! is factored out here and parameterized over an [`ObjectCache`]. The
+//! comparison across policies is the `caches` extension experiment.
+
+use mmrepl_model::{Bytes, ObjectId, SiteId, System};
+
+/// A byte-capacity object cache: the replacement policy under a
+/// [`crate::router::RequestRouter`].
+pub trait ObjectCache {
+    /// Creates an empty cache for `site` holding at most `capacity` bytes.
+    /// `system`/`site` give policies access to sizes and fetch-cost
+    /// estimates.
+    fn create(system: &System, site: SiteId, capacity: Bytes) -> Self;
+
+    /// Whether `object` is cached; a hit refreshes its replacement state.
+    fn touch(&mut self, object: ObjectId) -> bool;
+
+    /// Whether `object` is cached, without touching it.
+    fn contains(&self, object: ObjectId) -> bool;
+
+    /// Inserts `object`, evicting per policy until it fits. Entries for
+    /// which `protected` returns true must not be evicted. Returns whether
+    /// the object is cached afterwards.
+    fn insert(
+        &mut self,
+        system: &System,
+        object: ObjectId,
+        protected: &dyn Fn(ObjectId) -> bool,
+    ) -> bool;
+
+    /// Bytes currently cached.
+    fn used(&self) -> u64;
+
+    /// Number of cached objects.
+    fn len(&self) -> usize;
+
+    /// Whether the cache holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short policy label for reports.
+    fn label() -> &'static str;
+}
+
+/// The Eq. 8 enforcement shared by all caching routers: page requests
+/// arrive at the site's aggregate rate, each arrival refills
+/// `C(S_i) / Σ f(W_j)` tokens (capped at one second of capacity), and
+/// every locally-served HTTP request spends one.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    tokens: f64,
+    refill: f64,
+    burst: f64,
+}
+
+impl TokenBucket {
+    /// A bucket for `site`, derived from its capacity and page rate.
+    pub fn for_site(system: &System, site: SiteId) -> Self {
+        let page_rate: f64 = system
+            .pages_of(site)
+            .iter()
+            .map(|&p| system.page(p).freq.get())
+            .sum();
+        let capacity = system.site(site).capacity.get();
+        let (refill, burst) = if capacity.is_infinite() || page_rate == 0.0 {
+            (f64::INFINITY, f64::INFINITY)
+        } else {
+            (capacity / page_rate, capacity)
+        };
+        TokenBucket {
+            tokens: burst.min(capacity),
+            refill,
+            burst,
+        }
+    }
+
+    /// One page arrival: refill, then charge the mandatory HTML request.
+    pub fn page_arrival(&mut self) {
+        self.tokens = (self.tokens + self.refill).min(self.burst);
+        self.tokens -= 1.0;
+    }
+
+    /// Tries to spend one token for a locally-served object.
+    pub fn try_spend(&mut self) -> bool {
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmrepl_model::{default_site, MediaObject, ReqPerSec, SystemBuilder, WebPage};
+
+    fn one_site_system(capacity: f64) -> System {
+        let mut b = SystemBuilder::new();
+        let mut site = default_site();
+        site.capacity = ReqPerSec(capacity);
+        let s = b.add_site(site);
+        let m = b.add_object(MediaObject::of_size(Bytes::kib(10)));
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bucket_refills_and_spends() {
+        let sys = one_site_system(3.0); // 3 tokens per arrival
+        let mut bucket = TokenBucket::for_site(&sys, SiteId::new(0));
+        bucket.page_arrival(); // +3 (capped), -1 html
+        assert!(bucket.try_spend());
+        assert!(bucket.try_spend());
+        // Burst cap is 3; after spending them all the next is denied.
+        bucket.page_arrival();
+        assert!(bucket.try_spend());
+        assert!(bucket.try_spend());
+        assert!(!bucket.try_spend());
+    }
+
+    #[test]
+    fn infinite_capacity_never_denies() {
+        let sys = one_site_system(f64::INFINITY);
+        let mut bucket = TokenBucket::for_site(&sys, SiteId::new(0));
+        bucket.page_arrival();
+        for _ in 0..1000 {
+            assert!(bucket.try_spend());
+        }
+    }
+
+    fn site_id() -> SiteId {
+        SiteId::new(0)
+    }
+
+    #[test]
+    fn zero_page_rate_is_treated_as_unconstrained() {
+        // A site whose pages have zero frequency can't meaningfully ration.
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(default_site());
+        let m = b.add_object(MediaObject::of_size(Bytes::kib(10)));
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(0.0),
+            compulsory: vec![m],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        let sys = b.build().unwrap();
+        let mut bucket = TokenBucket::for_site(&sys, site_id());
+        bucket.page_arrival();
+        assert!(bucket.try_spend());
+    }
+}

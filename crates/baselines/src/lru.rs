@@ -1,0 +1,500 @@
+//! The ideal LRU caching/redirection baseline.
+//!
+//! Per Section 5.2: an LRU object cache at each site, compared under the
+//! most favourable assumptions for LRU — **zero redirection overhead**
+//! (locating a replica costs nothing) — and subject only to the local
+//! processing-capacity constraint (Eq. 8).
+//!
+//! Mechanics per page request:
+//!
+//! 1. every compulsory object that is cached *and* within the site's
+//!    processing budget is served locally; everything else comes from the
+//!    repository;
+//! 2. missed objects are inserted into the cache afterwards, evicting
+//!    least-recently-used objects until they fit (a page's own objects are
+//!    protected from its insertions);
+//! 3. requested optional objects behave the same way.
+//!
+//! Eq. 8 is enforced with a token bucket: page requests arrive at the
+//! site's aggregate rate `Σ f(W_j)`, so each arrival refills
+//! `C(S_i) / Σ f(W_j)` tokens (capped at one second's worth) and every
+//! locally-served HTTP request spends one. The HTML document is always
+//! local and always spends a token — the same irreducible load our policy
+//! pays.
+
+use crate::cache::{ObjectCache, TokenBucket};
+use crate::router::{RequestRouter, RouteDecision};
+use mmrepl_model::{Bytes, ObjectId, PageId, SiteId, System};
+use std::collections::{BTreeMap, HashMap};
+
+/// A byte-capacity LRU set of objects.
+#[derive(Clone, Debug)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    clock: u64,
+    stamps: HashMap<ObjectId, u64>,
+    by_age: BTreeMap<u64, ObjectId>,
+}
+
+impl LruCache {
+    /// An empty cache holding at most `capacity` bytes of objects.
+    pub fn new(capacity: Bytes) -> Self {
+        LruCache {
+            capacity: capacity.get(),
+            used: 0,
+            clock: 0,
+            stamps: HashMap::new(),
+            by_age: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `object` is cached; a hit refreshes its recency.
+    pub fn touch(&mut self, object: ObjectId) -> bool {
+        match self.stamps.get_mut(&object) {
+            Some(stamp) => {
+                self.by_age.remove(stamp);
+                self.clock += 1;
+                *stamp = self.clock;
+                self.by_age.insert(self.clock, object);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `object` is cached, without refreshing recency.
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.stamps.contains_key(&object)
+    }
+
+    /// Inserts `object` of the given size, evicting LRU entries as needed.
+    /// Objects in `protected` are never evicted (the current page's own
+    /// objects). Returns `false` when the object cannot fit even after
+    /// eviction (larger than the unprotected capacity).
+    pub fn insert(
+        &mut self,
+        system: &System,
+        object: ObjectId,
+        protected: &dyn Fn(ObjectId) -> bool,
+    ) -> bool {
+        if self.contains(object) {
+            self.touch(object);
+            return true;
+        }
+        let size = system.object_size(object).get();
+        if size > self.capacity {
+            return false;
+        }
+        // Evict oldest unprotected entries until it fits.
+        while self.used + size > self.capacity {
+            let victim = self
+                .by_age
+                .iter()
+                .map(|(_, &k)| k)
+                .find(|&k| !protected(k));
+            match victim {
+                Some(k) => self.evict(system, k),
+                None => return false, // everything old is protected
+            }
+        }
+        self.clock += 1;
+        self.stamps.insert(object, self.clock);
+        self.by_age.insert(self.clock, object);
+        self.used += size;
+        true
+    }
+
+    fn evict(&mut self, system: &System, object: ObjectId) {
+        if let Some(stamp) = self.stamps.remove(&object) {
+            self.by_age.remove(&stamp);
+            self.used -= system.object_size(object).get();
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+}
+
+impl ObjectCache for LruCache {
+    fn create(_system: &System, _site: SiteId, capacity: Bytes) -> Self {
+        LruCache::new(capacity)
+    }
+
+    fn touch(&mut self, object: ObjectId) -> bool {
+        LruCache::touch(self, object)
+    }
+
+    fn contains(&self, object: ObjectId) -> bool {
+        LruCache::contains(self, object)
+    }
+
+    fn insert(
+        &mut self,
+        system: &System,
+        object: ObjectId,
+        protected: &dyn Fn(ObjectId) -> bool,
+    ) -> bool {
+        LruCache::insert(self, system, object, protected)
+    }
+
+    fn used(&self) -> u64 {
+        LruCache::used(self)
+    }
+
+    fn len(&self) -> usize {
+        LruCache::len(self)
+    }
+
+    fn label() -> &'static str {
+        "lru"
+    }
+}
+
+/// Per-site cache state plus the Eq. 8 token bucket.
+struct SiteCache<C> {
+    cache: C,
+    bucket: TokenBucket,
+    hits: u64,
+    misses: u64,
+    denied: u64,
+}
+
+/// A caching/redirection router generic over the replacement policy —
+/// instantiated as [`LruRouter`] (the paper's baseline),
+/// [`crate::GdsRouter`] and [`crate::LfuRouter`] (extensions).
+pub struct CachingRouter<C: ObjectCache> {
+    sites: Vec<SiteCache<C>>,
+}
+
+/// The ideal LRU router of Section 5.2.
+pub type LruRouter = CachingRouter<LruCache>;
+
+impl<C: ObjectCache> CachingRouter<C> {
+    /// Builds per-site caches sized to each site's storage minus its HTML
+    /// (HTML is always resident, exactly as in our policy's Eq. 10).
+    pub fn new(system: &System) -> Self {
+        let sites = system
+            .sites()
+            .ids()
+            .map(|site| {
+                let storage = system.site(site).storage.get();
+                let html = system.html_bytes_of(site).get();
+                SiteCache {
+                    cache: C::create(system, site, Bytes(storage.saturating_sub(html))),
+                    bucket: TokenBucket::for_site(system, site),
+                    hits: 0,
+                    misses: 0,
+                    denied: 0,
+                }
+            })
+            .collect();
+        CachingRouter { sites }
+    }
+
+    /// Cache hit count across all sites (objects served locally).
+    pub fn hits(&self) -> u64 {
+        self.sites.iter().map(|s| s.hits).sum()
+    }
+
+    /// Cache miss count across all sites.
+    pub fn misses(&self) -> u64 {
+        self.sites.iter().map(|s| s.misses).sum()
+    }
+
+    /// Requests denied local service by the Eq. 8 budget despite a hit.
+    pub fn denied(&self) -> u64 {
+        self.sites.iter().map(|s| s.denied).sum()
+    }
+
+    /// Bytes cached at `site`.
+    pub fn cache_used(&self, site: SiteId) -> u64 {
+        self.sites[site.index()].cache.used()
+    }
+}
+
+impl<C: ObjectCache> RequestRouter for CachingRouter<C> {
+    fn route(
+        &mut self,
+        system: &System,
+        page: PageId,
+        optional_slots: &[u32],
+    ) -> RouteDecision {
+        let pg = system.page(page);
+        let state = &mut self.sites[pg.site.index()];
+
+        // One page arrival refills the bucket; HTML spends one token.
+        state.bucket.page_arrival();
+
+        let serve = |state: &mut SiteCache<C>, object: ObjectId| -> bool {
+            if state.cache.touch(object) {
+                if state.bucket.try_spend() {
+                    state.hits += 1;
+                    true
+                } else {
+                    state.denied += 1;
+                    false
+                }
+            } else {
+                state.misses += 1;
+                false
+            }
+        };
+
+        let local_compulsory: Vec<bool> = pg
+            .compulsory
+            .iter()
+            .map(|&k| serve(state, k))
+            .collect();
+        let local_optional: Vec<bool> = optional_slots
+            .iter()
+            .map(|&s| serve(state, pg.optional[s as usize].object))
+            .collect();
+
+        // Insert the misses (fetched from the repository, now cached).
+        // The page's own objects are protected from eviction while doing
+        // so — evicting an object we are about to serve would thrash.
+        let protected = |k: ObjectId| {
+            pg.compulsory.contains(&k)
+                || optional_slots
+                    .iter()
+                    .any(|&s| pg.optional[s as usize].object == k)
+        };
+        for (slot, &k) in pg.compulsory.iter().enumerate() {
+            if !local_compulsory[slot] {
+                state.cache.insert(system, k, &protected);
+            }
+        }
+        for (i, &s) in optional_slots.iter().enumerate() {
+            if !local_optional[i] {
+                state
+                    .cache
+                    .insert(system, pg.optional[s as usize].object, &protected);
+            }
+        }
+
+        RouteDecision {
+            local_compulsory,
+            local_optional,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        C::label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmrepl_model::{
+        default_site, MediaObject, ReqPerSec, SystemBuilder, WebPage,
+    };
+    use mmrepl_workload::{generate_system, WorkloadParams};
+
+    fn cache_fixture() -> (System, Vec<ObjectId>) {
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(default_site());
+        let objects: Vec<_> = (0..5)
+            .map(|_| b.add_object(MediaObject::of_size(Bytes::kib(100))))
+            .collect();
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: objects.clone(),
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        (b.build().unwrap(), objects)
+    }
+
+    #[test]
+    fn lru_cache_basic_hit_miss() {
+        let (sys, objs) = cache_fixture();
+        let mut c = LruCache::new(Bytes::kib(250)); // fits 2 objects
+        assert!(!c.touch(objs[0]));
+        assert!(c.insert(&sys, objs[0], &|_| false));
+        assert!(c.touch(objs[0]));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used(), Bytes::kib(100).get());
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recent() {
+        let (sys, objs) = cache_fixture();
+        let mut c = LruCache::new(Bytes::kib(250));
+        c.insert(&sys, objs[0], &|_| false);
+        c.insert(&sys, objs[1], &|_| false);
+        // Touch 0 so 1 is now the LRU; inserting 2 evicts 1.
+        c.touch(objs[0]);
+        c.insert(&sys, objs[2], &|_| false);
+        assert!(c.contains(objs[0]));
+        assert!(!c.contains(objs[1]));
+        assert!(c.contains(objs[2]));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_cache_respects_protection() {
+        let (sys, objs) = cache_fixture();
+        let mut c = LruCache::new(Bytes::kib(250));
+        c.insert(&sys, objs[0], &|_| false);
+        c.insert(&sys, objs[1], &|_| false);
+        // Everything protected: the insert must fail rather than evict.
+        let all = |_: ObjectId| true;
+        assert!(!c.insert(&sys, objs[2], &all));
+        assert!(c.contains(objs[0]) && c.contains(objs[1]));
+    }
+
+    #[test]
+    fn lru_cache_rejects_oversized_objects() {
+        let (sys, objs) = cache_fixture();
+        let mut c = LruCache::new(Bytes::kib(50));
+        assert!(!c.insert(&sys, objs[0], &|_| false));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn router_misses_then_hits() {
+        let (sys, _) = cache_fixture();
+        let mut router = LruRouter::new(&sys);
+        let pid = PageId::new(0);
+        // First request: all misses, everything from the repository.
+        let d1 = router.route(&sys, pid, &[]);
+        assert_eq!(d1.n_local(), 0);
+        assert_eq!(router.misses(), 5);
+        // Second request: fully cached (default site stores plenty).
+        let d2 = router.route(&sys, pid, &[]);
+        assert_eq!(d2.n_local(), 5);
+        assert_eq!(router.hits(), 5);
+    }
+
+    #[test]
+    fn router_respects_capacity_budget() {
+        // Site capacity 2 req/s, page rate 1 req/s -> 2 tokens per arrival;
+        // HTML takes one, so at most 1 object can be served locally per
+        // request in steady state.
+        let mut b = SystemBuilder::new();
+        let mut site = default_site();
+        site.capacity = ReqPerSec(2.0);
+        let s = b.add_site(site);
+        let objects: Vec<_> = (0..4)
+            .map(|_| b.add_object(MediaObject::of_size(Bytes::kib(10))))
+            .collect();
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: objects,
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        let sys = b.build().unwrap();
+        let mut router = LruRouter::new(&sys);
+        let pid = PageId::new(0);
+        router.route(&sys, pid, &[]); // warm the cache
+        let mut total_local = 0;
+        let n = 50;
+        for _ in 0..n {
+            total_local += router.route(&sys, pid, &[]).n_local();
+        }
+        // Budget: 2 tokens/request - 1 HTML = 1 object/request on average
+        // (plus a small initial burst).
+        assert!(
+            total_local as f64 <= n as f64 + 3.0,
+            "served {total_local} locally over {n} requests"
+        );
+        assert!(router.denied() > 0, "budget never bound");
+    }
+
+    #[test]
+    fn router_with_infinite_capacity_never_denies() {
+        let (sys, _) = cache_fixture(); // default site: 150 req/s, 1 page/s
+        let mut router = LruRouter::new(&sys);
+        let pid = PageId::new(0);
+        for _ in 0..20 {
+            router.route(&sys, pid, &[]);
+        }
+        assert_eq!(router.denied(), 0);
+    }
+
+    #[test]
+    fn router_handles_optionals() {
+        let sys = generate_system(&WorkloadParams::small(), 3).unwrap();
+        let mut router = LruRouter::new(&sys);
+        let (pid, page) = sys
+            .pages()
+            .iter()
+            .find(|(_, p)| p.n_optional() >= 2)
+            .expect("need optionals");
+        let slots = [0u32, 1u32];
+        let d1 = router.route(&sys, pid, &slots);
+        assert_eq!(d1.local_optional.len(), 2);
+        // After the first (miss) pass the optionals are cached.
+        let d2 = router.route(&sys, pid, &slots);
+        assert_eq!(d2.local_optional, vec![true, true]);
+        let _ = page;
+    }
+
+    #[test]
+    fn cache_sized_to_storage_minus_html() {
+        let sys = generate_system(&WorkloadParams::small(), 4).unwrap();
+        let router = LruRouter::new(&sys);
+        for site in sys.sites().ids() {
+            let expect = sys
+                .site(site)
+                .storage
+                .get()
+                .saturating_sub(sys.html_bytes_of(site).get());
+            assert_eq!(router.sites[site.index()].cache.capacity(), expect);
+        }
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_keeps_missing() {
+        // Cache fits 2 of 5 equally-sized objects; cycling through the page
+        // must keep producing misses (the classic LRU pathology).
+        let mut b = SystemBuilder::new();
+        let mut site = default_site();
+        site.storage = Bytes::kib(251); // 1 KiB html + 250 KiB cache
+        let s = b.add_site(site);
+        let objects: Vec<_> = (0..5)
+            .map(|_| b.add_object(MediaObject::of_size(Bytes::kib(100))))
+            .collect();
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: objects,
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        let sys = b.build().unwrap();
+        let mut router = LruRouter::new(&sys);
+        let pid = PageId::new(0);
+        for _ in 0..10 {
+            router.route(&sys, pid, &[]);
+        }
+        // 5 objects, cache of 2: inserting each page's objects evicts the
+        // previous ones (own objects protected), so most accesses miss.
+        assert!(router.misses() > router.hits());
+    }
+}

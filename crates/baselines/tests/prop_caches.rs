@@ -1,0 +1,183 @@
+//! Property tests over the cache policies: for arbitrary operation
+//! sequences, every policy must respect capacity, keep exact byte
+//! accounting, honor protection, and agree with a naive set-model on
+//! membership after each operation it reports as successful.
+
+use mmrepl_baselines::{GdsCache, LfuCache, LruCache, ObjectCache};
+use mmrepl_model::{
+    default_site, Bytes, MediaObject, ObjectId, ReqPerSec, SiteId, System,
+    SystemBuilder, WebPage,
+};
+use proptest::prelude::*;
+
+/// Builds a system whose object sizes come from the strategy.
+fn system_with_sizes(sizes_kib: &[u64]) -> System {
+    let mut b = SystemBuilder::new();
+    let s = b.add_site(default_site());
+    let objects: Vec<ObjectId> = sizes_kib
+        .iter()
+        .map(|&k| b.add_object(MediaObject::of_size(Bytes::kib(k.max(1)))))
+        .collect();
+    b.add_page(WebPage {
+        site: s,
+        html_size: Bytes::kib(1),
+        freq: ReqPerSec(1.0),
+        compulsory: objects,
+        optional: vec![],
+        opt_req_factor: 1.0,
+    });
+    b.build().unwrap()
+}
+
+/// One scripted cache operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(usize),
+    Touch(usize),
+}
+
+fn ops_strategy(n_objects: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0..n_objects, any::<bool>()).prop_map(|(i, insert)| {
+            if insert {
+                Op::Insert(i)
+            } else {
+                Op::Touch(i)
+            }
+        }),
+        0..120,
+    )
+}
+
+/// Exercises one policy against the invariants.
+fn check_policy<C: ObjectCache>(
+    sys: &System,
+    capacity: Bytes,
+    ops: &[Op],
+) -> Result<(), TestCaseError> {
+    let mut cache = C::create(sys, SiteId::new(0), capacity);
+    let never = |_: ObjectId| false;
+    for op in ops {
+        match *op {
+            Op::Insert(i) => {
+                let obj = ObjectId::new(i as u32);
+                let ok = cache.insert(sys, obj, &never);
+                let size = sys.object_size(obj).get();
+                if size <= capacity.get() {
+                    prop_assert!(ok, "{}: insertable object rejected", C::label());
+                }
+                prop_assert_eq!(ok, cache.contains(obj));
+            }
+            Op::Touch(i) => {
+                let obj = ObjectId::new(i as u32);
+                let was = cache.contains(obj);
+                prop_assert_eq!(cache.touch(obj), was);
+                prop_assert_eq!(cache.contains(obj), was);
+            }
+        }
+        // Capacity and byte-accounting invariants after every op.
+        prop_assert!(
+            cache.used() <= capacity.get(),
+            "{} exceeded capacity",
+            C::label()
+        );
+        let live: u64 = (0..sys.n_objects())
+            .map(|i| ObjectId::new(i as u32))
+            .filter(|&o| cache.contains(o))
+            .map(|o| sys.object_size(o).get())
+            .sum();
+        prop_assert_eq!(
+            live,
+            cache.used(),
+            "{}: used() diverged from live bytes",
+            C::label()
+        );
+        prop_assert_eq!(
+            (0..sys.n_objects())
+                .filter(|&i| cache.contains(ObjectId::new(i as u32)))
+                .count(),
+            cache.len()
+        );
+        prop_assert_eq!(cache.is_empty(), cache.len() == 0);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn lru_invariants(
+        sizes in prop::collection::vec(1u64..600, 2..12),
+        cap_kib in 50u64..1500,
+        ops in ops_strategy(12),
+    ) {
+        let ops: Vec<Op> = ops.into_iter()
+            .filter(|op| matches!(op, Op::Insert(i) | Op::Touch(i) if *i < sizes.len()))
+            .collect();
+        let sys = system_with_sizes(&sizes);
+        check_policy::<LruCache>(&sys, Bytes::kib(cap_kib), &ops)?;
+    }
+
+    #[test]
+    fn gds_invariants(
+        sizes in prop::collection::vec(1u64..600, 2..12),
+        cap_kib in 50u64..1500,
+        ops in ops_strategy(12),
+    ) {
+        let ops: Vec<Op> = ops.into_iter()
+            .filter(|op| matches!(op, Op::Insert(i) | Op::Touch(i) if *i < sizes.len()))
+            .collect();
+        let sys = system_with_sizes(&sizes);
+        check_policy::<GdsCache>(&sys, Bytes::kib(cap_kib), &ops)?;
+    }
+
+    #[test]
+    fn lfu_invariants(
+        sizes in prop::collection::vec(1u64..600, 2..12),
+        cap_kib in 50u64..1500,
+        ops in ops_strategy(12),
+    ) {
+        let ops: Vec<Op> = ops.into_iter()
+            .filter(|op| matches!(op, Op::Insert(i) | Op::Touch(i) if *i < sizes.len()))
+            .collect();
+        let sys = system_with_sizes(&sizes);
+        check_policy::<LfuCache>(&sys, Bytes::kib(cap_kib), &ops)?;
+    }
+
+    /// Protection must hold for every policy: with all entries protected,
+    /// an insert that needs eviction fails and the cache is unchanged.
+    #[test]
+    fn protection_blocks_eviction_everywhere(
+        fill in 2usize..6,
+        seed_sizes in prop::collection::vec(50u64..200, 6..8),
+    ) {
+        let sys = system_with_sizes(&seed_sizes);
+        // Capacity fits exactly `fill` of the first objects.
+        let cap: u64 = seed_sizes.iter().take(fill).map(|&k| k * 1024).sum();
+        macro_rules! check {
+            ($C:ty) => {{
+                let mut cache = <$C>::create(&sys, SiteId::new(0), Bytes(cap));
+                for i in 0..fill {
+                    cache.insert(&sys, ObjectId::new(i as u32), &|_| false);
+                }
+                let before_len = cache.len();
+                let before_used = cache.used();
+                let all = |_: ObjectId| true;
+                let last = ObjectId::new((seed_sizes.len() - 1) as u32);
+                if !cache.contains(last) {
+                    let ok = cache.insert(&sys, last, &all);
+                    if ok {
+                        // Only acceptable if it fit without eviction.
+                        prop_assert!(cache.used() <= Bytes(cap).get());
+                        prop_assert!(cache.used() >= before_used);
+                    } else {
+                        prop_assert_eq!(cache.len(), before_len);
+                        prop_assert_eq!(cache.used(), before_used);
+                    }
+                }
+            }};
+        }
+        check!(LruCache);
+        check!(GdsCache);
+        check!(LfuCache);
+    }
+}

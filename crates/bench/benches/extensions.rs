@@ -1,0 +1,77 @@
+//! Criterion benches for the extension studies: cache-policy routers
+//! (LRU vs GreedyDual-Size vs LFU), the event-driven session simulation,
+//! and one epoch of the drift study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmrepl_baselines::{GdsRouter, LfuRouter, LruRouter};
+use mmrepl_model::{Bytes, BytesPerSec, Secs};
+use mmrepl_netsim::{simulate_page, ConnectionProfile, StreamPlan};
+use mmrepl_sim::{drift_study, replay_all, ExperimentConfig};
+use mmrepl_workload::{generate_trace, TraceConfig, WorkloadParams};
+use std::hint::black_box;
+
+fn bench_cache_routers(c: &mut Criterion) {
+    let params = WorkloadParams::small();
+    let sys = mmrepl_workload::generate_system(&params, 1)
+        .unwrap()
+        .with_storage_fraction(0.6);
+    let traces = generate_trace(&sys, &TraceConfig::from_params(&params), 1);
+    let mut g = c.benchmark_group("cache_routers");
+    g.sample_size(20);
+    g.bench_function("lru_replay", |b| {
+        b.iter(|| black_box(replay_all(&sys, &traces, &mut LruRouter::new(&sys))))
+    });
+    g.bench_function("gds_replay", |b| {
+        b.iter(|| black_box(replay_all(&sys, &traces, &mut GdsRouter::new(&sys))))
+    });
+    g.bench_function("lfu_replay", |b| {
+        b.iter(|| black_box(replay_all(&sys, &traces, &mut LfuRouter::new(&sys))))
+    });
+    g.finish();
+}
+
+fn bench_session_simulation(c: &mut Criterion) {
+    let local = {
+        let mut s = StreamPlan::empty(ConnectionProfile::new(
+            Secs(1.5),
+            BytesPerSec::kib_per_sec(8.0),
+        ));
+        for i in 0..25 {
+            s.push(Bytes::kib(100 + i * 13));
+        }
+        s
+    };
+    let remote = {
+        let mut s = StreamPlan::empty(ConnectionProfile::new(
+            Secs(2.2),
+            BytesPerSec::kib_per_sec(1.0),
+        ));
+        for i in 0..8 {
+            s.push(Bytes::kib(60 + i * 7));
+        }
+        s
+    };
+    c.bench_function("session_event_simulation_33_objects", |b| {
+        b.iter(|| black_box(simulate_page(&local, &remote)))
+    });
+}
+
+fn bench_drift_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drift");
+    g.sample_size(10);
+    g.bench_function("one_epoch_quick", |b| {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.runs = 1;
+        cfg.threads = 1;
+        b.iter(|| black_box(drift_study(&cfg, 1, 0.5)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    extensions,
+    bench_cache_routers,
+    bench_session_simulation,
+    bench_drift_epoch
+);
+criterion_main!(extensions);

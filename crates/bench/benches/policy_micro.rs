@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the policy's building blocks: the greedy
+//! partition, the restoration stages, the full planner, trace replay and
+//! the hot samplers. These are the knobs that decide whether a paper-scale
+//! experiment run takes seconds or minutes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmrepl_baselines::{LruRouter, StaticRouter};
+use mmrepl_core::{
+    partition_all, restore_capacity, restore_storage, ReplicationPolicy, SiteWork,
+};
+use mmrepl_model::{CostParams, SiteId};
+use mmrepl_sim::{replay_all, replay_site};
+use mmrepl_workload::{generate_trace, AliasTable, TraceConfig, WorkloadParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let sys = mmrepl_workload::generate_system(&WorkloadParams::small(), 1).unwrap();
+    c.bench_function("partition_all_small", |b| {
+        b.iter(|| black_box(partition_all(&sys)))
+    });
+}
+
+fn bench_restorations(c: &mut Criterion) {
+    let sys = mmrepl_workload::generate_system(&WorkloadParams::small(), 2)
+        .unwrap()
+        .with_storage_fraction(0.5)
+        .with_processing_fraction(0.7);
+    let placement = partition_all(&sys);
+    c.bench_function("restore_storage_site0_50pct", |b| {
+        b.iter(|| {
+            let mut w =
+                SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+            black_box(restore_storage(&mut w))
+        })
+    });
+    c.bench_function("restore_capacity_site0_70pct", |b| {
+        b.iter(|| {
+            let mut w =
+                SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+            restore_storage(&mut w);
+            black_box(restore_capacity(&mut w))
+        })
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let sys = mmrepl_workload::generate_system(&WorkloadParams::small(), 3)
+        .unwrap()
+        .with_storage_fraction(0.6)
+        .with_processing_fraction(0.8);
+    let mut g = c.benchmark_group("planner");
+    g.sample_size(20);
+    g.bench_function("full_plan_small", |b| {
+        b.iter(|| black_box(ReplicationPolicy::new().plan(&sys)))
+    });
+    g.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let params = WorkloadParams::small();
+    let sys = mmrepl_workload::generate_system(&params, 4).unwrap();
+    let traces = generate_trace(&sys, &TraceConfig::from_params(&params), 4);
+    let placement = partition_all(&sys);
+    c.bench_function("replay_one_site_500req", |b| {
+        b.iter(|| {
+            let mut router = StaticRouter::new(&placement, "ours");
+            black_box(replay_site(&sys, &traces[0], &mut router))
+        })
+    });
+    let mut g = c.benchmark_group("replay");
+    g.sample_size(20);
+    g.bench_function("replay_all_lru", |b| {
+        b.iter(|| {
+            let mut router = LruRouter::new(&sys);
+            black_box(replay_all(&sys, &traces, &mut router))
+        })
+    });
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let weights: Vec<f64> = (1..=600).map(|i| 1.0 / i as f64).collect();
+    let table = AliasTable::new(&weights).unwrap();
+    c.bench_function("alias_table_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+    c.bench_function("alias_table_build_600", |b| {
+        b.iter(|| black_box(AliasTable::new(&weights).unwrap()))
+    });
+}
+
+criterion_group!(
+    policy_micro,
+    bench_partition,
+    bench_restorations,
+    bench_planner,
+    bench_replay,
+    bench_sampling
+);
+criterion_main!(policy_micro);

@@ -1,0 +1,30 @@
+//! Runs the A1-A4 ablations from DESIGN.md: partition visit order,
+//! deallocation criterion, objective weights and off-loading assignment
+//! rule.
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin ablations
+//! cargo run -p mmrepl-bench --bin ablations -- --quick
+//! ```
+
+use mmrepl_bench::BinArgs;
+use mmrepl_sim::all_ablations;
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env();
+    let results = all_ablations(&args.config);
+    std::fs::create_dir_all(&args.out_dir)?;
+    let mut combined = String::new();
+    for r in &results {
+        let table = r.to_table();
+        println!("{table}");
+        combined.push_str(&table);
+        combined.push('\n');
+    }
+    std::fs::write(args.out_dir.join("ablations.txt"), &combined)?;
+    std::fs::write(
+        args.out_dir.join("ablations.json"),
+        serde_json::to_string_pretty(&results).expect("ablations serialize"),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Cache-policy comparison (extension): does the paper's conclusion
+//! survive a stronger cache than LRU? Sweeps storage fractions with LRU,
+//! GreedyDual-Size, LFU and our policy on the Figure 1 setup.
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin caches
+//! ```
+
+use mmrepl_bench::{emit_figure, storage_fractions, BinArgs};
+use mmrepl_sim::cache_comparison;
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env();
+    let fig = cache_comparison(&args.config, &storage_fractions());
+    emit_figure(&args.out_dir, &fig)
+}

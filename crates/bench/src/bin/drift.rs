@@ -1,0 +1,25 @@
+//! Runs the workload-drift/replanning study (extension of Section 4.1's
+//! "breaking news" motivation): how fast does an off-line plan go stale,
+//! and how much does replanning each epoch buy back?
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin drift
+//! cargo run -p mmrepl-bench --bin drift -- --quick
+//! ```
+
+use mmrepl_bench::BinArgs;
+use mmrepl_sim::drift_study;
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env();
+    let study = drift_study(&args.config, 4, 0.5);
+    let table = study.to_table();
+    print!("{table}");
+    std::fs::create_dir_all(&args.out_dir)?;
+    std::fs::write(args.out_dir.join("drift.txt"), &table)?;
+    std::fs::write(
+        args.out_dir.join("drift.json"),
+        serde_json::to_string_pretty(&study).expect("study serializes"),
+    )?;
+    Ok(())
+}

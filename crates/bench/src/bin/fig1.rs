@@ -1,0 +1,43 @@
+//! Regenerates Figure 1 — relative response time vs local storage
+//! capacity (processing relaxed) — plus the Section 5.2 headline numbers
+//! (Remote +335 %, Local +23.8 %, LRU@100 % ≈ +24 %, ours@65 % ≈
+//! LRU@100 %).
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin fig1            # paper scale, 20 runs
+//! cargo run -p mmrepl-bench --bin fig1 -- --quick --runs 2  # smoke test
+//! ```
+
+use mmrepl_bench::{emit_figure, storage_fractions, BinArgs};
+use mmrepl_sim::{figure1, headline};
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env();
+    let fig = figure1(&args.config, &storage_fractions());
+    emit_figure(&args.out_dir, &fig)?;
+
+    let h = headline(&fig);
+    let summary = format!(
+        "\n# Section 5.2 headline numbers (paper: remote +335%, local +23.8%, \
+         lru@100% ~ +24%, ours matches lru@100% at ~65% storage)\n\
+         remote             : {:+8.1}%\n\
+         local              : {:+8.1}%\n\
+         lru @ 100% storage : {:+8.1}%\n\
+         ours @ 100% storage: {:+8.1}%\n\
+         ours matches lru@100% at storage fraction: {}\n",
+        h.remote_pct,
+        h.local_pct,
+        h.lru_full_pct,
+        h.ours_full_pct,
+        h.ours_matches_lru_at
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .unwrap_or_else(|| "not reached".into()),
+    );
+    print!("{summary}");
+    std::fs::write(args.out_dir.join("headline.txt"), &summary)?;
+    std::fs::write(
+        args.out_dir.join("headline.json"),
+        serde_json::to_string_pretty(&h).expect("headline serializes"),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 2 — relative response time vs local processing
+//! capacity at 100 % storage. The paper reports a "double exponential"
+//! curve: flat above ~60 % capacity, steep below.
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin fig2
+//! ```
+
+use mmrepl_bench::{emit_figure, processing_fractions, BinArgs};
+use mmrepl_sim::figure2;
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env();
+    let fig = figure2(&args.config, &processing_fractions());
+    emit_figure(&args.out_dir, &fig)
+}

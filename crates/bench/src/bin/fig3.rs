@@ -1,0 +1,16 @@
+//! Regenerates Figure 3 — relative response time vs local processing
+//! capacity with the repository capacity fixed at 90 %, 70 % and 50 % of
+//! the all-remote load (the off-loading negotiation is active here).
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin fig3
+//! ```
+
+use mmrepl_bench::{central_fractions, emit_figure, processing_fractions, BinArgs};
+use mmrepl_sim::figure3;
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env();
+    let fig = figure3(&args.config, &central_fractions(), &processing_fractions());
+    emit_figure(&args.out_dir, &fig)
+}

@@ -1,0 +1,28 @@
+//! Regenerates Table 1: the workload parameters used in the experiments.
+//!
+//! ```text
+//! cargo run -p mmrepl-bench --bin table1
+//! ```
+
+use mmrepl_bench::BinArgs;
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env();
+    let rows = args.config.params.table1_rows();
+
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("# Table 1: Parameters used in experiments\n");
+    for (k, v) in &rows {
+        out.push_str(&format!("{k:<width$}  |  {v}\n"));
+    }
+    print!("{out}");
+
+    std::fs::create_dir_all(&args.out_dir)?;
+    std::fs::write(args.out_dir.join("table1.txt"), &out)?;
+    std::fs::write(
+        args.out_dir.join("table1.json"),
+        serde_json::to_string_pretty(&args.config.params).expect("params serialize"),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Runs the update-propagation study (read/write extension): how does
+//! replication recede as objects get hotter to write, and what does the
+//! paper's update-blind planner silently cost?
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin updates
+//! cargo run -p mmrepl-bench --bin updates -- --quick
+//! ```
+
+use mmrepl_bench::BinArgs;
+use mmrepl_sim::update_study;
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env();
+    // Mean updates/second per object: 0 (the paper) up to 1/s.
+    let study = update_study(&args.config, &[0.0, 0.05, 0.1, 0.25, 0.5, 1.0]);
+    let table = study.to_table();
+    print!("{table}");
+    std::fs::create_dir_all(&args.out_dir)?;
+    std::fs::write(args.out_dir.join("updates.txt"), &table)?;
+    std::fs::write(
+        args.out_dir.join("updates.json"),
+        serde_json::to_string_pretty(&study).expect("study serializes"),
+    )?;
+    Ok(())
+}

@@ -1,0 +1,168 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every bin accepts the same flags:
+//!
+//! * `--quick` — run the milliseconds-scale workload (3 sites) instead of
+//!   the full Table 1 scale; useful for smoke-testing the harness;
+//! * `--runs N` — override the number of averaged runs (paper: 20);
+//! * `--seed S` — override the base seed;
+//! * `--out DIR` — where to write `<name>.json` and `<name>.txt`
+//!   (default `results/`).
+
+use mmrepl_sim::{ExperimentConfig, FigureData};
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinArgs {
+    /// Experiment configuration (paper or quick scale).
+    pub config: ExperimentConfig,
+    /// Output directory.
+    pub out_dir: PathBuf,
+}
+
+impl BinArgs {
+    /// Parses `std::env::args`-style arguments.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut quick = false;
+        let mut runs: Option<usize> = None;
+        let mut seed: Option<u64> = None;
+        let mut out_dir = PathBuf::from("results");
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--runs" => {
+                    let v = it.next().ok_or("--runs needs a value")?;
+                    runs = Some(v.parse().map_err(|e| format!("--runs: {e}"))?);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    seed = Some(v.parse().map_err(|e| format!("--seed: {e}"))?);
+                }
+                "--out" => {
+                    out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--quick] [--runs N] [--seed S] [--out DIR]"
+                        .to_string())
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        let mut config = if quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::paper()
+        };
+        if let Some(r) = runs {
+            config.runs = r.max(1);
+        }
+        if let Some(s) = seed {
+            config.base_seed = s;
+        }
+        Ok(BinArgs { config, out_dir })
+    }
+
+    /// Parses the process arguments, exiting with the usage string on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Writes a figure as both JSON and a text table under `out_dir`, and
+/// echoes the table to stdout.
+pub fn emit_figure(out_dir: &Path, fig: &FigureData) -> std::io::Result<()> {
+    std::fs::create_dir_all(out_dir)?;
+    let table = fig.to_table();
+    print!("{table}");
+    std::fs::write(out_dir.join(format!("{}.txt", fig.name)), &table)?;
+    std::fs::write(
+        out_dir.join(format!("{}.json", fig.name)),
+        serde_json::to_string_pretty(fig).expect("figure serializes"),
+    )?;
+    Ok(())
+}
+
+/// The storage sweep fractions for Figure 1 (the paper ticks 0-100 % and
+/// calls out 65 % as the LRU-matching point).
+pub fn storage_fractions() -> Vec<f64> {
+    vec![0.2, 0.4, 0.6, 0.65, 0.8, 1.0]
+}
+
+/// Figure 2/3 processing fractions.
+pub fn processing_fractions() -> Vec<f64> {
+    vec![0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+}
+
+/// Figure 3 central-capacity fractions (90 %, 70 %, 50 %).
+pub fn central_fractions() -> Vec<f64> {
+    vec![0.9, 0.7, 0.5]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<BinArgs, String> {
+        BinArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn default_is_paper_scale() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.config.runs, 20);
+        assert_eq!(a.config.params.n_sites, 10);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn quick_flag_switches_workload() {
+        let a = parse(&["--quick"]).unwrap();
+        assert_eq!(a.config.params.n_sites, 3);
+    }
+
+    #[test]
+    fn runs_seed_and_out_overrides() {
+        let a = parse(&["--runs", "5", "--seed", "99", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(a.config.runs, 5);
+        assert_eq!(a.config.base_seed, 99);
+        assert_eq!(a.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn zero_runs_clamped_to_one() {
+        let a = parse(&["--runs", "0"]).unwrap();
+        assert_eq!(a.config.runs, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--runs"]).is_err());
+        assert!(parse(&["--runs", "abc"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+
+    #[test]
+    fn sweep_fraction_sets_are_sane() {
+        for f in storage_fractions()
+            .into_iter()
+            .chain(processing_fractions())
+            .chain(central_fractions())
+        {
+            assert!((0.0..=1.0).contains(&f));
+        }
+        assert!(storage_fractions().contains(&0.65)); // the headline point
+        assert_eq!(central_fractions(), vec![0.9, 0.7, 0.5]);
+    }
+}

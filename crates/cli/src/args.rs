@@ -1,0 +1,381 @@
+//! Argument parsing for the `mmrepl` binary — plain `std`, no external
+//! parser, so the CLI stays within the workspace's dependency policy.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: mmrepl <command> [options]
+
+commands:
+  generate   --seed N [--scale small|paper] [--out FILE]
+             Generate a synthetic Table-1 workload and write it as JSON.
+  inspect    --system FILE
+             Print a summary of a system: sites, pages, demands, loads.
+  plan       --system FILE [--storage F] [--processing F] [--central F]
+             [--alpha1 A] [--alpha2 B] [--out FILE]
+             Run the replication policy; print the stage report and write
+             the placement as JSON.
+  evaluate   --system FILE (--placement FILE | --policy ours|remote|local|lru)
+             [--seed N] [--storage F] [--processing F]
+             Replay the perturbed request trace and print response-time
+             statistics.
+  compare    --system FILE [--seed N] [--storage F] [--processing F]
+             Replay every policy (ours, lru, gds, lfu, local, remote) on
+             the same trace and print a comparison table.
+  sweep      --figure 1|2|3 [--runs N] [--seed S] [--paper] [--out FILE]
+             Regenerate one of the paper's figures (quick scale unless
+             --paper) and write it as JSON.
+
+Fractions F scale the derived 100% points (full storage demand /
+all-local load / all-remote load), exactly like the paper's sweeps.";
+
+/// Workload scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// 3 sites, runs in milliseconds.
+    Small,
+    /// The full Table 1 configuration.
+    Paper,
+}
+
+/// Which policy `evaluate` runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyName {
+    /// The paper's policy, planned fresh.
+    Ours,
+    /// All objects from the repository.
+    Remote,
+    /// All objects local.
+    Local,
+    /// The ideal LRU cache.
+    Lru,
+}
+
+/// A parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `mmrepl generate`.
+    Generate {
+        /// RNG seed.
+        seed: u64,
+        /// Workload scale.
+        scale: Scale,
+        /// Output path (default `system.json`).
+        out: PathBuf,
+    },
+    /// `mmrepl inspect`.
+    Inspect {
+        /// System JSON path.
+        system: PathBuf,
+    },
+    /// `mmrepl plan`.
+    Plan {
+        /// System JSON path.
+        system: PathBuf,
+        /// Storage fraction (`None` = leave as stored in the file).
+        storage: Option<f64>,
+        /// Processing-capacity fraction.
+        processing: Option<f64>,
+        /// Central-capacity fraction (of the all-remote load).
+        central: Option<f64>,
+        /// Objective weights.
+        alpha: (f64, f64),
+        /// Output path (default `placement.json`).
+        out: PathBuf,
+    },
+    /// `mmrepl compare`.
+    Compare {
+        /// System JSON path.
+        system: PathBuf,
+        /// Trace seed.
+        seed: u64,
+        /// Storage fraction override.
+        storage: Option<f64>,
+        /// Processing fraction override.
+        processing: Option<f64>,
+    },
+    /// `mmrepl sweep`.
+    Sweep {
+        /// Which figure (1, 2 or 3).
+        figure: u8,
+        /// Runs to average.
+        runs: usize,
+        /// Base seed.
+        seed: u64,
+        /// Full Table 1 scale instead of the quick workload.
+        paper: bool,
+        /// Output JSON path.
+        out: PathBuf,
+    },
+    /// `mmrepl evaluate`.
+    Evaluate {
+        /// System JSON path.
+        system: PathBuf,
+        /// Placement JSON path (mutually exclusive with `policy`).
+        placement: Option<PathBuf>,
+        /// Named policy (mutually exclusive with `placement`).
+        policy: Option<PolicyName>,
+        /// Trace seed.
+        seed: u64,
+        /// Storage fraction override.
+        storage: Option<f64>,
+        /// Processing fraction override.
+        processing: Option<f64>,
+    },
+}
+
+impl Command {
+    /// Parses an argv slice (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Command, String> {
+        let (cmd, rest) = argv
+            .split_first()
+            .ok_or_else(|| "missing command".to_string())?;
+        let opts = parse_options(rest)?;
+        let take = |key: &str| opts.get(key).cloned();
+        let take_f64 = |key: &str| -> Result<Option<f64>, String> {
+            take(key)
+                .map(|v| v.parse::<f64>().map_err(|e| format!("--{key}: {e}")))
+                .transpose()
+        };
+        let take_u64 = |key: &str, default: u64| -> Result<u64, String> {
+            Ok(take(key)
+                .map(|v| v.parse::<u64>().map_err(|e| format!("--{key}: {e}")))
+                .transpose()?
+                .unwrap_or(default))
+        };
+        let require_path = |key: &str| -> Result<PathBuf, String> {
+            take(key)
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("missing required --{key}"))
+        };
+
+        match cmd.as_str() {
+            "generate" => Ok(Command::Generate {
+                seed: take_u64("seed", 0)?,
+                scale: match take("scale").as_deref() {
+                    None | Some("small") => Scale::Small,
+                    Some("paper") => Scale::Paper,
+                    Some(other) => return Err(format!("unknown scale {other:?}")),
+                },
+                out: take("out")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("system.json")),
+            }),
+            "inspect" => Ok(Command::Inspect {
+                system: require_path("system")?,
+            }),
+            "plan" => Ok(Command::Plan {
+                system: require_path("system")?,
+                storage: take_f64("storage")?,
+                processing: take_f64("processing")?,
+                central: take_f64("central")?,
+                alpha: (
+                    take_f64("alpha1")?.unwrap_or(2.0),
+                    take_f64("alpha2")?.unwrap_or(1.0),
+                ),
+                out: take("out")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("placement.json")),
+            }),
+            "sweep" => {
+                let figure: u8 = take("figure")
+                    .ok_or("missing required --figure")?
+                    .parse()
+                    .map_err(|e| format!("--figure: {e}"))?;
+                if !(1..=3).contains(&figure) {
+                    return Err(format!("--figure must be 1, 2 or 3, got {figure}"));
+                }
+                Ok(Command::Sweep {
+                    figure,
+                    runs: take("runs")
+                        .map(|v| v.parse::<usize>().map_err(|e| format!("--runs: {e}")))
+                        .transpose()?
+                        .unwrap_or(3)
+                        .max(1),
+                    seed: take_u64("seed", 0)?,
+                    paper: take("paper").is_some(),
+                    out: take("out")
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("figure.json")),
+                })
+            }
+            "compare" => Ok(Command::Compare {
+                system: require_path("system")?,
+                seed: take_u64("seed", 0)?,
+                storage: take_f64("storage")?,
+                processing: take_f64("processing")?,
+            }),
+            "evaluate" => {
+                let placement = take("placement").map(PathBuf::from);
+                let policy = match take("policy").as_deref() {
+                    None => None,
+                    Some("ours") => Some(PolicyName::Ours),
+                    Some("remote") => Some(PolicyName::Remote),
+                    Some("local") => Some(PolicyName::Local),
+                    Some("lru") => Some(PolicyName::Lru),
+                    Some(other) => return Err(format!("unknown policy {other:?}")),
+                };
+                if placement.is_some() == policy.is_some() {
+                    return Err(
+                        "evaluate needs exactly one of --placement or --policy".into()
+                    );
+                }
+                Ok(Command::Evaluate {
+                    system: require_path("system")?,
+                    placement,
+                    policy,
+                    seed: take_u64("seed", 0)?,
+                    storage: take_f64("storage")?,
+                    processing: take_f64("processing")?,
+                })
+            }
+            "--help" | "-h" | "help" => Err("".into()),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+/// Options that are bare flags (no value).
+const BOOL_FLAGS: &[&str] = &["paper"];
+
+/// Parses `--key value` pairs (and bare boolean flags), rejecting dangling
+/// or duplicate keys.
+fn parse_options(rest: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut opts = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(key) = it.next() {
+        let name = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected an option, got {key:?}"))?;
+        let value = if BOOL_FLAGS.contains(&name) {
+            "true".to_string()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{name} needs a value"))?
+                .clone()
+        };
+        if opts.insert(name.to_string(), value).is_some() {
+            return Err(format!("duplicate option --{name}"));
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Command, String> {
+        Command::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn generate_defaults() {
+        let cmd = parse(&["generate"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                seed: 0,
+                scale: Scale::Small,
+                out: PathBuf::from("system.json"),
+            }
+        );
+    }
+
+    #[test]
+    fn generate_with_options() {
+        let cmd =
+            parse(&["generate", "--seed", "9", "--scale", "paper", "--out", "x.json"])
+                .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                seed: 9,
+                scale: Scale::Paper,
+                out: PathBuf::from("x.json"),
+            }
+        );
+    }
+
+    #[test]
+    fn plan_parses_fractions_and_weights() {
+        let cmd = parse(&[
+            "plan", "--system", "s.json", "--storage", "0.65", "--alpha1", "3",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Plan {
+                storage,
+                processing,
+                alpha,
+                ..
+            } => {
+                assert_eq!(storage, Some(0.65));
+                assert_eq!(processing, None);
+                assert_eq!(alpha, (3.0, 1.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn evaluate_requires_exactly_one_source() {
+        assert!(parse(&["evaluate", "--system", "s.json"]).is_err());
+        assert!(parse(&[
+            "evaluate",
+            "--system",
+            "s.json",
+            "--policy",
+            "lru",
+            "--placement",
+            "p.json"
+        ])
+        .is_err());
+        assert!(parse(&["evaluate", "--system", "s.json", "--policy", "lru"]).is_ok());
+        assert!(
+            parse(&["evaluate", "--system", "s.json", "--placement", "p.json"]).is_ok()
+        );
+    }
+
+    #[test]
+    fn sweep_parses_and_validates() {
+        let cmd = parse(&["sweep", "--figure", "2", "--runs", "5", "--paper"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                figure: 2,
+                runs: 5,
+                seed: 0,
+                paper: true,
+                out: PathBuf::from("figure.json"),
+            }
+        );
+        assert!(parse(&["sweep", "--figure", "4"]).is_err());
+        assert!(parse(&["sweep"]).is_err());
+        // Default is quick scale, 3 runs.
+        let cmd = parse(&["sweep", "--figure", "1"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Sweep {
+                figure: 1,
+                runs: 3,
+                paper: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["frobnicate"]).is_err());
+        assert!(parse(&["generate", "stray"]).is_err());
+        assert!(parse(&["generate", "--seed"]).is_err());
+        assert!(parse(&["generate", "--seed", "1", "--seed", "2"]).is_err());
+        assert!(parse(&["generate", "--scale", "huge"]).is_err());
+        assert!(parse(&["evaluate", "--system", "s", "--policy", "apache"]).is_err());
+        assert!(parse(&["inspect"]).is_err()); // missing --system
+    }
+}

@@ -1,0 +1,502 @@
+//! Command implementations for the `mmrepl` binary.
+
+use crate::args::{Command, PolicyName, Scale};
+use mmrepl_baselines::{GdsRouter, LfuRouter, LruRouter, StaticRouter};
+use mmrepl_core::{PlannerConfig, ReplicationPolicy};
+use mmrepl_model::{Bytes, ConstraintReport, CostParams, Placement, System};
+use mmrepl_sim::replay_all;
+use mmrepl_workload::{generate_system, generate_trace, TraceConfig, WorkloadParams};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A CLI-level error: message plus context, printed to stderr.
+pub type CliError = String;
+
+/// Dispatches a parsed command.
+pub fn run(cmd: Command) -> Result<(), CliError> {
+    match cmd {
+        Command::Generate { seed, scale, out } => generate(seed, scale, &out),
+        Command::Inspect { system } => inspect(&system),
+        Command::Plan {
+            system,
+            storage,
+            processing,
+            central,
+            alpha,
+            out,
+        } => plan(&system, storage, processing, central, alpha, &out),
+        Command::Evaluate {
+            system,
+            placement,
+            policy,
+            seed,
+            storage,
+            processing,
+        } => evaluate(
+            &system,
+            placement.as_deref(),
+            policy,
+            seed,
+            storage,
+            processing,
+        ),
+        Command::Compare {
+            system,
+            seed,
+            storage,
+            processing,
+        } => compare(&system, seed, storage, processing),
+        Command::Sweep {
+            figure,
+            runs,
+            seed,
+            paper,
+            out,
+        } => sweep(figure, runs, seed, paper, &out),
+    }
+}
+
+fn params_for(scale: Scale) -> WorkloadParams {
+    match scale {
+        Scale::Small => WorkloadParams::small(),
+        Scale::Paper => WorkloadParams::paper(),
+    }
+}
+
+fn load_system(path: &Path) -> Result<System, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+fn apply_fractions(
+    system: System,
+    storage: Option<f64>,
+    processing: Option<f64>,
+    central: Option<f64>,
+) -> System {
+    let mut sys = system;
+    if let Some(f) = storage {
+        sys = sys.with_storage_fraction(f);
+    }
+    if let Some(f) = processing {
+        sys = sys.with_processing_fraction(f);
+    }
+    if let Some(f) = central {
+        sys = sys.with_central_fraction(f);
+    }
+    sys
+}
+
+fn generate(seed: u64, scale: Scale, out: &Path) -> Result<(), CliError> {
+    let params = params_for(scale);
+    let system = generate_system(&params, seed)?;
+    let json = serde_json::to_string(&system).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} sites, {} pages, {} objects, seed {})",
+        out.display(),
+        system.n_sites(),
+        system.n_pages(),
+        system.n_objects(),
+        seed
+    );
+    Ok(())
+}
+
+fn inspect(path: &Path) -> Result<(), CliError> {
+    let system = load_system(path)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "system: {} sites, {} pages, {} objects",
+        system.n_sites(),
+        system.n_pages(),
+        system.n_objects()
+    );
+    let _ = writeln!(
+        out,
+        "repository capacity: {}",
+        system.repository().capacity
+    );
+    let _ = writeln!(
+        out,
+        "all-remote repository load: {}",
+        system.full_remote_load()
+    );
+    let _ = writeln!(
+        out,
+        "\n{:>5} {:>7} {:>14} {:>14} {:>14} {:>12}",
+        "site", "pages", "storage", "full demand", "capacity", "full load"
+    );
+    for site in system.sites().ids() {
+        let s = system.site(site);
+        let _ = writeln!(
+            out,
+            "{:>5} {:>7} {:>14} {:>14} {:>14} {:>12}",
+            site.to_string(),
+            system.pages_of(site).len(),
+            s.storage.to_string(),
+            system.full_storage_demand(site).to_string(),
+            s.capacity.to_string(),
+            system.full_local_load(site).to_string(),
+        );
+    }
+    print!("{out}");
+    Ok(())
+}
+
+fn plan(
+    path: &Path,
+    storage: Option<f64>,
+    processing: Option<f64>,
+    central: Option<f64>,
+    alpha: (f64, f64),
+    out: &Path,
+) -> Result<(), CliError> {
+    let system = apply_fractions(load_system(path)?, storage, processing, central);
+    let policy = ReplicationPolicy::with_config(PlannerConfig {
+        cost: CostParams {
+            alpha1: alpha.0,
+            alpha2: alpha.1,
+        },
+        ..PlannerConfig::default()
+    });
+    let outcome = policy.plan(&system);
+    let r = &outcome.report;
+    println!("plan: feasible={} objective D={:.2}", r.feasible, r.objective);
+    let dealloc: usize = r.storage.iter().map(|s| s.deallocated).sum();
+    let freed: u64 = r.storage.iter().map(|s| s.bytes_freed).sum();
+    let moves: usize = r.capacity.iter().map(|c| c.moves).sum();
+    println!("  storage restoration : {dealloc} deallocations, {} freed", Bytes(freed));
+    println!("  capacity restoration: {moves} downloads moved to repository");
+    println!(
+        "  off-loading         : {} rounds, {} messages, {:.2} req/s pushed back",
+        r.offload.rounds, r.offload.messages, r.offload.absorbed
+    );
+    let check = ConstraintReport::check(&system, &outcome.placement);
+    for v in &check.violations {
+        println!("  VIOLATION: {v}");
+    }
+    let json = serde_json::to_string(&outcome.placement).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn evaluate(
+    path: &Path,
+    placement_path: Option<&Path>,
+    policy: Option<PolicyName>,
+    seed: u64,
+    storage: Option<f64>,
+    processing: Option<f64>,
+) -> Result<(), CliError> {
+    let system = apply_fractions(load_system(path)?, storage, processing, None);
+    // The trace scale mirrors the system's own page-rate structure; the
+    // small/paper request counts only differ via the params, so pick by
+    // system size.
+    let params = if system.n_sites() >= 10 {
+        WorkloadParams::paper()
+    } else {
+        WorkloadParams::small()
+    };
+    let traces = generate_trace(&system, &TraceConfig::from_params(&params), seed);
+
+    let (label, outcome) = match (placement_path, policy) {
+        (Some(p), None) => {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let placement: Placement =
+                serde_json::from_str(&text).map_err(|e| e.to_string())?;
+            placement
+                .validate(&system)
+                .map_err(|e| format!("placement does not fit this system: {e}"))?;
+            (
+                "placement".to_string(),
+                replay_all(&system, &traces, &mut StaticRouter::new(&placement, "file")),
+            )
+        }
+        (None, Some(PolicyName::Ours)) => {
+            let planned = ReplicationPolicy::new().plan(&system).placement;
+            (
+                "ours".to_string(),
+                replay_all(&system, &traces, &mut StaticRouter::new(&planned, "ours")),
+            )
+        }
+        (None, Some(PolicyName::Remote)) => {
+            let p = Placement::all_remote(&system);
+            (
+                "remote".to_string(),
+                replay_all(&system, &traces, &mut StaticRouter::new(&p, "remote")),
+            )
+        }
+        (None, Some(PolicyName::Local)) => {
+            let p = Placement::all_local(&system);
+            (
+                "local".to_string(),
+                replay_all(&system, &traces, &mut StaticRouter::new(&p, "local")),
+            )
+        }
+        (None, Some(PolicyName::Lru)) => (
+            "lru".to_string(),
+            replay_all(&system, &traces, &mut LruRouter::new(&system)),
+        ),
+        _ => unreachable!("arg parser enforces exactly one source"),
+    };
+
+    println!("policy: {label} (seed {seed})");
+    println!("  requests        : {}", outcome.pages.count());
+    println!("  mean response   : {:.2} s", outcome.mean_response());
+    println!(
+        "  p50 / p95 / p99 : {:.1} / {:.1} / {:.1} s",
+        outcome.pages.quantile(0.50).map(|s| s.get()).unwrap_or(0.0),
+        outcome.pages.quantile(0.95).map(|s| s.get()).unwrap_or(0.0),
+        outcome.pages.quantile(0.99).map(|s| s.get()).unwrap_or(0.0),
+    );
+    println!(
+        "  min / max       : {:.1} / {:.1} s",
+        outcome.pages.min().map(|s| s.get()).unwrap_or(0.0),
+        outcome.pages.max().map(|s| s.get()).unwrap_or(0.0),
+    );
+    println!(
+        "  served locally  : {:.1}%",
+        outcome.local_fraction() * 100.0
+    );
+    if outcome.optional.count() > 0 {
+        println!(
+            "  optional fetches: {} requests, mean {:.2} s",
+            outcome.optional.count(),
+            outcome.optional.mean().map(|s| s.get()).unwrap_or(0.0)
+        );
+    }
+    Ok(())
+}
+
+fn compare(
+    path: &Path,
+    seed: u64,
+    storage: Option<f64>,
+    processing: Option<f64>,
+) -> Result<(), CliError> {
+    let system = apply_fractions(load_system(path)?, storage, processing, None);
+    let params = if system.n_sites() >= 10 {
+        WorkloadParams::paper()
+    } else {
+        WorkloadParams::small()
+    };
+    let traces = generate_trace(&system, &TraceConfig::from_params(&params), seed);
+
+    let planned = ReplicationPolicy::new().plan(&system).placement;
+    let local = Placement::all_local(&system);
+    let remote = Placement::all_remote(&system);
+
+    let mut rows: Vec<(&str, mmrepl_sim::ReplayOutcome)> = vec![
+        (
+            "ours",
+            replay_all(&system, &traces, &mut StaticRouter::new(&planned, "ours")),
+        ),
+        (
+            "lru",
+            replay_all(&system, &traces, &mut LruRouter::new(&system)),
+        ),
+        (
+            "gds",
+            replay_all(&system, &traces, &mut GdsRouter::new(&system)),
+        ),
+        (
+            "lfu",
+            replay_all(&system, &traces, &mut LfuRouter::new(&system)),
+        ),
+        (
+            "local",
+            replay_all(&system, &traces, &mut StaticRouter::new(&local, "local")),
+        ),
+        (
+            "remote",
+            replay_all(&system, &traces, &mut StaticRouter::new(&remote, "remote")),
+        ),
+    ];
+    rows.sort_by(|a, b| a.1.mean_response().total_cmp(&b.1.mean_response()));
+
+    println!("policy      mean        p95       local%   (seed {seed})");
+    for (name, out) in &rows {
+        println!(
+            "{:<10} {:>7.1} s {:>9.1} s {:>8.1}%",
+            name,
+            out.mean_response(),
+            out.pages.quantile(0.95).map(|s| s.get()).unwrap_or(0.0),
+            out.local_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn sweep(figure: u8, runs: usize, seed: u64, paper: bool, out: &Path) -> Result<(), CliError> {
+    let mut cfg = if paper {
+        mmrepl_sim::ExperimentConfig::paper()
+    } else {
+        mmrepl_sim::ExperimentConfig::quick()
+    };
+    cfg.runs = runs;
+    cfg.base_seed = seed;
+    let fig = match figure {
+        1 => mmrepl_sim::figure1(&cfg, &[0.2, 0.4, 0.6, 0.65, 0.8, 1.0]),
+        2 => mmrepl_sim::figure2(&cfg, &[0.2, 0.4, 0.6, 0.8, 1.0]),
+        3 => mmrepl_sim::figure3(&cfg, &[0.9, 0.7, 0.5], &[0.6, 0.8, 1.0]),
+        _ => unreachable!("parser validated the figure number"),
+    };
+    print!("{}", fig.to_table());
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&fig).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mmrepl-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generate_inspect_plan_evaluate_roundtrip() {
+        let sys_path = tmp("roundtrip-system.json");
+        let place_path = tmp("roundtrip-placement.json");
+
+        run(Command::Generate {
+            seed: 5,
+            scale: Scale::Small,
+            out: sys_path.clone(),
+        })
+        .unwrap();
+        assert!(sys_path.exists());
+
+        run(Command::Inspect {
+            system: sys_path.clone(),
+        })
+        .unwrap();
+
+        run(Command::Plan {
+            system: sys_path.clone(),
+            storage: Some(0.7),
+            processing: None,
+            central: None,
+            alpha: (2.0, 1.0),
+            out: place_path.clone(),
+        })
+        .unwrap();
+        assert!(place_path.exists());
+
+        run(Command::Evaluate {
+            system: sys_path.clone(),
+            placement: Some(place_path.clone()),
+            policy: None,
+            seed: 5,
+            storage: Some(0.7),
+            processing: None,
+        })
+        .unwrap();
+
+        run(Command::Evaluate {
+            system: sys_path,
+            placement: None,
+            policy: Some(PolicyName::Lru),
+            seed: 5,
+            storage: None,
+            processing: None,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn compare_runs_all_policies() {
+        let sys_path = tmp("compare-system.json");
+        run(Command::Generate {
+            seed: 9,
+            scale: Scale::Small,
+            out: sys_path.clone(),
+        })
+        .unwrap();
+        run(Command::Compare {
+            system: sys_path,
+            seed: 9,
+            storage: Some(0.8),
+            processing: None,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn evaluate_rejects_mismatched_placement() {
+        let sys_a = tmp("mismatch-a.json");
+        let sys_b = tmp("mismatch-b.json");
+        let place_a = tmp("mismatch-a-placement.json");
+        run(Command::Generate {
+            seed: 1,
+            scale: Scale::Small,
+            out: sys_a.clone(),
+        })
+        .unwrap();
+        run(Command::Generate {
+            seed: 2,
+            scale: Scale::Small,
+            out: sys_b.clone(),
+        })
+        .unwrap();
+        run(Command::Plan {
+            system: sys_a,
+            storage: None,
+            processing: None,
+            central: None,
+            alpha: (2.0, 1.0),
+            out: place_a.clone(),
+        })
+        .unwrap();
+        let err = run(Command::Evaluate {
+            system: sys_b,
+            placement: Some(place_a),
+            policy: None,
+            seed: 1,
+            storage: None,
+            processing: None,
+        })
+        .unwrap_err();
+        assert!(err.contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn sweep_writes_figure_json() {
+        let out = tmp("sweep-fig2.json");
+        run(Command::Sweep {
+            figure: 2,
+            runs: 1,
+            seed: 4,
+            paper: false,
+            out: out.clone(),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let fig: mmrepl_sim::FigureData = serde_json::from_str(&text).unwrap();
+        assert_eq!(fig.name, "figure2");
+        assert!(!fig.points.is_empty());
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = run(Command::Inspect {
+            system: PathBuf::from("/nonexistent/system.json"),
+        })
+        .unwrap_err();
+        assert!(err.contains("reading"), "{err}");
+    }
+}

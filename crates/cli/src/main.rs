@@ -1,0 +1,34 @@
+//! `mmrepl` — command-line front end for the replication toolkit.
+//!
+//! ```text
+//! mmrepl generate  --seed 42 --scale small --out system.json
+//! mmrepl inspect   --system system.json
+//! mmrepl plan      --system system.json --storage 0.65 --out placement.json
+//! mmrepl evaluate  --system system.json --placement placement.json --seed 42
+//! mmrepl evaluate  --system system.json --policy lru --seed 42
+//! ```
+//!
+//! Systems and placements travel as JSON, so plans can be diffed,
+//! version-controlled and fed back in.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::Command::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("{msg}\n\n{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

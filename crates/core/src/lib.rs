@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # mmrepl-core
+//!
+//! The paper's contribution (Section 4): a distributed replication policy
+//! that decides, per page, which multimedia objects each local site stores
+//! and serves itself and which it leaves to the central repository, so the
+//! two parallel download streams finish together — subject to storage
+//! (Eq. 10) and processing-capacity (Eq. 8/9) constraints.
+//!
+//! Pipeline, exactly as the paper orders it:
+//!
+//! 1. [`partition`] — the greedy `PARTITION(W_j)` balancing, run
+//!    independently per page (decreasing object size, each object placed on
+//!    whichever stream stays shorter);
+//! 2. [`storage`] — restore Eq. 10 by repeatedly deallocating the stored
+//!    object whose removal hurts the objective least *per byte freed*,
+//!    re-partitioning the affected pages against the shrunken store;
+//! 3. [`capacity`] — restore Eq. 8 by moving the `(page, object)` local
+//!    download with the least performance loss *per unit of workload
+//!    freed* back to the repository, deallocating objects that lose their
+//!    last local mark;
+//! 4. [`offload`] — restore Eq. 9 with the distributed
+//!    `OFF_LOADING_REPOSITORY` negotiation: sites report
+//!    `(Space(S_i), P(S_i), P(S_i,R))` status messages over a simulated
+//!    control plane, the repository pushes excess workload back
+//!    proportionally to headroom (L1 = sites with space and cpu, L2 = cpu
+//!    only), sites absorb what they can and acknowledge, over as many
+//!    rounds as needed.
+//!
+//! [`planner::ReplicationPolicy`] glues the stages together and returns the
+//! final [`mmrepl_model::Placement`] plus a [`planner::PlanReport`] of what
+//! each stage did.
+//!
+//! ## Example
+//!
+//! ```
+//! use mmrepl_core::ReplicationPolicy;
+//! use mmrepl_model::ConstraintReport;
+//! use mmrepl_workload::{generate_system, WorkloadParams};
+//!
+//! let system = generate_system(&WorkloadParams::small(), 7)
+//!     .unwrap()
+//!     .with_storage_fraction(0.6)   // Figure 1-style squeeze
+//!     .with_processing_fraction(0.9);
+//!
+//! let outcome = ReplicationPolicy::new().plan(&system);
+//! assert!(outcome.report.feasible);
+//! assert!(ConstraintReport::check(&system, &outcome.placement).is_feasible());
+//! ```
+
+pub mod capacity;
+pub mod offload;
+pub mod partition;
+pub mod planner;
+pub mod state;
+pub mod storage;
+pub mod streams;
+
+pub use capacity::{restore_capacity, CapacityReport};
+pub use offload::{
+    absorb_workload, run_offload, AssignmentRule, OffloadConfig, OffloadOutcome,
+    OffloadReport,
+};
+pub use partition::{
+    optimal_partition, partition_all, partition_all_ordered, partition_page,
+    partition_page_ordered, PartitionOrder,
+};
+pub use planner::{PlanOutcome, PlanReport, PlannerConfig, ReplicationPolicy};
+pub use state::SiteWork;
+pub use storage::{restore_storage, restore_storage_with, DeallocCriterion, StorageReport};
+pub use streams::{OptionalCost, SiteParams, Streams};

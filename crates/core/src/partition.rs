@@ -1,0 +1,467 @@
+//! `PARTITION(W_j)` — Section 4.2's greedy per-page object partitioning,
+//! implemented verbatim from the pseudocode.
+//!
+//! For each page, compulsory objects are visited in decreasing size order.
+//! Both running stream totals are tentatively charged with the object; if
+//! the repository stream would then be the shorter one, the object goes
+//! remote (`X_jk = 0`) and the local charge is rolled back, otherwise it
+//! stays local (`X_jk = 1`) and the remote charge is rolled back.
+//!
+//! Two faithful details worth noting:
+//!
+//! * the pseudocode initializes `RemoteDownload` with `Ovhd(R, S_i)` even
+//!   before any object is remote — we keep that, so the comparison is
+//!   exactly the paper's (it makes the greedy slightly reluctant to start
+//!   a repository stream, which is correct: the first remote object pays
+//!   the connection overhead);
+//! * optional objects are all marked for local download ("Store all
+//!   optional objects") *when the local fetch is faster by the estimates*;
+//!   with the Table 1 estimate ranges the local pipe always wins, so this
+//!   matches the paper, while degenerate configurations (repository faster
+//!   than the site) sensibly leave them remote.
+
+use crate::streams::SiteParams;
+use mmrepl_model::{PageId, PagePartition, Placement, System};
+use serde::{Deserialize, Serialize};
+
+/// The order in which `PARTITION` visits a page's compulsory objects.
+///
+/// The paper sorts by decreasing size; the other orders exist for the A1
+/// ablation, which quantifies how much that choice matters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionOrder {
+    /// Largest object first — the paper's choice.
+    #[default]
+    DecreasingSize,
+    /// Smallest object first.
+    IncreasingSize,
+    /// Document order (no sorting).
+    DocumentOrder,
+}
+
+/// Runs `PARTITION` for one page, returning its row of the `X`/`X'`
+/// matrices.
+pub fn partition_page(system: &System, page: PageId) -> PagePartition {
+    partition_page_ordered(system, page, PartitionOrder::DecreasingSize)
+}
+
+/// `PARTITION` with an explicit visit order (A1 ablation).
+pub fn partition_page_ordered(
+    system: &System,
+    page: PageId,
+    visit: PartitionOrder,
+) -> PagePartition {
+    let p = system.page(page);
+    let params = SiteParams::of(system.site(p.site));
+
+    // Order compulsory slot indices; ties break by slot order for
+    // determinism.
+    let mut order: Vec<usize> = (0..p.n_compulsory()).collect();
+    match visit {
+        PartitionOrder::DecreasingSize => order.sort_by(|&a, &b| {
+            let sa = system.object_size(p.compulsory[a]);
+            let sb = system.object_size(p.compulsory[b]);
+            sb.cmp(&sa).then(a.cmp(&b))
+        }),
+        PartitionOrder::IncreasingSize => order.sort_by(|&a, &b| {
+            let sa = system.object_size(p.compulsory[a]);
+            let sb = system.object_size(p.compulsory[b]);
+            sa.cmp(&sb).then(a.cmp(&b))
+        }),
+        PartitionOrder::DocumentOrder => {}
+    }
+
+    let mut local = params.local_ovhd + p.html_size.get() as f64 / params.local_rate;
+    let mut remote = params.repo_ovhd;
+    let mut local_compulsory = vec![false; p.n_compulsory()];
+
+    for slot in order {
+        let size = system.object_size(p.compulsory[slot]).get() as f64;
+        let local_cost = size / params.local_rate;
+        let remote_cost = size / params.repo_rate;
+        // Tentatively charge both streams (paper pseudocode).
+        let local_if = local + local_cost;
+        let remote_if = remote + remote_cost;
+        if remote_if < local_if {
+            // Repository download is more beneficial; roll back local.
+            remote = remote_if;
+        } else {
+            local = local_if;
+            local_compulsory[slot] = true;
+        }
+    }
+
+    // "Store all optional objects" — marked local whenever the estimated
+    // standalone local fetch beats the repository fetch.
+    let local_optional = p
+        .optional
+        .iter()
+        .map(|o| params.local_fetch_wins(system.object_size(o.object)))
+        .collect();
+
+    PagePartition {
+        local_compulsory,
+        local_optional,
+    }
+}
+
+/// Exhaustively optimal single-page partition, by enumerating all `2^n`
+/// assignments of the compulsory objects (optional marks use the same
+/// standalone-fetch rule as the greedy).
+///
+/// The paper's decision problem is NP-complete (knapsack reduction), so
+/// this exists to *measure* the greedy's optimality gap, not to replace
+/// it: Table 1 pages carry 5-45 compulsory objects and 2^45 is out of
+/// reach, but the small test workload (≤ ~16) brute-forces in
+/// microseconds.
+///
+/// # Panics
+/// Panics if the page has more than `24` compulsory objects.
+pub fn optimal_partition(system: &System, page: PageId) -> PagePartition {
+    let p = system.page(page);
+    let n = p.n_compulsory();
+    assert!(
+        n <= 24,
+        "brute force limited to 24 compulsory objects, page has {n}"
+    );
+    let params = SiteParams::of(system.site(p.site));
+    let sizes: Vec<f64> = p
+        .compulsory
+        .iter()
+        .map(|&k| system.object_size(k).get() as f64)
+        .collect();
+    let html_time = params.local_ovhd + p.html_size.get() as f64 / params.local_rate;
+
+    let mut best_mask = 0u32;
+    let mut best_time = f64::INFINITY;
+    for mask in 0..(1u32 << n) {
+        let mut local = html_time;
+        let mut remote_bytes = 0.0;
+        let mut any_remote = false;
+        for (slot, &size) in sizes.iter().enumerate() {
+            if mask & (1 << slot) != 0 {
+                local += size / params.local_rate;
+            } else {
+                remote_bytes += size;
+                any_remote = true;
+            }
+        }
+        let remote = if any_remote {
+            params.repo_ovhd + remote_bytes / params.repo_rate
+        } else {
+            0.0
+        };
+        let response = local.max(remote);
+        if response < best_time {
+            best_time = response;
+            best_mask = mask;
+        }
+    }
+
+    PagePartition {
+        local_compulsory: (0..n).map(|slot| best_mask & (1 << slot) != 0).collect(),
+        local_optional: p
+            .optional
+            .iter()
+            .map(|o| params.local_fetch_wins(system.object_size(o.object)))
+            .collect(),
+    }
+}
+
+/// Runs `PARTITION` for every page — the unconstrained placement the
+/// restorations start from (and the paper's normalization baseline when no
+/// constraint is imposed).
+pub fn partition_all(system: &System) -> Placement {
+    partition_all_ordered(system, PartitionOrder::DecreasingSize)
+}
+
+/// [`partition_all`] with an explicit visit order (A1 ablation).
+pub fn partition_all_ordered(system: &System, visit: PartitionOrder) -> Placement {
+    let partitions = system
+        .pages()
+        .ids()
+        .map(|pid| partition_page_ordered(system, pid, visit))
+        .collect();
+    Placement::new(system, partitions).expect("partition shapes match by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmrepl_model::{
+        Bytes, BytesPerSec, CostModel, MediaObject, OptionalRef, ReqPerSec, Secs, Site,
+        SystemBuilder, WebPage,
+    };
+
+    fn site(local_kibs: f64, repo_kibs: f64) -> Site {
+        Site {
+            storage: Bytes::gib(10),
+            capacity: ReqPerSec::INFINITE,
+            local_rate: BytesPerSec::kib_per_sec(local_kibs),
+            repo_rate: BytesPerSec::kib_per_sec(repo_kibs),
+            local_ovhd: Secs(1.0),
+            repo_ovhd: Secs(2.0),
+        }
+    }
+
+    fn one_page_system(site: Site, sizes_kib: &[u64], optionals_kib: &[u64]) -> System {
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(site);
+        let compulsory: Vec<_> = sizes_kib
+            .iter()
+            .map(|&k| b.add_object(MediaObject::of_size(Bytes::kib(k))))
+            .collect();
+        let optional: Vec<_> = optionals_kib
+            .iter()
+            .map(|&k| OptionalRef {
+                object: b.add_object(MediaObject::of_size(Bytes::kib(k))),
+                prob: 0.03,
+            })
+            .collect();
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(10),
+            freq: ReqPerSec(1.0),
+            compulsory,
+            optional,
+            opt_req_factor: 1.0,
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fast_local_pipe_keeps_everything_local() {
+        // Local pipe 10x the repository: remote always loses.
+        let sys = one_page_system(site(10.0, 1.0), &[100, 50, 25], &[]);
+        let part = partition_page(&sys, PageId::new(0));
+        assert_eq!(part.local_compulsory, vec![true, true, true]);
+    }
+
+    #[test]
+    fn symmetric_pipes_split_the_load() {
+        let sys = one_page_system(site(5.0, 5.0), &[100, 100, 100, 100], &[]);
+        let part = partition_page(&sys, PageId::new(0));
+        let n_local = part.n_local_compulsory();
+        // With equal rates the greedy must offload some but not all.
+        assert!((1..4).contains(&n_local), "n_local = {n_local}");
+        // And the resulting response beats both extremes.
+        let cm = CostModel::with_defaults(&sys);
+        let page = PageId::new(0);
+        let split = cm.page_response(page, &part).get();
+        let all_local =
+            cm.page_response(page, &PagePartition::all_local(sys.page(page))).get();
+        let all_remote =
+            cm.page_response(page, &PagePartition::all_remote(sys.page(page))).get();
+        assert!(split <= all_local + 1e-9, "{split} vs local {all_local}");
+        assert!(split <= all_remote + 1e-9, "{split} vs remote {all_remote}");
+    }
+
+    #[test]
+    fn fast_repository_pushes_objects_remote() {
+        // Repository pipe 10x the local pipe: large objects go remote.
+        let sys = one_page_system(site(1.0, 10.0), &[200, 150, 100], &[]);
+        let part = partition_page(&sys, PageId::new(0));
+        assert!(
+            part.n_local_compulsory() < 3,
+            "nothing offloaded despite a 10x faster repository"
+        );
+    }
+
+    #[test]
+    fn visits_objects_in_decreasing_size_order() {
+        // The largest object must be placed first: with symmetric pipes and
+        // sizes [10, 1000], the 1000 KiB object determines stream choice
+        // before the small one is considered. Verify via the invariant that
+        // the greedy never leaves the big object on the crowded stream.
+        let sys = one_page_system(site(5.0, 5.0), &[10, 1000], &[]);
+        let part = partition_page(&sys, PageId::new(0));
+        // Local stream starts with HTML handicap, so the 1000 KiB object
+        // (slot 1) is placed while streams are nearly empty and stays
+        // local only if local <= remote at that point: local has 1 + 2 =
+        // 3 s head start vs repo 2 s... verify against a brute-force best.
+        let cm = CostModel::with_defaults(&sys);
+        let page = PageId::new(0);
+        let greedy = cm.page_response(page, &part).get();
+        // Brute force all 4 assignments.
+        let mut best = f64::INFINITY;
+        for a in [false, true] {
+            for bflag in [false, true] {
+                let p = PagePartition {
+                    local_compulsory: vec![a, bflag],
+                    local_optional: vec![],
+                };
+                best = best.min(cm.page_response(page, &p).get());
+            }
+        }
+        // Greedy is not optimal in general, but on two objects with this
+        // geometry it should land within 20% of brute force.
+        assert!(greedy <= best * 1.2 + 1e-9, "greedy {greedy} vs best {best}");
+    }
+
+    #[test]
+    fn greedy_matches_paper_walkthrough() {
+        // Hand-traced example. Site: local 10 KiB/s, repo 1 KiB/s,
+        // ovhd 1 s / 2 s, HTML 10 KiB.
+        //   local = 1 + 1 = 2.0, remote = 2.0
+        // Objects (KiB): 100, 60, 30 (already decreasing).
+        //   obj 100: local_if = 2 + 10 = 12, remote_if = 2 + 100 = 102
+        //     -> local wins: local = 12, X = 1
+        //   obj 60:  local_if = 12 + 6 = 18, remote_if = 2 + 60 = 62
+        //     -> local: local = 18
+        //   obj 30:  local_if = 18 + 3 = 21, remote_if = 2 + 30 = 32
+        //     -> local: local = 21
+        let sys = one_page_system(site(10.0, 1.0), &[100, 60, 30], &[]);
+        let part = partition_page(&sys, PageId::new(0));
+        assert_eq!(part.local_compulsory, vec![true, true, true]);
+        let cm = CostModel::with_defaults(&sys);
+        assert!((cm.page_response(PageId::new(0), &part).get() - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_branch_taken_when_remote_strictly_smaller() {
+        // Geometry where the remote stream genuinely wins for one object:
+        // local 1 KiB/s, repo 8 KiB/s.
+        //   local = 1 + 10 = 11, remote = 2
+        //   obj 40: local_if = 11 + 40 = 51, remote_if = 2 + 5 = 7 -> remote
+        let sys = one_page_system(site(1.0, 8.0), &[40], &[]);
+        let part = partition_page(&sys, PageId::new(0));
+        assert_eq!(part.local_compulsory, vec![false]);
+    }
+
+    #[test]
+    fn optional_objects_marked_local_when_local_fetch_wins() {
+        let sys = one_page_system(site(10.0, 1.0), &[50], &[100, 200]);
+        let part = partition_page(&sys, PageId::new(0));
+        assert_eq!(part.local_optional, vec![true, true]);
+
+        // With a dominant repository pipe, optional marks flip remote.
+        let sys = one_page_system(site(0.5, 10.0), &[50], &[100, 200]);
+        let part = partition_page(&sys, PageId::new(0));
+        assert_eq!(part.local_optional, vec![false, false]);
+    }
+
+    #[test]
+    fn partition_all_covers_every_page() {
+        let mut b = SystemBuilder::new();
+        let s0 = b.add_site(site(10.0, 1.0));
+        let s1 = b.add_site(site(2.0, 2.0));
+        let m: Vec<_> = (0..6)
+            .map(|i| b.add_object(MediaObject::of_size(Bytes::kib(50 + i * 37))))
+            .collect();
+        for (i, &site_id) in [s0, s1, s0].iter().enumerate() {
+            b.add_page(WebPage {
+                site: site_id,
+                html_size: Bytes::kib(5),
+                freq: ReqPerSec(1.0 + i as f64),
+                compulsory: vec![m[i], m[i + 1]],
+                optional: vec![OptionalRef {
+                    object: m[i + 3],
+                    prob: 0.03,
+                }],
+                opt_req_factor: 1.0,
+            });
+        }
+        let sys = b.build().unwrap();
+        let placement = partition_all(&sys);
+        assert_eq!(placement.len(), 3);
+        for (pid, part) in placement.iter() {
+            assert!(part.matches(sys.page(pid)));
+        }
+    }
+
+    #[test]
+    fn optimal_partition_never_loses_to_greedy() {
+        // On a batch of random pages with symmetric pipes (the hard case
+        // for the greedy), the brute force must weakly dominate.
+        for seed in 0..20u64 {
+            let sizes: Vec<u64> = (0..10)
+                .map(|i| 40 + (seed * 997 + i * 131) % 760)
+                .collect();
+            let sys = one_page_system(site(4.0, 4.0), &sizes, &[]);
+            let cm = CostModel::with_defaults(&sys);
+            let page = PageId::new(0);
+            let greedy = cm.page_response(page, &partition_page(&sys, page)).get();
+            let optimal = cm.page_response(page, &optimal_partition(&sys, page)).get();
+            assert!(
+                optimal <= greedy + 1e-9,
+                "seed {seed}: optimal {optimal} > greedy {greedy}"
+            );
+            // And the greedy stays within a modest factor (LPT-style
+            // heuristics on two machines are 7/6-competitive; the extra
+            // overhead terms loosen that slightly).
+            assert!(
+                greedy <= optimal * 1.25 + 1e-9,
+                "seed {seed}: greedy {greedy} vs optimal {optimal}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_matches_greedy_on_dominant_local_pipe() {
+        // With a 10x faster local pipe keeping everything local is
+        // optimal, and the greedy finds exactly that.
+        let sys = one_page_system(site(10.0, 1.0), &[100, 60, 30], &[]);
+        let page = PageId::new(0);
+        assert_eq!(
+            optimal_partition(&sys, page),
+            partition_page(&sys, page)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn optimal_partition_rejects_large_pages() {
+        let sizes: Vec<u64> = vec![50; 25];
+        let sys = one_page_system(site(5.0, 5.0), &sizes, &[]);
+        let _ = optimal_partition(&sys, PageId::new(0));
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let sys = one_page_system(site(5.0, 5.0), &[100, 100, 50, 50], &[30]);
+        let a = partition_page(&sys, PageId::new(0));
+        let b = partition_page(&sys, PageId::new(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn visit_orders_differ_and_decreasing_wins_on_average() {
+        // With symmetric pipes the greedy is order-sensitive; decreasing
+        // size is the classic LPT-style heuristic and should not lose to
+        // document order over a batch of random-ish pages.
+        let mut dec_total = 0.0;
+        let mut doc_total = 0.0;
+        for seed in 0..10u64 {
+            let sizes: Vec<u64> =
+                (0..8).map(|i| 37 + (seed * 131 + i * 97) % 400).collect();
+            let sys = one_page_system(site(5.0, 5.0), &sizes, &[]);
+            let cm = CostModel::with_defaults(&sys);
+            let page = PageId::new(0);
+            let dec =
+                partition_page_ordered(&sys, page, PartitionOrder::DecreasingSize);
+            let doc = partition_page_ordered(&sys, page, PartitionOrder::DocumentOrder);
+            dec_total += cm.page_response(page, &dec).get();
+            doc_total += cm.page_response(page, &doc).get();
+        }
+        assert!(
+            dec_total <= doc_total + 1e-9,
+            "decreasing {dec_total} vs document {doc_total}"
+        );
+    }
+
+    #[test]
+    fn default_order_is_decreasing_size() {
+        let sys = one_page_system(site(5.0, 5.0), &[10, 500, 90], &[20]);
+        let a = partition_page(&sys, PageId::new(0));
+        let b = partition_page_ordered(&sys, PageId::new(0), PartitionOrder::DecreasingSize);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_compulsory_list_is_fine() {
+        let sys = one_page_system(site(5.0, 5.0), &[], &[20]);
+        let part = partition_page(&sys, PageId::new(0));
+        assert!(part.local_compulsory.is_empty());
+        assert_eq!(part.local_optional.len(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! The end-to-end replication policy: partition → restore storage →
+//! restore local capacity → off-load the repository.
+
+use crate::capacity::{restore_capacity, CapacityReport};
+use crate::offload::{run_offload, OffloadConfig, OffloadReport};
+use crate::partition::partition_all;
+use crate::state::SiteWork;
+use crate::storage::{restore_storage, StorageReport};
+use mmrepl_model::{
+    ConstraintReport, CostParams, IdVec, PageId, PagePartition, Placement, System,
+};
+use serde::{Deserialize, Serialize};
+
+/// Planner configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Objective weights `(α1, α2)`.
+    pub cost: CostParams,
+    /// Off-loading negotiation knobs.
+    pub offload: OffloadConfig,
+    /// Charge each stored object's update rate against site and
+    /// repository capacity (read/write extension; the paper's read-only
+    /// model leaves this off).
+    #[serde(default)]
+    pub include_update_load: bool,
+}
+
+/// What each stage of the pipeline did, per site where applicable.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanReport {
+    /// Per-site storage restoration summaries (site-id order).
+    pub storage: Vec<StorageReport>,
+    /// Per-site capacity restoration summaries (site-id order).
+    pub capacity: Vec<CapacityReport>,
+    /// The repository off-loading negotiation summary.
+    pub offload: OffloadReport,
+    /// Final feasibility verdict over Eq. 8-10.
+    pub feasible: bool,
+    /// The objective value `D` of the final placement (planner estimates).
+    pub objective: f64,
+}
+
+/// A planned placement plus its report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanOutcome {
+    /// The final `X`/`X'` assignment.
+    pub placement: Placement,
+    /// Stage-by-stage accounting.
+    pub report: PlanReport,
+}
+
+/// The paper's replication policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicationPolicy {
+    config: PlannerConfig,
+}
+
+impl ReplicationPolicy {
+    /// A policy with the Table 1 weights and default negotiation knobs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A policy with custom configuration.
+    pub fn with_config(config: PlannerConfig) -> Self {
+        ReplicationPolicy { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline over `system`.
+    pub fn plan(&self, system: &System) -> PlanOutcome {
+        self.plan_with_threads(system, 1)
+    }
+
+    /// Like [`ReplicationPolicy::plan`], but fans the per-site stages
+    /// (partition + storage + capacity restoration) out over up to
+    /// `threads` crossbeam scoped threads (`0` = one per core). Sites are
+    /// independent until the off-loading negotiation, so the result is
+    /// **bit-identical** to the sequential plan — asserted by tests.
+    pub fn plan_parallel(&self, system: &System, threads: usize) -> PlanOutcome {
+        self.plan_with_threads(system, threads)
+    }
+
+    fn plan_with_threads(&self, system: &System, threads: usize) -> PlanOutcome {
+        // Stage 1: unconstrained greedy partition, then per-site working
+        // state adopting it; stages 2 & 3: local restorations. All three
+        // are per-site independent, so they run in one fused pass per
+        // site, optionally in parallel.
+        let initial = partition_all(system);
+        let site_ids: Vec<_> = system.sites().ids().collect();
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let threads = (if threads == 0 { hw } else { threads }).clamp(1, site_ids.len());
+
+        let per_site = |s: mmrepl_model::SiteId| {
+            let mut w = SiteWork::with_update_accounting(
+                system,
+                s,
+                &initial,
+                self.config.cost,
+                self.config.include_update_load,
+            );
+            let st = restore_storage(&mut w);
+            let cap = restore_capacity(&mut w);
+            (w, st, cap)
+        };
+
+        let results: Vec<(SiteWork<'_>, StorageReport, CapacityReport)> = if threads <= 1
+        {
+            site_ids.iter().map(|&s| per_site(s)).collect()
+        } else {
+            // Static block partition keeps output order == site order.
+            crossbeam::thread::scope(|scope| {
+                let chunk = site_ids.len().div_ceil(threads);
+                let handles: Vec<_> = site_ids
+                    .chunks(chunk)
+                    .map(|ids| {
+                        let per_site = &per_site;
+                        scope.spawn(move |_| {
+                            ids.iter().map(|&s| per_site(s)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("site worker panicked"))
+                    .collect()
+            })
+            .expect("plan scope panicked")
+        };
+        let mut works = Vec::with_capacity(results.len());
+        let mut storage = Vec::with_capacity(results.len());
+        let mut capacity = Vec::with_capacity(results.len());
+        for (w, st, cap) in results {
+            works.push(w);
+            storage.push(st);
+            capacity.push(cap);
+        }
+
+        // Stage 4: distributed repository off-loading.
+        let repo_cap = system.repository().capacity.get();
+        let offload = run_offload(&mut works, repo_cap, &self.config.offload);
+
+        // Assemble the final placement.
+        let mut rows: Vec<Option<PagePartition>> = vec![None; system.n_pages()];
+        for work in works {
+            for (pid, part) in work.into_partitions() {
+                rows[pid.index()] = Some(part);
+            }
+        }
+        let partitions: IdVec<PageId, PagePartition> = rows
+            .into_iter()
+            .map(|r| r.expect("every page belongs to exactly one site"))
+            .collect();
+        let placement =
+            Placement::new(system, partitions).expect("plan shapes are consistent");
+
+        let check = ConstraintReport::check(system, &placement);
+        let update_ok = !self.config.include_update_load
+            || mmrepl_model::UpdateAwareReport::check(system, &placement).is_feasible();
+        let cm = mmrepl_model::CostModel::new(system, self.config.cost);
+        let report = PlanReport {
+            feasible: check.is_feasible() && update_ok,
+            objective: cm.objective(&placement),
+            storage,
+            capacity,
+            offload: offload.report,
+        };
+        PlanOutcome { placement, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmrepl_model::CostModel;
+    use mmrepl_workload::{generate_system, WorkloadParams};
+
+    fn small_system(seed: u64) -> mmrepl_model::System {
+        generate_system(&WorkloadParams::small(), seed).unwrap()
+    }
+
+    #[test]
+    fn unconstrained_plan_is_feasible_and_matches_partition() {
+        let sys = small_system(1).unconstrained();
+        let outcome = ReplicationPolicy::new().plan(&sys);
+        assert!(outcome.report.feasible);
+        assert_eq!(outcome.report.offload.rounds, 0);
+        // With no constraints, the plan must be exactly the greedy
+        // partition (no restoration may fire).
+        let pure = partition_all(&sys);
+        assert_eq!(outcome.placement, pure);
+    }
+
+    #[test]
+    fn plan_satisfies_all_constraints_under_pressure() {
+        let sys = small_system(2)
+            .with_storage_fraction(0.5)
+            .with_processing_fraction(0.7);
+        let sys = {
+            // Also constrain the repository to 90% of the all-remote load.
+            let full_remote = sys.full_remote_load();
+            let mut s = sys.clone();
+            s = s.with_central_fraction(0.9);
+            assert!(s.repository().capacity.get() < full_remote.get() + 1.0);
+            s
+        };
+        let outcome = ReplicationPolicy::new().plan(&sys);
+        let check = ConstraintReport::check(&sys, &outcome.placement);
+        assert!(
+            check.is_feasible(),
+            "violations: {:?}",
+            check.violations
+        );
+        assert!(outcome.report.feasible);
+    }
+
+    #[test]
+    fn plan_report_objective_matches_cost_model() {
+        let sys = small_system(3).with_storage_fraction(0.8);
+        let outcome = ReplicationPolicy::new().plan(&sys);
+        let cm = CostModel::with_defaults(&sys);
+        let d = cm.objective(&outcome.placement);
+        assert!((outcome.report.objective - d).abs() / d < 1e-9);
+    }
+
+    #[test]
+    fn tighter_storage_never_improves_objective() {
+        let base = small_system(4);
+        let policy = ReplicationPolicy::new();
+        let mut last = f64::NEG_INFINITY;
+        for &frac in &[1.0, 0.8, 0.6, 0.4, 0.2] {
+            let sys = base.with_storage_fraction(frac).with_processing_fraction(10.0);
+            let outcome = policy.plan(&sys);
+            // Compare on the *same* cost model (the base system estimates).
+            let cm = CostModel::with_defaults(&base);
+            let d = cm.objective(&outcome.placement);
+            assert!(
+                d >= last - 1e-6,
+                "objective improved when storage shrank: {d} < {last} at {frac}"
+            );
+            last = d;
+        }
+    }
+
+    #[test]
+    fn plan_beats_extremes_on_estimates() {
+        let sys = small_system(5).unconstrained();
+        let outcome = ReplicationPolicy::new().plan(&sys);
+        let cm = CostModel::with_defaults(&sys);
+        let ours = cm.d1(&outcome.placement);
+        let local = cm.d1(&Placement::all_local(&sys));
+        let remote = cm.d1(&Placement::all_remote(&sys));
+        assert!(ours <= local + 1e-9, "ours {ours} vs local {local}");
+        assert!(ours <= remote + 1e-9, "ours {ours} vs remote {remote}");
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let sys = small_system(6).with_storage_fraction(0.6);
+        let a = ReplicationPolicy::new().plan(&sys);
+        let b = ReplicationPolicy::new().plan(&sys);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn parallel_plan_is_bit_identical_to_sequential() {
+        let sys = small_system(8)
+            .with_storage_fraction(0.5)
+            .with_processing_fraction(0.8);
+        let policy = ReplicationPolicy::new();
+        let seq = policy.plan(&sys);
+        for threads in [0, 2, 3, 7] {
+            let par = policy.plan_parallel(&sys, threads);
+            assert_eq!(par.placement, seq.placement, "threads = {threads}");
+            assert_eq!(par.report, seq.report, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn custom_weights_shift_the_tradeoff() {
+        let sys = small_system(7).with_storage_fraction(0.4);
+        let d1_heavy = ReplicationPolicy::with_config(PlannerConfig {
+            cost: CostParams {
+                alpha1: 10.0,
+                alpha2: 0.1,
+            },
+            ..PlannerConfig::default()
+        })
+        .plan(&sys);
+        let d2_heavy = ReplicationPolicy::with_config(PlannerConfig {
+            cost: CostParams {
+                alpha1: 0.1,
+                alpha2: 10.0,
+            },
+            ..PlannerConfig::default()
+        })
+        .plan(&sys);
+        let cm = CostModel::with_defaults(&sys);
+        // The response-time-heavy plan should win on D1, the optional-heavy
+        // plan on D2 (weak inequality: small systems can tie).
+        assert!(
+            cm.d1(&d1_heavy.placement) <= cm.d1(&d2_heavy.placement) + 1e-9,
+            "d1: {} vs {}",
+            cm.d1(&d1_heavy.placement),
+            cm.d1(&d2_heavy.placement)
+        );
+        assert!(
+            cm.d2(&d2_heavy.placement) <= cm.d2(&d1_heavy.placement) + 1e-9,
+            "d2: {} vs {}",
+            cm.d2(&d2_heavy.placement),
+            cm.d2(&d1_heavy.placement)
+        );
+    }
+}

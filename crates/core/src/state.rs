@@ -1,0 +1,907 @@
+//! Per-site mutable working state for the restoration algorithms.
+//!
+//! All three constraint-restoration stages repeatedly flip individual
+//! `X`/`X'` marks and need O(1) answers to "what is the site's load now",
+//! "how many bytes are stored", "what does the objective lose if this
+//! object goes". [`SiteWork`] owns one site's slice of the placement plus
+//! every derived quantity, updates them incrementally on each flip, and can
+//! cross-check itself against a from-scratch recomputation (used heavily in
+//! property tests).
+//!
+//! Invariant maintained throughout: **a mark can be local only if its
+//! object is in the site's store**, and the store is exactly the set of
+//! objects with at least one local mark (plus objects explicitly allocated
+//! during off-loading that are about to gain one).
+
+use crate::streams::{OptionalCost, SiteParams, Streams};
+use mmrepl_model::{
+    CostParams, ObjectId, PageId, PagePartition, Placement, SiteId, StoredSet, System,
+};
+use std::collections::HashMap;
+
+/// A totally ordered `f64` key for greedy heaps (orders by
+/// `f64::total_cmp`; the algorithms never produce NaN, but the type stays
+/// total anyway).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TotalF64(pub f64);
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Which half of a page's reference list a mark lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SlotKind {
+    /// A compulsory reference (`U` / `X`).
+    Compulsory,
+    /// An optional reference (`U'` / `X'`).
+    Optional,
+}
+
+/// One site's mutable planning state.
+pub struct SiteWork<'a> {
+    sys: &'a System,
+    site: SiteId,
+    params: SiteParams,
+    alpha1: f64,
+    alpha2: f64,
+    /// Local pages, in id order; all per-page vectors index parallel to it.
+    pages: Vec<PageId>,
+    freq: Vec<f64>,
+    streams: Vec<Streams>,
+    opt_cost: Vec<OptionalCost>,
+    parts: Vec<PagePartition>,
+    store: StoredSet,
+    stored_bytes: u64,
+    html_bytes: u64,
+    load: f64,
+    /// Whether update-propagation load is accounted (read/write
+    /// extension; the paper's read-only model leaves this off).
+    count_updates: bool,
+    /// Refresh load of the current store: `Σ_{k stored} u_k` (zero when
+    /// `count_updates` is off).
+    update_load: f64,
+    /// Local-mark count per stored object (orphan detection).
+    mark_count: HashMap<ObjectId, u32>,
+    /// Reverse index: object -> (page_idx, slot) compulsory references.
+    comp_refs: HashMap<ObjectId, Vec<(u32, u32)>>,
+    /// Reverse index: object -> (page_idx, slot) optional references.
+    opt_refs: HashMap<ObjectId, Vec<(u32, u32)>>,
+}
+
+impl<'a> SiteWork<'a> {
+    /// Builds working state for `site` from an initial placement, adopting
+    /// its marks. The store becomes exactly the locally-marked object set.
+    /// Update-propagation load is not accounted (the paper's model).
+    pub fn new(
+        sys: &'a System,
+        site: SiteId,
+        placement: &Placement,
+        cost: CostParams,
+    ) -> Self {
+        Self::with_update_accounting(sys, site, placement, cost, false)
+    }
+
+    /// Like [`SiteWork::new`], optionally charging each stored object's
+    /// update rate against the site's processing capacity (the read/write
+    /// extension).
+    pub fn with_update_accounting(
+        sys: &'a System,
+        site: SiteId,
+        placement: &Placement,
+        cost: CostParams,
+        count_updates: bool,
+    ) -> Self {
+        let params = SiteParams::of(sys.site(site));
+        let pages: Vec<PageId> = sys.pages_of(site).to_vec();
+        let mut freq = Vec::with_capacity(pages.len());
+        let mut streams = Vec::with_capacity(pages.len());
+        let mut opt_cost = Vec::with_capacity(pages.len());
+        let mut parts = Vec::with_capacity(pages.len());
+        let mut store = StoredSet::empty(sys.n_objects());
+        let mut stored_bytes = 0u64;
+        let mut html_bytes = 0u64;
+        let mut load = 0.0;
+        let mut mark_count: HashMap<ObjectId, u32> = HashMap::new();
+        let mut comp_refs: HashMap<ObjectId, Vec<(u32, u32)>> = HashMap::new();
+        let mut opt_refs: HashMap<ObjectId, Vec<(u32, u32)>> = HashMap::new();
+
+        for (idx, &pid) in pages.iter().enumerate() {
+            let page = sys.page(pid);
+            let part = placement.partition(pid).clone();
+            let f = page.freq.get();
+            html_bytes += page.html_size.get();
+
+            let mut s = Streams::all_local_base(page.html_size);
+            for (slot, &k) in page.compulsory.iter().enumerate() {
+                comp_refs
+                    .entry(k)
+                    .or_default()
+                    .push((idx as u32, slot as u32));
+                let size = sys.object_size(k);
+                if part.local_compulsory[slot] {
+                    s.local_bytes += size.get();
+                    if store.insert(k) {
+                        stored_bytes += size.get();
+                    }
+                    *mark_count.entry(k).or_insert(0) += 1;
+                } else {
+                    s.remote_bytes += size.get();
+                    s.n_remote += 1;
+                }
+            }
+            let oc = OptionalCost::build(
+                page.opt_req_factor,
+                &params,
+                page.optional.iter().enumerate().map(|(slot, o)| {
+                    (o.prob, sys.object_size(o.object), part.local_optional[slot])
+                }),
+            );
+            for (slot, o) in page.optional.iter().enumerate() {
+                opt_refs
+                    .entry(o.object)
+                    .or_default()
+                    .push((idx as u32, slot as u32));
+                if part.local_optional[slot] {
+                    let size = sys.object_size(o.object);
+                    if store.insert(o.object) {
+                        stored_bytes += size.get();
+                    }
+                    *mark_count.entry(o.object).or_insert(0) += 1;
+                }
+            }
+
+            let opt_local: f64 = page
+                .optional
+                .iter()
+                .zip(&part.local_optional)
+                .filter(|(_, &l)| l)
+                .map(|(o, _)| o.prob)
+                .sum();
+            load += f
+                * (1.0 + part.n_local_compulsory() as f64 + page.opt_req_factor * opt_local);
+
+            freq.push(f);
+            streams.push(s);
+            opt_cost.push(oc);
+            parts.push(part);
+        }
+
+        let update_load = if count_updates {
+            store.iter().map(|k| sys.object(k).update_rate).sum()
+        } else {
+            0.0
+        };
+
+        SiteWork {
+            sys,
+            site,
+            params,
+            alpha1: cost.alpha1,
+            alpha2: cost.alpha2,
+            pages,
+            freq,
+            streams,
+            opt_cost,
+            parts,
+            store,
+            stored_bytes,
+            html_bytes,
+            load,
+            count_updates,
+            update_load,
+            mark_count,
+            comp_refs,
+            opt_refs,
+        }
+    }
+
+    // --- read access -----------------------------------------------------
+
+    /// The site this state plans for.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &'a System {
+        self.sys
+    }
+
+    /// The per-site estimates.
+    pub fn params(&self) -> &SiteParams {
+        &self.params
+    }
+
+    /// Local pages in index order.
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Number of local pages.
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The working partition row of local page `idx`.
+    pub fn partition(&self, idx: usize) -> &PagePartition {
+        &self.parts[idx]
+    }
+
+    /// The stream totals of local page `idx`.
+    pub fn streams(&self, idx: usize) -> &Streams {
+        &self.streams[idx]
+    }
+
+    /// The `α1` weight in use.
+    pub fn alpha1(&self) -> f64 {
+        self.alpha1
+    }
+
+    /// The `α2` weight in use.
+    pub fn alpha2(&self) -> f64 {
+        self.alpha2
+    }
+
+    /// The optional-cost accumulator of local page `idx`.
+    pub fn optional_cost(&self, idx: usize) -> &OptionalCost {
+        &self.opt_cost[idx]
+    }
+
+    /// Eq. 10 LHS: HTML plus stored-object bytes.
+    pub fn storage_used(&self) -> u64 {
+        self.html_bytes + self.stored_bytes
+    }
+
+    /// `Size(S_i)` from the system.
+    pub fn storage_capacity(&self) -> u64 {
+        self.sys.site(self.site).storage.get()
+    }
+
+    /// Free storage, `Space(S_i)` in the status message.
+    pub fn space_left(&self) -> u64 {
+        self.storage_capacity().saturating_sub(self.storage_used())
+    }
+
+    /// The site's offered HTTP load: Eq. 8 LHS, plus the store's refresh
+    /// load when update accounting is on.
+    pub fn load(&self) -> f64 {
+        self.load + self.update_load
+    }
+
+    /// The refresh load of the current store (zero unless update
+    /// accounting is enabled).
+    pub fn update_load(&self) -> f64 {
+        self.update_load
+    }
+
+    /// `u_k` as this state accounts it: the object's update rate when
+    /// accounting is on, zero otherwise.
+    pub fn update_rate_of(&self, object: ObjectId) -> f64 {
+        if self.count_updates {
+            self.sys.object(object).update_rate
+        } else {
+            0.0
+        }
+    }
+
+    /// `C(S_i)`.
+    pub fn capacity(&self) -> f64 {
+        self.sys.site(self.site).capacity.get()
+    }
+
+    /// Processing headroom, `P(S_i)` in the status message.
+    pub fn headroom(&self) -> f64 {
+        (self.capacity() - self.load).max(0.0)
+    }
+
+    /// The repository load this site's pages generate, `P(S_i, R)` — plus
+    /// the update pushes this site's replicas demand from the repository,
+    /// when update accounting is on.
+    pub fn repo_load(&self) -> f64 {
+        let mut total = self.update_load;
+        for (idx, &pid) in self.pages.iter().enumerate() {
+            let page = self.sys.page(pid);
+            let part = &self.parts[idx];
+            let remote_comp = (page.n_compulsory() - part.n_local_compulsory()) as f64;
+            let opt_remote: f64 = page
+                .optional
+                .iter()
+                .zip(&part.local_optional)
+                .filter(|(_, &l)| !l)
+                .map(|(o, _)| o.prob)
+                .sum();
+            total += self.freq[idx] * (remote_comp + page.opt_req_factor * opt_remote);
+        }
+        total
+    }
+
+    /// Whether `object` is in this site's store.
+    pub fn is_stored(&self, object: ObjectId) -> bool {
+        self.store.contains(object)
+    }
+
+    /// Number of local marks currently on `object`.
+    pub fn marks_on(&self, object: ObjectId) -> u32 {
+        self.mark_count.get(&object).copied().unwrap_or(0)
+    }
+
+    /// Iterates the stored objects in ascending id order.
+    pub fn stored_objects(&self) -> Vec<ObjectId> {
+        self.store.iter().collect()
+    }
+
+    /// The objective contribution of local page `idx`:
+    /// `f (α1 · response + α2 · optional)`.
+    pub fn page_d(&self, idx: usize) -> f64 {
+        self.freq[idx]
+            * (self.alpha1 * self.streams[idx].response(&self.params)
+                + self.alpha2 * self.opt_cost[idx].time())
+    }
+
+    /// Total objective contribution of this site's pages.
+    pub fn total_d(&self) -> f64 {
+        (0..self.pages.len()).map(|i| self.page_d(i)).sum()
+    }
+
+    /// Compulsory references to `object` at this site.
+    pub fn compulsory_refs(&self, object: ObjectId) -> &[(u32, u32)] {
+        self.comp_refs.get(&object).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Optional references to `object` at this site.
+    pub fn optional_refs(&self, object: ObjectId) -> &[(u32, u32)] {
+        self.opt_refs.get(&object).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    // --- mutation ---------------------------------------------------------
+
+    /// Flips compulsory slot `(idx, slot)` to `local`, maintaining streams,
+    /// load and mark counts. No-op if already in that state.
+    ///
+    /// # Panics
+    /// Panics if marking local while the object is not stored.
+    pub fn set_compulsory(&mut self, idx: usize, slot: usize, local: bool) {
+        if self.parts[idx].local_compulsory[slot] == local {
+            return;
+        }
+        let pid = self.pages[idx];
+        let object = self.sys.page(pid).compulsory[slot];
+        let size = self.sys.object_size(object);
+        if local {
+            assert!(
+                self.store.contains(object),
+                "marking {object} local while not stored at {}",
+                self.site
+            );
+            self.streams[idx].move_to_local(size);
+            self.load += self.freq[idx];
+            *self.mark_count.entry(object).or_insert(0) += 1;
+        } else {
+            self.streams[idx].move_to_remote(size);
+            self.load -= self.freq[idx];
+            let c = self
+                .mark_count
+                .get_mut(&object)
+                .expect("unmarking an object with no marks");
+            *c -= 1;
+        }
+        self.parts[idx].local_compulsory[slot] = local;
+    }
+
+    /// Flips optional slot `(idx, slot)` to `local`. Same contract as
+    /// [`SiteWork::set_compulsory`].
+    pub fn set_optional(&mut self, idx: usize, slot: usize, local: bool) {
+        if self.parts[idx].local_optional[slot] == local {
+            return;
+        }
+        let pid = self.pages[idx];
+        let page = self.sys.page(pid);
+        let oref = page.optional[slot];
+        let size = self.sys.object_size(oref.object);
+        let workload = self.freq[idx] * page.opt_req_factor * oref.prob;
+        if local {
+            assert!(
+                self.store.contains(oref.object),
+                "marking optional {} local while not stored",
+                oref.object
+            );
+            self.load += workload;
+            *self.mark_count.entry(oref.object).or_insert(0) += 1;
+        } else {
+            self.load -= workload;
+            let c = self
+                .mark_count
+                .get_mut(&oref.object)
+                .expect("unmarking an optional with no marks");
+            *c -= 1;
+        }
+        self.opt_cost[idx].flip(oref.prob, size, local, &self.params);
+        self.parts[idx].local_optional[slot] = local;
+    }
+
+    /// Adds `object` to the store (no marks yet). Returns false if already
+    /// stored.
+    pub fn alloc(&mut self, object: ObjectId) -> bool {
+        if self.store.insert(object) {
+            self.stored_bytes += self.sys.object_size(object).get();
+            if self.count_updates {
+                self.update_load += self.sys.object(object).update_rate;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The objective increase if `object` were deallocated right now
+    /// (every local mark on it flipped remote). Non-mutating; exact.
+    pub fn delta_d_dealloc(&self, object: ObjectId) -> f64 {
+        let size = self.sys.object_size(object);
+        let mut delta = 0.0;
+        for &(idx, slot) in self.compulsory_refs(object) {
+            let (idx, slot) = (idx as usize, slot as usize);
+            if self.parts[idx].local_compulsory[slot] {
+                let before = self.streams[idx].response(&self.params);
+                let after = self.streams[idx].response_if_remote(size, &self.params);
+                delta += self.freq[idx] * self.alpha1 * (after - before);
+            }
+        }
+        for &(idx, slot) in self.optional_refs(object) {
+            let (idx, slot) = (idx as usize, slot as usize);
+            if self.parts[idx].local_optional[slot] {
+                let prob = self.sys.page(self.pages[idx]).optional[slot].prob;
+                delta += self.freq[idx]
+                    * self.alpha2
+                    * self.opt_cost[idx].delta_if_flipped(prob, size, false, &self.params);
+            }
+        }
+        delta
+    }
+
+    /// Deallocates `object`: flips all its local marks remote and removes
+    /// it from the store. Returns the indices of pages whose *compulsory*
+    /// partition changed (candidates for re-partitioning).
+    pub fn dealloc(&mut self, object: ObjectId) -> Vec<usize> {
+        let mut affected = Vec::new();
+        let comp: Vec<(u32, u32)> = self.compulsory_refs(object).to_vec();
+        for (idx, slot) in comp {
+            let (idx, slot) = (idx as usize, slot as usize);
+            if self.parts[idx].local_compulsory[slot] {
+                self.set_compulsory(idx, slot, false);
+                affected.push(idx);
+            }
+        }
+        let opt: Vec<(u32, u32)> = self.optional_refs(object).to_vec();
+        for (idx, slot) in opt {
+            let (idx, slot) = (idx as usize, slot as usize);
+            if self.parts[idx].local_optional[slot] {
+                self.set_optional(idx, slot, false);
+            }
+        }
+        if self.store.remove(object) {
+            self.stored_bytes -= self.sys.object_size(object).get();
+            if self.count_updates {
+                self.update_load -= self.sys.object(object).update_rate;
+            }
+        }
+        debug_assert_eq!(self.marks_on(object), 0);
+        self.mark_count.remove(&object);
+        affected
+    }
+
+    /// Removes stored objects that no longer carry any local mark,
+    /// returning the bytes freed. Zero objective cost by construction.
+    pub fn drop_orphans(&mut self) -> u64 {
+        let orphans: Vec<ObjectId> = self
+            .store
+            .iter()
+            .filter(|&k| self.marks_on(k) == 0)
+            .collect();
+        let mut freed = 0;
+        for k in orphans {
+            self.store.remove(k);
+            let sz = self.sys.object_size(k).get();
+            self.stored_bytes -= sz;
+            freed += sz;
+            if self.count_updates {
+                self.update_load -= self.sys.object(k).update_rate;
+            }
+            self.mark_count.remove(&k);
+        }
+        freed
+    }
+
+    /// Re-runs the greedy partition of local page `idx` against the current
+    /// store: objects not stored are forced remote, stored objects are
+    /// re-balanced in decreasing size order (the paper's post-deallocation
+    /// adjustment). The new assignment is applied only if it improves the
+    /// page's objective contribution. Returns whether anything changed.
+    pub fn repartition_page(&mut self, idx: usize) -> bool {
+        let pid = self.pages[idx];
+        let page = self.sys.page(pid);
+        let p = &self.params;
+
+        // Candidate slots: stored objects. Fixed-remote: everything else.
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut fixed_remote_bytes = 0u64;
+        for (slot, &k) in page.compulsory.iter().enumerate() {
+            if self.store.contains(k) {
+                candidates.push(slot);
+            } else {
+                fixed_remote_bytes += self.sys.object_size(k).get();
+            }
+        }
+        candidates.sort_by(|&a, &b| {
+            let sa = self.sys.object_size(page.compulsory[a]);
+            let sb = self.sys.object_size(page.compulsory[b]);
+            sb.cmp(&sa).then(a.cmp(&b))
+        });
+
+        // Verbatim greedy with the fixed-remote payload pre-charged.
+        let mut local = p.local_ovhd + page.html_size.get() as f64 / p.local_rate;
+        let mut remote = p.repo_ovhd + fixed_remote_bytes as f64 / p.repo_rate;
+        let mut new_marks = vec![false; page.n_compulsory()];
+        for &slot in &candidates {
+            let size = self.sys.object_size(page.compulsory[slot]).get() as f64;
+            let local_if = local + size / p.local_rate;
+            let remote_if = remote + size / p.repo_rate;
+            if remote_if < local_if {
+                remote = remote_if;
+            } else {
+                local = local_if;
+                new_marks[slot] = true;
+            }
+        }
+
+        // Optional slots: local iff stored and the standalone fetch wins.
+        let new_opt: Vec<bool> = page
+            .optional
+            .iter()
+            .map(|o| {
+                self.store.contains(o.object)
+                    && p.local_fetch_wins(self.sys.object_size(o.object))
+            })
+            .collect();
+
+        // Apply tentatively through the bookkeeping and keep iff better.
+        let before = self.page_d(idx);
+        let old_comp = self.parts[idx].local_compulsory.clone();
+        let old_opt = self.parts[idx].local_optional.clone();
+        for (slot, &mark) in new_marks.iter().enumerate() {
+            self.set_compulsory(idx, slot, mark);
+        }
+        for (slot, &mark) in new_opt.iter().enumerate() {
+            self.set_optional(idx, slot, mark);
+        }
+        let after = self.page_d(idx);
+        if after < before - 1e-12 {
+            true
+        } else {
+            for (slot, &mark) in old_comp.iter().enumerate() {
+                self.set_compulsory(idx, slot, mark);
+            }
+            for (slot, &mark) in old_opt.iter().enumerate() {
+                self.set_optional(idx, slot, mark);
+            }
+            false
+        }
+    }
+
+    /// Extracts the final partitions as `(page, partition)` pairs.
+    pub fn into_partitions(self) -> Vec<(PageId, PagePartition)> {
+        self.pages.into_iter().zip(self.parts).collect()
+    }
+
+    /// Expensive from-scratch recomputation of every derived quantity,
+    /// panicking on divergence. Test-only guard against bookkeeping drift.
+    pub fn validate_consistency(&self) {
+        let mut load = 0.0;
+        let mut stored = StoredSet::empty(self.sys.n_objects());
+        let mut stored_bytes_marked = 0u64;
+        for (idx, &pid) in self.pages.iter().enumerate() {
+            let page = self.sys.page(pid);
+            let part = &self.parts[idx];
+            let mut s = Streams::all_local_base(page.html_size);
+            for (slot, &k) in page.compulsory.iter().enumerate() {
+                let size = self.sys.object_size(k);
+                if part.local_compulsory[slot] {
+                    s.local_bytes += size.get();
+                    assert!(self.store.contains(k), "local mark on unstored {k}");
+                    if stored.insert(k) {
+                        stored_bytes_marked += size.get();
+                    }
+                } else {
+                    s.remote_bytes += size.get();
+                    s.n_remote += 1;
+                }
+            }
+            assert_eq!(s, self.streams[idx], "streams drift on page {pid}");
+            let mut opt_local = 0.0;
+            for (slot, o) in page.optional.iter().enumerate() {
+                if part.local_optional[slot] {
+                    assert!(
+                        self.store.contains(o.object),
+                        "optional local mark on unstored {}",
+                        o.object
+                    );
+                    if stored.insert(o.object) {
+                        stored_bytes_marked += self.sys.object_size(o.object).get();
+                    }
+                    opt_local += o.prob;
+                }
+            }
+            load += self.freq[idx]
+                * (1.0 + part.n_local_compulsory() as f64 + page.opt_req_factor * opt_local);
+
+            let oc = OptionalCost::build(
+                page.opt_req_factor,
+                &self.params,
+                page.optional.iter().enumerate().map(|(slot, o)| {
+                    (o.prob, self.sys.object_size(o.object), part.local_optional[slot])
+                }),
+            );
+            assert!(
+                (oc.time() - self.opt_cost[idx].time()).abs() < 1e-6,
+                "optional cost drift on page {pid}: {} vs {}",
+                oc.time(),
+                self.opt_cost[idx].time()
+            );
+        }
+        assert!(
+            (load - self.load).abs() < 1e-6,
+            "load drift: recomputed {load} vs tracked {}",
+            self.load
+        );
+        if self.count_updates {
+            let upd: f64 = self
+                .store
+                .iter()
+                .map(|k| self.sys.object(k).update_rate)
+                .sum();
+            assert!(
+                (upd - self.update_load).abs() < 1e-6,
+                "update load drift: recomputed {upd} vs tracked {}",
+                self.update_load
+            );
+        } else {
+            assert_eq!(self.update_load, 0.0);
+        }
+        // The store may contain allocated-but-unmarked objects (mid
+        // off-loading), but marked bytes can never exceed tracked bytes.
+        assert!(
+            stored_bytes_marked <= self.stored_bytes,
+            "store bytes drift: marked {stored_bytes_marked} > tracked {}",
+            self.stored_bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_all;
+    use mmrepl_workload::{generate_system, WorkloadParams};
+
+    fn make_work(seed: u64) -> (System, usize) {
+        let sys = generate_system(&WorkloadParams::small(), seed).unwrap();
+        (sys, 0)
+    }
+
+    fn work_for<'a>(sys: &'a System, site_idx: usize) -> SiteWork<'a> {
+        let placement = partition_all(sys);
+        SiteWork::new(
+            sys,
+            SiteId::new(site_idx as u32),
+            &placement,
+            CostParams::default(),
+        )
+    }
+
+    #[test]
+    fn new_state_is_consistent() {
+        let (sys, i) = make_work(1);
+        let w = work_for(&sys, i);
+        w.validate_consistency();
+        assert!(w.n_pages() > 0);
+        assert!(w.load() > 0.0);
+        assert!(w.storage_used() > 0);
+    }
+
+    #[test]
+    fn load_matches_placement_view() {
+        let (sys, _) = make_work(2);
+        let placement = partition_all(&sys);
+        for site in sys.sites().ids() {
+            let w = SiteWork::new(&sys, site, &placement, CostParams::default());
+            let model_load = placement.site_load(&sys, site).get();
+            assert!(
+                (w.load() - model_load).abs() < 1e-9,
+                "site {site}: {} vs {}",
+                w.load(),
+                model_load
+            );
+            let model_repo = placement.repo_load_from(&sys, site).get();
+            assert!((w.repo_load() - model_repo).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn storage_matches_placement_view() {
+        let (sys, _) = make_work(3);
+        let placement = partition_all(&sys);
+        for site in sys.sites().ids() {
+            let w = SiteWork::new(&sys, site, &placement, CostParams::default());
+            let model = placement.storage_used(&sys, site).get();
+            assert_eq!(w.storage_used(), model, "site {site}");
+        }
+    }
+
+    #[test]
+    fn total_d_matches_cost_model() {
+        let (sys, _) = make_work(4);
+        let placement = partition_all(&sys);
+        let cm = mmrepl_model::CostModel::with_defaults(&sys);
+        let total: f64 = sys
+            .sites()
+            .ids()
+            .map(|s| {
+                SiteWork::new(&sys, s, &placement, CostParams::default()).total_d()
+            })
+            .sum();
+        assert!(
+            (total - cm.objective(&placement)).abs() / total < 1e-9,
+            "{total} vs {}",
+            cm.objective(&placement)
+        );
+    }
+
+    #[test]
+    fn set_compulsory_roundtrip_restores_state() {
+        let (sys, i) = make_work(5);
+        let mut w = work_for(&sys, i);
+        let before_load = w.load();
+        let before_d = w.total_d();
+        // Find a local compulsory mark and flip it away and back.
+        let (idx, slot) = (0..w.n_pages())
+            .flat_map(|idx| {
+                (0..w.partition(idx).local_compulsory.len()).map(move |s| (idx, s))
+            })
+            .find(|&(idx, s)| w.partition(idx).local_compulsory[s])
+            .expect("no local marks");
+        w.set_compulsory(idx, slot, false);
+        assert!(w.load() < before_load);
+        w.set_compulsory(idx, slot, true);
+        assert!((w.load() - before_load).abs() < 1e-9);
+        assert!((w.total_d() - before_d).abs() < 1e-9);
+        w.validate_consistency();
+    }
+
+    #[test]
+    fn dealloc_removes_all_marks_and_storage() {
+        let (sys, i) = make_work(6);
+        let mut w = work_for(&sys, i);
+        let object = w
+            .stored_objects()
+            .into_iter()
+            .max_by_key(|&k| w.marks_on(k))
+            .expect("store is empty");
+        let marks = w.marks_on(object);
+        assert!(marks > 0);
+        let used_before = w.storage_used();
+        let d_before = w.total_d();
+        let predicted = w.delta_d_dealloc(object);
+        let affected = w.dealloc(object);
+        assert!(!w.is_stored(object));
+        assert_eq!(w.marks_on(object), 0);
+        assert_eq!(
+            w.storage_used(),
+            used_before - sys.object_size(object).get()
+        );
+        let actual = w.total_d() - d_before;
+        assert!(
+            (actual - predicted).abs() < 1e-6,
+            "predicted {predicted}, actual {actual}"
+        );
+        assert!(actual >= -1e-9, "dealloc should not improve D");
+        // affected pages are exactly those that had compulsory marks
+        assert!(affected.len() as u32 <= marks);
+        w.validate_consistency();
+    }
+
+    #[test]
+    fn repartition_never_worsens_page() {
+        let (sys, i) = make_work(7);
+        let mut w = work_for(&sys, i);
+        // Knock out a chunk of the store to make repartitioning meaningful.
+        let victims: Vec<ObjectId> = w.stored_objects().into_iter().take(20).collect();
+        for v in victims {
+            w.dealloc(v);
+        }
+        for idx in 0..w.n_pages() {
+            let before = w.page_d(idx);
+            w.repartition_page(idx);
+            let after = w.page_d(idx);
+            assert!(after <= before + 1e-9, "page {idx}: {before} -> {after}");
+        }
+        w.validate_consistency();
+    }
+
+    #[test]
+    fn drop_orphans_frees_unmarked_objects() {
+        let (sys, i) = make_work(8);
+        let mut w = work_for(&sys, i);
+        // Manufacture an orphan: alloc an object that is nowhere marked.
+        let unmarked = sys
+            .objects()
+            .ids()
+            .find(|&k| !w.is_stored(k))
+            .expect("all objects stored?");
+        w.alloc(unmarked);
+        let used = w.storage_used();
+        let freed = w.drop_orphans();
+        assert!(freed >= sys.object_size(unmarked).get());
+        assert_eq!(w.storage_used(), used - freed);
+        assert!(!w.is_stored(unmarked));
+        w.validate_consistency();
+    }
+
+    #[test]
+    #[should_panic(expected = "not stored")]
+    fn marking_unstored_object_local_panics() {
+        let (sys, i) = make_work(9);
+        let mut w = work_for(&sys, i);
+        // Find a remote compulsory mark whose object is not stored.
+        let target = (0..w.n_pages()).find_map(|idx| {
+            let pid = w.pages()[idx];
+            let page = sys.page(pid);
+            (0..page.n_compulsory()).find_map(|s| {
+                (!w.partition(idx).local_compulsory[s]
+                    && !w.is_stored(page.compulsory[s]))
+                .then_some((idx, s))
+            })
+        });
+        // If every remote object happens to be stored, force the situation.
+        let (idx, slot) = target.unwrap_or_else(|| {
+            let idx = 0;
+            let pid = w.pages()[idx];
+            let k = sys.page(pid).compulsory[0];
+            let mut w2_slot = 0;
+            for (s, &kk) in sys.page(pid).compulsory.iter().enumerate() {
+                if kk == k {
+                    w2_slot = s;
+                }
+            }
+            w.dealloc(k);
+            (idx, w2_slot)
+        });
+        w.set_compulsory(idx, slot, true);
+    }
+
+    #[test]
+    fn total_f64_orders_properly() {
+        let mut keys = [TotalF64(3.0), TotalF64(-1.0), TotalF64(0.5)];
+        keys.sort();
+        assert_eq!(keys, [TotalF64(-1.0), TotalF64(0.5), TotalF64(3.0)]);
+        assert!(TotalF64(f64::NEG_INFINITY) < TotalF64(0.0));
+    }
+
+    #[test]
+    fn headroom_and_space_saturate() {
+        let (sys, i) = make_work(10);
+        let w = work_for(&sys, i);
+        // Storage is at 100% demand, so space_left is >= 0 by construction.
+        assert!(w.space_left() <= w.storage_capacity());
+        assert!(w.headroom() >= 0.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Incremental per-page stream accounting.
+//!
+//! The restoration loops flip thousands of individual `X`/`X'` marks and
+//! must know, after every flip, what the page's response time and objective
+//! contribution became. Recomputing Eq. 3-6 from the object lists each time
+//! would be O(objects-per-page); [`Streams`] keeps the byte totals of the
+//! two parallel streams so each flip and each what-if query is O(1).
+
+use mmrepl_model::{Bytes, Site};
+use serde::{Deserialize, Serialize};
+
+/// The per-site estimate bundle the planner works against, extracted once
+/// from a [`Site`] so hot loops don't chase references.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SiteParams {
+    /// `Ovhd(S_i)` in seconds.
+    pub local_ovhd: f64,
+    /// `Ovhd(R, S_i)` in seconds.
+    pub repo_ovhd: f64,
+    /// `B(S_i)` in bytes/second.
+    pub local_rate: f64,
+    /// `B(R, S_i)` in bytes/second.
+    pub repo_rate: f64,
+}
+
+impl SiteParams {
+    /// Extracts the estimates from a site.
+    pub fn of(site: &Site) -> Self {
+        SiteParams {
+            local_ovhd: site.local_ovhd.get(),
+            repo_ovhd: site.repo_ovhd.get(),
+            local_rate: site.local_rate.get(),
+            repo_rate: site.repo_rate.get(),
+        }
+    }
+
+    /// Time to fetch `size` bytes on a fresh local connection (Eq. 6 local
+    /// branch).
+    #[inline]
+    pub fn local_fetch(&self, size: Bytes) -> f64 {
+        self.local_ovhd + size.get() as f64 / self.local_rate
+    }
+
+    /// Time to fetch `size` bytes on a fresh repository connection (Eq. 6
+    /// remote branch).
+    #[inline]
+    pub fn repo_fetch(&self, size: Bytes) -> f64 {
+        self.repo_ovhd + size.get() as f64 / self.repo_rate
+    }
+
+    /// Whether serving an object of `size` locally is faster for a
+    /// standalone fetch — the rule used to decide optional-object marks.
+    #[inline]
+    pub fn local_fetch_wins(&self, size: Bytes) -> bool {
+        self.local_fetch(size) < self.repo_fetch(size)
+    }
+}
+
+/// The two parallel compulsory streams of one page, as byte totals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Streams {
+    /// Bytes on the local stream, *including* the HTML document.
+    pub local_bytes: u64,
+    /// Bytes on the repository stream.
+    pub remote_bytes: u64,
+    /// Number of compulsory objects on the repository stream (the stream
+    /// time is zero when this is zero — the connection is never opened).
+    pub n_remote: u32,
+}
+
+impl Streams {
+    /// A page with everything local: only the HTML (plus local objects
+    /// added later) on the local stream.
+    pub fn all_local_base(html: Bytes) -> Self {
+        Streams {
+            local_bytes: html.get(),
+            remote_bytes: 0,
+            n_remote: 0,
+        }
+    }
+
+    /// Eq. 3 — local stream completion time.
+    #[inline]
+    pub fn local_time(&self, p: &SiteParams) -> f64 {
+        p.local_ovhd + self.local_bytes as f64 / p.local_rate
+    }
+
+    /// Eq. 4 — repository stream completion time (zero when empty).
+    #[inline]
+    pub fn remote_time(&self, p: &SiteParams) -> f64 {
+        if self.n_remote == 0 {
+            0.0
+        } else {
+            p.repo_ovhd + self.remote_bytes as f64 / p.repo_rate
+        }
+    }
+
+    /// Eq. 5 — the page response time.
+    #[inline]
+    pub fn response(&self, p: &SiteParams) -> f64 {
+        self.local_time(p).max(self.remote_time(p))
+    }
+
+    /// Moves one compulsory object of `size` from the repository stream to
+    /// the local stream.
+    #[inline]
+    pub fn move_to_local(&mut self, size: Bytes) {
+        debug_assert!(self.n_remote > 0, "no remote object to move");
+        debug_assert!(self.remote_bytes >= size.get(), "remote stream underflow");
+        self.remote_bytes -= size.get();
+        self.local_bytes += size.get();
+        self.n_remote -= 1;
+    }
+
+    /// Moves one compulsory object of `size` from the local stream to the
+    /// repository stream.
+    #[inline]
+    pub fn move_to_remote(&mut self, size: Bytes) {
+        debug_assert!(
+            self.local_bytes >= size.get(),
+            "local stream underflow"
+        );
+        self.local_bytes -= size.get();
+        self.remote_bytes += size.get();
+        self.n_remote += 1;
+    }
+
+    /// Response time if one local object of `size` moved to the repository
+    /// stream — a what-if without mutation, used by the greedy criteria.
+    #[inline]
+    pub fn response_if_remote(&self, size: Bytes, p: &SiteParams) -> f64 {
+        let mut s = *self;
+        s.move_to_remote(size);
+        s.response(p)
+    }
+
+    /// Response time if one remote object of `size` moved to the local
+    /// stream.
+    #[inline]
+    pub fn response_if_local(&self, size: Bytes, p: &SiteParams) -> f64 {
+        let mut s = *self;
+        s.move_to_local(size);
+        s.response(p)
+    }
+}
+
+/// Expected optional-download time bookkeeping for one page (the Eq. 6
+/// sum), maintained incrementally as `X'` marks flip.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OptionalCost {
+    /// `f(W_j, M)` multiplier.
+    pub factor: f64,
+    /// Current Σ_k U'_jk · fetch_time(k), in seconds.
+    pub expected: f64,
+}
+
+impl OptionalCost {
+    /// Builds the cost for a page whose optional slots are described by
+    /// `(prob, size, local)` triples.
+    pub fn build<'a>(
+        factor: f64,
+        params: &SiteParams,
+        slots: impl Iterator<Item = (f64, Bytes, bool)> + 'a,
+    ) -> Self {
+        let mut expected = 0.0;
+        for (prob, size, local) in slots {
+            expected += prob
+                * if local {
+                    params.local_fetch(size)
+                } else {
+                    params.repo_fetch(size)
+                };
+        }
+        OptionalCost { factor, expected }
+    }
+
+    /// Eq. 6 total for the page.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.factor * self.expected
+    }
+
+    /// Applies one slot flipping between local and remote.
+    #[inline]
+    pub fn flip(&mut self, prob: f64, size: Bytes, now_local: bool, params: &SiteParams) {
+        let (from, to) = if now_local {
+            (params.repo_fetch(size), params.local_fetch(size))
+        } else {
+            (params.local_fetch(size), params.repo_fetch(size))
+        };
+        self.expected += prob * (to - from);
+    }
+
+    /// The Eq. 6 delta (in page-time seconds) if one slot flipped, without
+    /// mutating.
+    #[inline]
+    pub fn delta_if_flipped(
+        &self,
+        prob: f64,
+        size: Bytes,
+        now_local: bool,
+        params: &SiteParams,
+    ) -> f64 {
+        let (from, to) = if now_local {
+            (params.repo_fetch(size), params.local_fetch(size))
+        } else {
+            (params.local_fetch(size), params.repo_fetch(size))
+        };
+        self.factor * prob * (to - from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmrepl_model::{BytesPerSec, ReqPerSec, Secs, Site};
+
+    fn params() -> SiteParams {
+        SiteParams::of(&Site {
+            storage: Bytes::gib(1),
+            capacity: ReqPerSec(150.0),
+            local_rate: BytesPerSec::kib_per_sec(10.0),
+            repo_rate: BytesPerSec::kib_per_sec(1.0),
+            local_ovhd: Secs(1.0),
+            repo_ovhd: Secs(2.0),
+        })
+    }
+
+    #[test]
+    fn site_params_extracts_estimates() {
+        let p = params();
+        assert_eq!(p.local_ovhd, 1.0);
+        assert_eq!(p.repo_ovhd, 2.0);
+        assert_eq!(p.local_rate, 10.0 * 1024.0);
+        assert_eq!(p.repo_rate, 1024.0);
+    }
+
+    #[test]
+    fn fetch_times_match_cost_model() {
+        let p = params();
+        assert!((p.local_fetch(Bytes::kib(20)) - 3.0).abs() < 1e-12); // 1 + 2
+        assert!((p.repo_fetch(Bytes::kib(20)) - 22.0).abs() < 1e-12); // 2 + 20
+        assert!(p.local_fetch_wins(Bytes::kib(20)));
+    }
+
+    #[test]
+    fn streams_times_match_equations() {
+        let p = params();
+        let mut s = Streams::all_local_base(Bytes::kib(10));
+        // Only HTML: local 1 + 1 = 2; remote 0 (no connection).
+        assert!((s.local_time(&p) - 2.0).abs() < 1e-12);
+        assert_eq!(s.remote_time(&p), 0.0);
+        assert!((s.response(&p) - 2.0).abs() < 1e-12);
+
+        // Put a 30 KiB object remote: remote = 2 + 30 = 32.
+        s.local_bytes += Bytes::kib(30).get();
+        s.move_to_remote(Bytes::kib(30));
+        assert!((s.remote_time(&p) - 32.0).abs() < 1e-12);
+        assert!((s.response(&p) - 32.0).abs() < 1e-12);
+
+        // Move it back: local = 1 + 4 = 5, remote connection closes.
+        s.move_to_local(Bytes::kib(30));
+        assert!((s.local_time(&p) - 5.0).abs() < 1e-12);
+        assert_eq!(s.remote_time(&p), 0.0);
+    }
+
+    #[test]
+    fn what_if_queries_do_not_mutate() {
+        let p = params();
+        let mut s = Streams::all_local_base(Bytes::kib(10));
+        s.local_bytes += Bytes::kib(100).get();
+        let before = s;
+        let what_if = s.response_if_remote(Bytes::kib(100), &p);
+        assert_eq!(s, before);
+        // 100 KiB remote: remote = 2 + 100 = 102 dominates local 1+1=2.
+        assert!((what_if - 102.0).abs() < 1e-12);
+
+        let mut with_remote = s;
+        with_remote.move_to_remote(Bytes::kib(100));
+        let back = with_remote.response_if_local(Bytes::kib(100), &p);
+        // Back to all local: 1 + 110/10 = 12.
+        assert!((back - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optional_cost_build_and_flip() {
+        let p = params();
+        // Two slots: (0.5, 20 KiB, local), (0.1, 10 KiB, remote).
+        let slots = vec![
+            (0.5, Bytes::kib(20), true),
+            (0.1, Bytes::kib(10), false),
+        ];
+        let mut oc = OptionalCost::build(1.0, &p, slots.into_iter());
+        // 0.5*(1+2) + 0.1*(2+10) = 1.5 + 1.2 = 2.7
+        assert!((oc.time() - 2.7).abs() < 1e-12);
+
+        // Flip the second slot to local: 0.1*(1+1) = 0.2 instead of 1.2.
+        let delta = oc.delta_if_flipped(0.1, Bytes::kib(10), true, &p);
+        assert!((delta - (0.2 - 1.2)).abs() < 1e-12);
+        oc.flip(0.1, Bytes::kib(10), true, &p);
+        assert!((oc.time() - 1.7).abs() < 1e-12);
+
+        // Flip it back.
+        oc.flip(0.1, Bytes::kib(10), false, &p);
+        assert!((oc.time() - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optional_factor_scales_time() {
+        let p = params();
+        let slots = vec![(0.5, Bytes::kib(20), true)];
+        let oc = OptionalCost::build(2.0, &p, slots.into_iter());
+        assert!((oc.time() - 3.0).abs() < 1e-12); // 2 * 1.5
+    }
+
+    #[test]
+    fn response_balances_at_crossover() {
+        // 10 objects x 50 KiB plus 10 KiB HTML, local pipe 10 KiB/s.
+        let p = params();
+        let mut all_local = Streams::all_local_base(Bytes::kib(10));
+        for _ in 0..10 {
+            all_local.local_bytes += Bytes::kib(50).get();
+        }
+        // All local: 1 + 510/10 = 52.0 s.
+        let t_all_local = all_local.response(&p);
+        assert!((t_all_local - 52.0).abs() < 1e-9);
+
+        // One object remote: local 1 + 460/10 = 47, remote 2 + 50 = 52 —
+        // the slow repository pipe exactly ties the all-local time.
+        let mut split = all_local;
+        split.move_to_remote(Bytes::kib(50));
+        assert!((split.response(&p) - 52.0).abs() < 1e-9);
+
+        // A second remote object overloads the slow pipe: remote = 2 + 100
+        // = 102 and the split becomes much worse than all-local.
+        let mut split2 = split;
+        split2.move_to_remote(Bytes::kib(50));
+        assert!(split2.response(&p) > t_all_local);
+
+        // With symmetric pipes a balanced split clearly wins.
+        let sym = SiteParams {
+            repo_rate: p.local_rate,
+            repo_ovhd: p.local_ovhd,
+            ..p
+        };
+        let mut split_sym = all_local;
+        for _ in 0..5 {
+            split_sym.move_to_remote(Bytes::kib(50));
+        }
+        assert!(split_sym.response(&sym) < all_local.response(&sym));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the policy's working state: arbitrary mark-flip
+//! sequences must keep the incremental bookkeeping exactly consistent
+//! with a from-scratch recomputation, and the restoration stages must
+//! deliver what they claim for arbitrary constraint tightness.
+
+use mmrepl_core::{
+    partition_all, restore_capacity, restore_storage, run_offload, OffloadConfig,
+    ReplicationPolicy, SiteWork,
+};
+use mmrepl_model::{ConstraintReport, CostParams, SiteId};
+use mmrepl_workload::{generate_system, WorkloadParams};
+use proptest::prelude::*;
+
+fn small_sys(seed: u64) -> mmrepl_model::System {
+    generate_system(&WorkloadParams::small(), seed).expect("valid params")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random flip sequences keep every derived quantity consistent.
+    #[test]
+    fn random_flips_stay_consistent(
+        seed in 0u64..1000,
+        flips in prop::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 0..60),
+    ) {
+        let sys = small_sys(seed);
+        let placement = partition_all(&sys);
+        let mut w = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        for (pi, si, to_local) in flips {
+            let idx = (pi as usize) % w.n_pages();
+            let page = sys.page(w.pages()[idx]);
+            if page.n_compulsory() == 0 {
+                continue;
+            }
+            let slot = (si as usize) % page.n_compulsory();
+            let object = page.compulsory[slot];
+            if to_local {
+                // Only legal if the object is stored.
+                if w.is_stored(object) {
+                    w.set_compulsory(idx, slot, true);
+                }
+            } else {
+                w.set_compulsory(idx, slot, false);
+            }
+        }
+        w.validate_consistency();
+    }
+
+    /// delta_d_dealloc is an exact prediction for arbitrary victims.
+    #[test]
+    fn dealloc_prediction_exact(seed in 0u64..1000, pick in any::<u64>()) {
+        let sys = small_sys(seed);
+        let placement = partition_all(&sys);
+        let mut w = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        let stored = w.stored_objects();
+        prop_assume!(!stored.is_empty());
+        let victim = stored[(pick as usize) % stored.len()];
+        let predicted = w.delta_d_dealloc(victim);
+        let before = w.total_d();
+        w.dealloc(victim);
+        let actual = w.total_d() - before;
+        prop_assert!((actual - predicted).abs() < 1e-6,
+            "predicted {} actual {}", predicted, actual);
+        prop_assert!(actual >= -1e-9, "dealloc improved D by {}", -actual);
+        w.validate_consistency();
+    }
+
+    /// Storage restoration always ends within capacity (or with an empty
+    /// store), for arbitrary tightness.
+    #[test]
+    fn storage_restore_postcondition(seed in 0u64..500, frac in 0.01f64..1.2) {
+        let sys = small_sys(seed)
+            .with_storage_fraction(frac)
+            .with_processing_fraction(f64::INFINITY);
+        let placement = partition_all(&sys);
+        let mut w = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        let report = restore_storage(&mut w);
+        if report.feasible {
+            prop_assert!(w.storage_used() <= w.storage_capacity());
+        } else {
+            prop_assert!(w.stored_objects().is_empty());
+        }
+        w.validate_consistency();
+    }
+
+    /// Capacity restoration always ends within capacity (or with zero
+    /// movable marks), for arbitrary tightness.
+    #[test]
+    fn capacity_restore_postcondition(seed in 0u64..500, frac in 0.01f64..1.2) {
+        let sys = small_sys(seed).with_processing_fraction(frac);
+        let placement = partition_all(&sys);
+        let mut w = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        restore_storage(&mut w);
+        let report = restore_capacity(&mut w);
+        if report.feasible {
+            prop_assert!(w.load() <= w.capacity() + 1e-6);
+        } else {
+            let marks: usize = (0..w.n_pages())
+                .map(|i| w.partition(i).n_local_compulsory() + w.partition(i).n_local_optional())
+                .sum();
+            prop_assert_eq!(marks, 0);
+        }
+        w.validate_consistency();
+    }
+
+    /// Off-loading protocol invariants for arbitrary repository caps:
+    /// workload is conserved (repository reduction == site absorption),
+    /// no site constraint is ever broken to satisfy the repository, and
+    /// the repository load never increases.
+    #[test]
+    fn offload_conserves_workload_and_respects_sites(
+        seed in 0u64..300,
+        cap_frac in 0.0f64..1.2,
+        headroom in 1.0f64..1.6,
+    ) {
+        let sys = small_sys(seed).with_processing_fraction(headroom);
+        let placement = partition_all(&sys);
+        let mut works: Vec<SiteWork<'_>> = sys
+            .sites()
+            .ids()
+            .map(|s| {
+                let mut w = SiteWork::new(&sys, s, &placement, CostParams::default());
+                restore_storage(&mut w);
+                restore_capacity(&mut w);
+                w
+            })
+            .collect();
+        let before: f64 = works.iter().map(|w| w.repo_load()).sum();
+        let cap = before * cap_frac;
+        let outcome = run_offload(&mut works, cap, &OffloadConfig::default());
+        let after: f64 = works.iter().map(|w| w.repo_load()).sum();
+
+        // Repository load never grows; the report accounts it exactly.
+        prop_assert!(after <= before + 1e-6);
+        prop_assert!((before - after - outcome.report.absorbed).abs() < 1e-6,
+            "conservation: moved {} vs absorbed {}", before - after, outcome.report.absorbed);
+        // Feasibility claims are honest and sites stay within Eq. 8/10.
+        if outcome.report.feasible {
+            prop_assert!(after <= cap + 1e-6);
+        }
+        for w in &works {
+            prop_assert!(w.load() <= w.capacity() + 1e-6, "Eq. 8 broken at {}", w.site());
+            prop_assert!(w.storage_used() <= w.storage_capacity(),
+                "Eq. 10 broken at {}", w.site());
+            w.validate_consistency();
+        }
+    }
+
+    /// The full planner never *reports* feasible while violating a
+    /// constraint, under joint random tightness.
+    #[test]
+    fn planner_feasibility_is_honest(
+        seed in 0u64..200,
+        sf in 0.05f64..1.2,
+        pf in 0.05f64..1.2,
+        cf in 0.3f64..1.2,
+    ) {
+        let sys = small_sys(seed)
+            .with_storage_fraction(sf)
+            .with_processing_fraction(pf)
+            .with_central_fraction(cf);
+        let outcome = ReplicationPolicy::new().plan(&sys);
+        let check = ConstraintReport::check(&sys, &outcome.placement);
+        prop_assert_eq!(outcome.report.feasible, check.is_feasible(),
+            "report {} vs check {:?}", outcome.report.feasible, check.violations);
+    }
+}

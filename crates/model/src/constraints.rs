@@ -1,0 +1,266 @@
+//! Feasibility checks: the processing-capacity constraints Eq. 8 (local
+//! sites) and Eq. 9 (repository), and the storage constraint Eq. 10.
+
+use crate::entities::System;
+use crate::ids::SiteId;
+use crate::placement::Placement;
+use crate::units::{Bytes, ReqPerSec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single constraint violation found in a placement.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// Eq. 8 — a site receives more HTTP requests/sec than it can process.
+    SiteCapacity {
+        /// The overloaded site.
+        site: SiteId,
+        /// Offered load (Eq. 8 LHS).
+        load: ReqPerSec,
+        /// `C(S_i)`.
+        capacity: ReqPerSec,
+    },
+    /// Eq. 9 — the repository receives more requests/sec than `C(R)`.
+    RepositoryCapacity {
+        /// Offered load (Eq. 9 LHS).
+        load: ReqPerSec,
+        /// `C(R)`.
+        capacity: ReqPerSec,
+    },
+    /// Eq. 10 — a site stores more bytes than `Size(S_i)`.
+    SiteStorage {
+        /// The over-full site.
+        site: SiteId,
+        /// Bytes used (Eq. 10 LHS).
+        used: Bytes,
+        /// `Size(S_i)`.
+        capacity: Bytes,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::SiteCapacity {
+                site,
+                load,
+                capacity,
+            } => write!(f, "site {site} load {load} exceeds capacity {capacity}"),
+            Violation::RepositoryCapacity { load, capacity } => {
+                write!(f, "repository load {load} exceeds capacity {capacity}")
+            }
+            Violation::SiteStorage {
+                site,
+                used,
+                capacity,
+            } => write!(f, "site {site} stores {used} exceeding {capacity}"),
+        }
+    }
+}
+
+/// The result of checking a placement against Eq. 8-10.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintReport {
+    /// Per-site offered load (Eq. 8 LHS), indexed by raw site id.
+    pub site_loads: Vec<ReqPerSec>,
+    /// Per-site storage used (Eq. 10 LHS), indexed by raw site id.
+    pub storage_used: Vec<Bytes>,
+    /// Repository offered load (Eq. 9 LHS).
+    pub repo_load: ReqPerSec,
+    /// Every violated constraint, in site order, storage before capacity.
+    pub violations: Vec<Violation>,
+}
+
+impl ConstraintReport {
+    /// Evaluates all three constraint families for `placement`.
+    pub fn check(system: &System, placement: &Placement) -> Self {
+        // Floating-point slack: restoration algorithms drive loads to
+        // exactly the capacity; a ulp of noise must not read as violation.
+        const REL_EPS: f64 = 1e-9;
+
+        let mut site_loads = Vec::with_capacity(system.n_sites());
+        let mut storage_used = Vec::with_capacity(system.n_sites());
+        let mut violations = Vec::new();
+
+        for site in system.sites().ids() {
+            let used = placement.storage_used(system, site);
+            let cap = system.site(site).storage;
+            storage_used.push(used);
+            if used.get() as f64 > cap.get() as f64 * (1.0 + REL_EPS) {
+                violations.push(Violation::SiteStorage {
+                    site,
+                    used,
+                    capacity: cap,
+                });
+            }
+
+            let load = placement.site_load(system, site);
+            let ccap = system.site(site).capacity;
+            site_loads.push(load);
+            if load.get() > ccap.get() * (1.0 + REL_EPS) + REL_EPS {
+                violations.push(Violation::SiteCapacity {
+                    site,
+                    load,
+                    capacity: ccap,
+                });
+            }
+        }
+
+        let repo_load = placement.repo_load(system);
+        let rcap = system.repository().capacity;
+        if repo_load.get() > rcap.get() * (1.0 + REL_EPS) + REL_EPS {
+            violations.push(Violation::RepositoryCapacity {
+                load: repo_load,
+                capacity: rcap,
+            });
+        }
+
+        ConstraintReport {
+            site_loads,
+            storage_used,
+            repo_load,
+            violations,
+        }
+    }
+
+    /// Whether the placement satisfies every constraint.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Whether any *storage* constraint (Eq. 10) is violated.
+    pub fn storage_violated(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::SiteStorage { .. }))
+    }
+
+    /// Whether any *site capacity* constraint (Eq. 8) is violated.
+    pub fn site_capacity_violated(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::SiteCapacity { .. }))
+    }
+
+    /// Whether the repository capacity constraint (Eq. 9) is violated.
+    pub fn repo_capacity_violated(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::RepositoryCapacity { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{MediaObject, Site, SystemBuilder, WebPage};
+    use crate::units::{BytesPerSec, Secs};
+
+    fn constrained_site(storage: Bytes, capacity: ReqPerSec) -> Site {
+        Site {
+            storage,
+            capacity,
+            local_rate: BytesPerSec::kib_per_sec(10.0),
+            repo_rate: BytesPerSec::kib_per_sec(1.0),
+            local_ovhd: Secs(1.0),
+            repo_ovhd: Secs(2.0),
+        }
+    }
+
+    fn system_with(storage: Bytes, capacity: ReqPerSec, repo_cap: ReqPerSec) -> System {
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(constrained_site(storage, capacity));
+        let m0 = b.add_object(MediaObject::of_size(Bytes::kib(100)));
+        let m1 = b.add_object(MediaObject::of_size(Bytes::kib(100)));
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(10),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m0, m1],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        b.repository_capacity(repo_cap);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn feasible_when_everything_fits() {
+        let sys = system_with(Bytes::mib(10), ReqPerSec(100.0), ReqPerSec::INFINITE);
+        let report = ConstraintReport::check(&sys, &Placement::all_local(&sys));
+        assert!(report.is_feasible(), "{:?}", report.violations);
+        assert_eq!(report.site_loads.len(), 1);
+        assert!((report.site_loads[0].get() - 3.0).abs() < 1e-12);
+        assert_eq!(report.storage_used[0], Bytes::kib(210));
+        assert_eq!(report.repo_load, ReqPerSec(0.0));
+    }
+
+    #[test]
+    fn storage_violation_detected() {
+        let sys = system_with(Bytes::kib(150), ReqPerSec(100.0), ReqPerSec::INFINITE);
+        let report = ConstraintReport::check(&sys, &Placement::all_local(&sys));
+        assert!(!report.is_feasible());
+        assert!(report.storage_violated());
+        assert!(!report.site_capacity_violated());
+        assert!(!report.repo_capacity_violated());
+        assert!(matches!(
+            report.violations[0],
+            Violation::SiteStorage {
+                used: Bytes(x),
+                ..
+            } if x == Bytes::kib(210).get()
+        ));
+    }
+
+    #[test]
+    fn site_capacity_violation_detected() {
+        // All-local load = 1.0 * (1 + 2) = 3 req/s > 2.5 cap.
+        let sys = system_with(Bytes::mib(10), ReqPerSec(2.5), ReqPerSec::INFINITE);
+        let report = ConstraintReport::check(&sys, &Placement::all_local(&sys));
+        assert!(report.site_capacity_violated());
+        assert!(!report.storage_violated());
+    }
+
+    #[test]
+    fn repo_capacity_violation_detected() {
+        // All-remote repo load = 1.0 * 2 = 2 req/s > 1.5 cap.
+        let sys = system_with(Bytes::mib(10), ReqPerSec(100.0), ReqPerSec(1.5));
+        let report = ConstraintReport::check(&sys, &Placement::all_remote(&sys));
+        assert!(report.repo_capacity_violated());
+        assert!(!report.site_capacity_violated());
+    }
+
+    #[test]
+    fn load_exactly_at_capacity_is_feasible() {
+        // All-local load is exactly 3.0 req/s; capacity 3.0 must pass.
+        let sys = system_with(Bytes::mib(10), ReqPerSec(3.0), ReqPerSec::INFINITE);
+        let report = ConstraintReport::check(&sys, &Placement::all_local(&sys));
+        assert!(report.is_feasible(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn storage_exactly_at_capacity_is_feasible() {
+        let sys = system_with(Bytes::kib(210), ReqPerSec(100.0), ReqPerSec::INFINITE);
+        let report = ConstraintReport::check(&sys, &Placement::all_local(&sys));
+        assert!(report.is_feasible(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn violation_display_mentions_site() {
+        let v = Violation::SiteStorage {
+            site: SiteId::new(4),
+            used: Bytes::kib(300),
+            capacity: Bytes::kib(100),
+        };
+        let s = v.to_string();
+        assert!(s.contains("S4"), "{s}");
+    }
+
+    #[test]
+    fn all_remote_never_violates_storage() {
+        let sys = system_with(Bytes(10 * 1024), ReqPerSec(100.0), ReqPerSec::INFINITE);
+        // Storage holds only HTML (10 KiB) — exactly at capacity.
+        let report = ConstraintReport::check(&sys, &Placement::all_remote(&sys));
+        assert!(!report.storage_violated(), "{:?}", report.violations);
+    }
+}

@@ -1,0 +1,883 @@
+//! The modelled world: multimedia objects, web pages, local sites and the
+//! central repository, assembled into a validated [`System`].
+//!
+//! Terminology follows Section 2/3 of the paper:
+//!
+//! * `M_k` — [`MediaObject`], a multimedia object held by the repository;
+//! * `W_j` / `H_j` — [`WebPage`], one page and its (composite) HTML
+//!   document, hosted by exactly one site (`A` matrix);
+//! * `S_i` — [`Site`], a local web server with storage `Size(S_i)`,
+//!   processing capacity `C(S_i)` and estimated rates/overheads;
+//! * `R` — [`Repository`], with processing capacity `C(R)`.
+
+use crate::error::ModelError;
+use crate::ids::{IdVec, ObjectId, PageId, SiteId};
+use crate::units::{Bytes, BytesPerSec, ReqPerSec, Secs};
+use serde::{Deserialize, Serialize};
+
+/// Size class of an HTML document or multimedia object, used by the
+/// Table 1 workload mix (small/medium/large bands).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// Small band: 1-6 KiB HTML, 40-300 KiB MOs (gif images).
+    Small,
+    /// Medium band: 6-20 KiB HTML, 300-800 KiB MOs (audio).
+    Medium,
+    /// Large band: 20-50 KiB HTML, 800 KiB-4 MiB MOs (small video clips).
+    Large,
+}
+
+/// A multimedia object `M_k` stored at the central repository.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MediaObject {
+    /// `Size(M_k)` in bytes.
+    pub size: Bytes,
+    /// Workload size band the object was drawn from.
+    pub class: SizeClass,
+    /// Updates per second at the repository (the read/write extension;
+    /// the paper's model is read-only, so this defaults to zero). Every
+    /// replica of the object must be refreshed on each update, consuming
+    /// one HTTP request at the repository and one at the storing site.
+    #[serde(default)]
+    pub update_rate: f64,
+}
+
+impl MediaObject {
+    /// Creates a read-only object of the given size, classifying it by the
+    /// Table 1 MO bands (< 300 KiB small, < 800 KiB medium, otherwise
+    /// large).
+    pub fn of_size(size: Bytes) -> Self {
+        let class = if size < Bytes::kib(300) {
+            SizeClass::Small
+        } else if size < Bytes::kib(800) {
+            SizeClass::Medium
+        } else {
+            SizeClass::Large
+        };
+        MediaObject {
+            size,
+            class,
+            update_rate: 0.0,
+        }
+    }
+
+    /// Same, with an update rate (updates/second).
+    pub fn with_update_rate(size: Bytes, update_rate: f64) -> Self {
+        assert!(
+            update_rate >= 0.0 && update_rate.is_finite(),
+            "invalid update rate {update_rate}"
+        );
+        MediaObject {
+            update_rate,
+            ..Self::of_size(size)
+        }
+    }
+}
+
+/// One optional-object reference in a page: the paper's `U'_jk` entry.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OptionalRef {
+    /// The referenced object.
+    pub object: ObjectId,
+    /// `U'_jk` — probability that a user who downloaded the page later
+    /// requests this object. Must lie in `(0, 1]`.
+    pub prob: f64,
+}
+
+/// A web page `W_j` together with its composite HTML document `H_j`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WebPage {
+    /// Hosting site (`A_ij = 1`). A page belongs to exactly one site;
+    /// replicated pages are modelled as distinct pages.
+    pub site: SiteId,
+    /// `Size(H_j)` — size of the composite HTML document.
+    pub html_size: Bytes,
+    /// `f(W_j)` — access frequency during peak hours, requests/second.
+    pub freq: ReqPerSec,
+    /// Compulsory objects (`U_jk = 1`), in document order.
+    pub compulsory: Vec<ObjectId>,
+    /// Optional objects (`U'_jk > 0`), in document order.
+    pub optional: Vec<OptionalRef>,
+    /// `f(W_j, M)` — multiplier applied to the probability-weighted
+    /// optional download time in Eq. 6 and the optional terms of
+    /// Eq. 8/9. With the Table 1 workload the per-object probabilities
+    /// already capture "10% of users request 30% of the links", so this
+    /// stays at `1.0` (per page view); it is exposed for model fidelity.
+    pub opt_req_factor: f64,
+}
+
+impl WebPage {
+    /// Number of compulsory objects.
+    #[inline]
+    pub fn n_compulsory(&self) -> usize {
+        self.compulsory.len()
+    }
+
+    /// Number of optional objects.
+    #[inline]
+    pub fn n_optional(&self) -> usize {
+        self.optional.len()
+    }
+
+    /// Expected number of optional-object requests per page view:
+    /// `f(W_j, M) * Σ_k U'_jk`.
+    pub fn expected_optional_requests(&self) -> f64 {
+        self.opt_req_factor * self.optional.iter().map(|o| o.prob).sum::<f64>()
+    }
+}
+
+/// A local site `S_i`: one web server plus its regional client population.
+///
+/// The rate/overhead fields are the *estimates* available when the
+/// replication decision is made; the simulator perturbs them per request
+/// (Section 5.1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// `Size(S_i)` — storage capacity in bytes.
+    pub storage: Bytes,
+    /// `C(S_i)` — processing capacity in HTTP requests/second.
+    pub capacity: ReqPerSec,
+    /// `B(S_i)` — estimated average transfer rate from this server to its
+    /// local clients during peak hours.
+    pub local_rate: BytesPerSec,
+    /// `B(R, S_i)` — estimated average transfer rate from the repository to
+    /// clients in this site's region.
+    pub repo_rate: BytesPerSec,
+    /// `Ovhd(S_i)` — TCP setup plus request-processing latency for a
+    /// request to this server.
+    pub local_ovhd: Secs,
+    /// `Ovhd(R, S_i)` — the same latency for a request from this region to
+    /// the repository.
+    pub repo_ovhd: Secs,
+}
+
+/// The central multimedia repository `R`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Repository {
+    /// `C(R)` — processing capacity in HTTP requests/second. Table 1 sets
+    /// this to infinite; Figure 3 constrains it.
+    pub capacity: ReqPerSec,
+}
+
+impl Default for Repository {
+    fn default() -> Self {
+        Repository {
+            capacity: ReqPerSec::INFINITE,
+        }
+    }
+}
+
+/// The assembled, validated system: every entity plus derived indices.
+///
+/// Construct through [`SystemBuilder`], which checks referential integrity
+/// (no dangling ids, no object both compulsory and optional for one page,
+/// probabilities in range) so that downstream code can index without
+/// checking.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct System {
+    sites: IdVec<SiteId, Site>,
+    pages: IdVec<PageId, WebPage>,
+    objects: IdVec<ObjectId, MediaObject>,
+    repository: Repository,
+    /// Derived: pages hosted per site, in page-id order.
+    pages_by_site: IdVec<SiteId, Vec<PageId>>,
+}
+
+impl System {
+    /// All local sites.
+    #[inline]
+    pub fn sites(&self) -> &IdVec<SiteId, Site> {
+        &self.sites
+    }
+
+    /// All pages.
+    #[inline]
+    pub fn pages(&self) -> &IdVec<PageId, WebPage> {
+        &self.pages
+    }
+
+    /// The repository object catalogue.
+    #[inline]
+    pub fn objects(&self) -> &IdVec<ObjectId, MediaObject> {
+        &self.objects
+    }
+
+    /// The central repository.
+    #[inline]
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// Pages hosted at `site`, in id order.
+    #[inline]
+    pub fn pages_of(&self, site: SiteId) -> &[PageId] {
+        &self.pages_by_site[site]
+    }
+
+    /// The site hosting `page` (the `A` matrix lookup).
+    #[inline]
+    pub fn host_of(&self, page: PageId) -> SiteId {
+        self.pages[page].site
+    }
+
+    /// Convenience accessors mirroring the paper's notation.
+    #[inline]
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id]
+    }
+
+    /// The page `W_j`.
+    #[inline]
+    pub fn page(&self, id: PageId) -> &WebPage {
+        &self.pages[id]
+    }
+
+    /// The object `M_k`.
+    #[inline]
+    pub fn object(&self, id: ObjectId) -> &MediaObject {
+        &self.objects[id]
+    }
+
+    /// `Size(M_k)`.
+    #[inline]
+    pub fn object_size(&self, id: ObjectId) -> Bytes {
+        self.objects[id].size
+    }
+
+    /// Number of sites `s`.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of pages `n`.
+    #[inline]
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of objects `m`.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total bytes of HTML hosted at `site` — the fixed part of Eq. 10's
+    /// left-hand side.
+    pub fn html_bytes_of(&self, site: SiteId) -> Bytes {
+        self.pages_of(site)
+            .iter()
+            .map(|&p| self.pages[p].html_size)
+            .sum()
+    }
+
+    /// The distinct objects referenced (compulsorily or optionally) by any
+    /// page of `site`, in ascending id order.
+    ///
+    /// This is the object universe a site could possibly store; its total
+    /// size defines "100% storage" in the Figure 1 sweep.
+    pub fn objects_referenced_by(&self, site: SiteId) -> Vec<ObjectId> {
+        let mut seen = vec![false; self.n_objects()];
+        for &p in self.pages_of(site) {
+            let page = &self.pages[p];
+            for &k in &page.compulsory {
+                seen[k.index()] = true;
+            }
+            for o in &page.optional {
+                seen[o.object.index()] = true;
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| ObjectId::from_index(i))
+            .collect()
+    }
+
+    /// Total bytes of all objects referenced by `site` plus its HTML — the
+    /// storage needed to hold *everything* locally (100% on the Figure 1
+    /// axis).
+    pub fn full_storage_demand(&self, site: SiteId) -> Bytes {
+        let objs: Bytes = self
+            .objects_referenced_by(site)
+            .iter()
+            .map(|&k| self.objects[k].size)
+            .sum();
+        objs + self.html_bytes_of(site)
+    }
+
+    /// The HTTP request rate `site` would face if every compulsory and
+    /// optional object were served locally — the Eq. 8 left-hand side of
+    /// the all-local placement. This defines "100% processing capacity" in
+    /// the Figure 2/3 sweeps.
+    pub fn full_local_load(&self, site: SiteId) -> ReqPerSec {
+        let mut load = 0.0;
+        for &p in self.pages_of(site) {
+            let page = &self.pages[p];
+            let opt: f64 = page.expected_optional_requests();
+            load += page.freq.get() * (1.0 + page.n_compulsory() as f64 + opt);
+        }
+        ReqPerSec(load)
+    }
+
+    /// The repository request rate if *no* object were served locally —
+    /// Eq. 9's left-hand side under the all-remote placement. This defines
+    /// "100% central capacity" for the Figure 3 sweep.
+    pub fn full_remote_load(&self) -> ReqPerSec {
+        let mut load = 0.0;
+        for page in self.pages.values() {
+            let opt: f64 = page.expected_optional_requests();
+            load += page.freq.get() * (page.n_compulsory() as f64 + opt);
+        }
+        ReqPerSec(load)
+    }
+
+    /// Returns a copy with every site's storage scaled to `frac` of its
+    /// full demand ([`System::full_storage_demand`]). Used by the Figure 1
+    /// sweep.
+    pub fn with_storage_fraction(&self, frac: f64) -> System {
+        let mut sys = self.clone();
+        let demands: Vec<Bytes> = sys
+            .sites
+            .ids()
+            .map(|s| self.full_storage_demand(s))
+            .collect();
+        for ((_, site), demand) in sys.sites.iter_mut().zip(demands) {
+            site.storage = demand.scale(frac);
+        }
+        sys
+    }
+
+    /// Returns a copy with every site's processing capacity scaled to
+    /// `frac` of its full-local load ([`System::full_local_load`]). Used by
+    /// the Figure 2/3 sweeps.
+    pub fn with_processing_fraction(&self, frac: f64) -> System {
+        let mut sys = self.clone();
+        let loads: Vec<ReqPerSec> =
+            sys.sites.ids().map(|s| self.full_local_load(s)).collect();
+        for ((_, site), load) in sys.sites.iter_mut().zip(loads) {
+            site.capacity = load.scale(frac);
+        }
+        sys
+    }
+
+    /// Returns a copy with the repository capacity scaled to `frac` of the
+    /// all-remote load ([`System::full_remote_load`]) — the loosest
+    /// meaningful central constraint.
+    pub fn with_central_fraction(&self, frac: f64) -> System {
+        let mut sys = self.clone();
+        sys.repository.capacity = self.full_remote_load().scale(frac);
+        sys
+    }
+
+    /// Returns a copy with the repository capacity set to an absolute
+    /// value. The Figure 3 sweep uses this to model "the repository can
+    /// only serve X % of the requests" — X % of the repository load the
+    /// current plan actually induces.
+    pub fn with_repository_capacity(&self, capacity: ReqPerSec) -> System {
+        let mut sys = self.clone();
+        sys.repository.capacity = capacity;
+        sys
+    }
+
+    /// Returns a copy with every page's access frequency rewritten by
+    /// `f`. Used by the workload-drift extension ("breaking news" rotates
+    /// which pages are hot); structure, sizes and capacities are
+    /// untouched.
+    pub fn map_frequencies(
+        &self,
+        mut f: impl FnMut(PageId, ReqPerSec) -> ReqPerSec,
+    ) -> System {
+        let mut sys = self.clone();
+        for (pid, page) in sys.pages.iter_mut() {
+            page.freq = f(pid, page.freq);
+        }
+        sys
+    }
+
+    /// Returns a copy with every site rewritten by `f` — used to model
+    /// regional asymmetry (degraded links, bigger disks) on top of a
+    /// generated workload. The page/object structure is untouched.
+    pub fn map_sites(&self, mut f: impl FnMut(SiteId, &Site) -> Site) -> System {
+        let mut sys = self.clone();
+        for (sid, site) in sys.sites.iter_mut() {
+            let new = f(sid, site);
+            assert!(
+                new.local_rate.is_valid() && new.repo_rate.is_valid(),
+                "map_sites produced invalid rates for {sid}"
+            );
+            *site = new;
+        }
+        sys
+    }
+
+    /// Returns a copy with every object's update rate rewritten by `f`
+    /// (read/write extension). Structure, sizes and placement-relevant
+    /// state are untouched, so plans remain comparable across update
+    /// intensities.
+    pub fn map_update_rates(
+        &self,
+        mut f: impl FnMut(ObjectId, &MediaObject) -> f64,
+    ) -> System {
+        let mut sys = self.clone();
+        for (oid, obj) in sys.objects.iter_mut() {
+            let rate = f(oid, obj);
+            assert!(
+                rate >= 0.0 && rate.is_finite(),
+                "invalid update rate {rate} for {oid}"
+            );
+            obj.update_rate = rate;
+        }
+        sys
+    }
+
+    /// Returns a copy with unbounded site storage, site capacity and
+    /// repository capacity — the "no constraints imposed" configuration the
+    /// paper normalizes against.
+    pub fn unconstrained(&self) -> System {
+        let mut sys = self.clone();
+        for (_, site) in sys.sites.iter_mut() {
+            site.storage = Bytes(u64::MAX / 4);
+            site.capacity = ReqPerSec::INFINITE;
+        }
+        sys.repository.capacity = ReqPerSec::INFINITE;
+        sys
+    }
+}
+
+/// Incremental builder for [`System`] with full referential validation.
+#[derive(Default, Clone, Debug)]
+pub struct SystemBuilder {
+    sites: IdVec<SiteId, Site>,
+    pages: IdVec<PageId, WebPage>,
+    objects: IdVec<ObjectId, MediaObject>,
+    repository: Repository,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder with an unconstrained repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a site, returning its id.
+    pub fn add_site(&mut self, site: Site) -> SiteId {
+        self.sites.push(site)
+    }
+
+    /// Adds a multimedia object, returning its id.
+    pub fn add_object(&mut self, object: MediaObject) -> ObjectId {
+        self.objects.push(object)
+    }
+
+    /// Adds a page, returning its id. Validation happens at
+    /// [`SystemBuilder::build`] time.
+    pub fn add_page(&mut self, page: WebPage) -> PageId {
+        self.pages.push(page)
+    }
+
+    /// Sets the repository's processing capacity.
+    pub fn repository_capacity(&mut self, capacity: ReqPerSec) -> &mut Self {
+        self.repository.capacity = capacity;
+        self
+    }
+
+    /// Number of objects added so far.
+    pub fn n_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of sites added so far.
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Validates the assembled entities and produces a [`System`].
+    pub fn build(self) -> Result<System, ModelError> {
+        if self.sites.is_empty() || self.pages.is_empty() {
+            return Err(ModelError::EmptySystem);
+        }
+        for (sid, site) in self.sites.iter() {
+            if !site.local_rate.is_valid() {
+                return Err(ModelError::InvalidRate {
+                    site: sid,
+                    which: "local",
+                });
+            }
+            if !site.repo_rate.is_valid() {
+                return Err(ModelError::InvalidRate {
+                    site: sid,
+                    which: "repository",
+                });
+            }
+        }
+        let n_objects = self.objects.len();
+        let mut pages_by_site: IdVec<SiteId, Vec<PageId>> =
+            self.sites.ids().map(|_| Vec::new()).collect();
+        let mut mark = vec![usize::MAX; n_objects];
+        for (pid, page) in self.pages.iter() {
+            if page.site.index() >= self.sites.len() {
+                return Err(ModelError::UnknownSite {
+                    page: pid,
+                    site: page.site,
+                });
+            }
+            if !page.freq.get().is_finite() || page.freq.get() < 0.0 {
+                return Err(ModelError::InvalidFrequency {
+                    page: pid,
+                    freq: page.freq.get(),
+                });
+            }
+            for &k in &page.compulsory {
+                if k.index() >= n_objects {
+                    return Err(ModelError::UnknownObject {
+                        page: pid,
+                        object: k,
+                    });
+                }
+                if mark[k.index()] == pid.index() {
+                    return Err(ModelError::DuplicateReference {
+                        page: pid,
+                        object: k,
+                    });
+                }
+                mark[k.index()] = pid.index();
+            }
+            for o in &page.optional {
+                if o.object.index() >= n_objects {
+                    return Err(ModelError::UnknownObject {
+                        page: pid,
+                        object: o.object,
+                    });
+                }
+                if mark[o.object.index()] == pid.index() {
+                    return Err(ModelError::DuplicateReference {
+                        page: pid,
+                        object: o.object,
+                    });
+                }
+                mark[o.object.index()] = pid.index();
+                if !(o.prob > 0.0 && o.prob <= 1.0) {
+                    return Err(ModelError::InvalidProbability {
+                        page: pid,
+                        object: o.object,
+                        prob: o.prob,
+                    });
+                }
+            }
+            pages_by_site[page.site].push(pid);
+        }
+        Ok(System {
+            sites: self.sites,
+            pages: self.pages,
+            objects: self.objects,
+            repository: self.repository,
+            pages_by_site,
+        })
+    }
+}
+
+/// A reasonable default site matching the Table 1 estimates: 150 req/s
+/// capacity, 6.5 KiB/s local rate, 1.15 KiB/s repository rate, 1.525 s local
+/// overhead, 2.225 s repository overhead, 2 GiB storage.
+///
+/// Exposed mostly for doctests, unit tests and the quickstart example; the
+/// workload generator draws per-site values from the Table 1 ranges.
+pub fn default_site() -> Site {
+    Site {
+        storage: Bytes::gib(2),
+        capacity: ReqPerSec(150.0),
+        local_rate: BytesPerSec::kib_per_sec(6.5),
+        repo_rate: BytesPerSec::kib_per_sec(1.15),
+        local_ovhd: Secs(1.525),
+        repo_ovhd: Secs(2.225),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_system() -> System {
+        let mut b = SystemBuilder::new();
+        let s0 = b.add_site(default_site());
+        let s1 = b.add_site(default_site());
+        let m0 = b.add_object(MediaObject::of_size(Bytes::kib(100)));
+        let m1 = b.add_object(MediaObject::of_size(Bytes::kib(500)));
+        let m2 = b.add_object(MediaObject::of_size(Bytes::mib(2)));
+        b.add_page(WebPage {
+            site: s0,
+            html_size: Bytes::kib(4),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m0, m2],
+            optional: vec![OptionalRef {
+                object: m1,
+                prob: 0.03,
+            }],
+            opt_req_factor: 1.0,
+        });
+        b.add_page(WebPage {
+            site: s1,
+            html_size: Bytes::kib(10),
+            freq: ReqPerSec(2.0),
+            compulsory: vec![m1],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn media_object_classification_follows_table1_bands() {
+        assert_eq!(MediaObject::of_size(Bytes::kib(40)).class, SizeClass::Small);
+        assert_eq!(
+            MediaObject::of_size(Bytes::kib(299)).class,
+            SizeClass::Small
+        );
+        assert_eq!(
+            MediaObject::of_size(Bytes::kib(300)).class,
+            SizeClass::Medium
+        );
+        assert_eq!(
+            MediaObject::of_size(Bytes::kib(799)).class,
+            SizeClass::Medium
+        );
+        assert_eq!(MediaObject::of_size(Bytes::kib(800)).class, SizeClass::Large);
+        assert_eq!(MediaObject::of_size(Bytes::mib(4)).class, SizeClass::Large);
+    }
+
+    #[test]
+    fn build_populates_pages_by_site() {
+        let sys = tiny_system();
+        assert_eq!(sys.pages_of(SiteId::new(0)), &[PageId::new(0)]);
+        assert_eq!(sys.pages_of(SiteId::new(1)), &[PageId::new(1)]);
+        assert_eq!(sys.host_of(PageId::new(1)), SiteId::new(1));
+    }
+
+    #[test]
+    fn objects_referenced_includes_optional() {
+        let sys = tiny_system();
+        let refs = sys.objects_referenced_by(SiteId::new(0));
+        assert_eq!(
+            refs,
+            vec![ObjectId::new(0), ObjectId::new(1), ObjectId::new(2)]
+        );
+        let refs1 = sys.objects_referenced_by(SiteId::new(1));
+        assert_eq!(refs1, vec![ObjectId::new(1)]);
+    }
+
+    #[test]
+    fn full_storage_demand_sums_objects_and_html() {
+        let sys = tiny_system();
+        let expected = Bytes::kib(100) + Bytes::kib(500) + Bytes::mib(2) + Bytes::kib(4);
+        assert_eq!(sys.full_storage_demand(SiteId::new(0)), expected);
+    }
+
+    #[test]
+    fn full_local_load_counts_html_compulsory_and_expected_optionals() {
+        let sys = tiny_system();
+        // Page 0: freq 1.0 * (1 html + 2 compulsory + 0.03 optional) = 3.03
+        let load = sys.full_local_load(SiteId::new(0));
+        assert!((load.get() - 3.03).abs() < 1e-12);
+        // Page 1: freq 2.0 * (1 + 1 + 0) = 4.0
+        let load1 = sys.full_local_load(SiteId::new(1));
+        assert!((load1.get() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_remote_load_excludes_html() {
+        let sys = tiny_system();
+        // Page 0: 1.0 * (2 + 0.03); page 1: 2.0 * 1 => 4.03
+        assert!((sys.full_remote_load().get() - 4.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_fraction_scales_each_site() {
+        let sys = tiny_system();
+        let half = sys.with_storage_fraction(0.5);
+        let full0 = sys.full_storage_demand(SiteId::new(0));
+        assert_eq!(half.site(SiteId::new(0)).storage, full0.scale(0.5));
+    }
+
+    #[test]
+    fn processing_fraction_scales_to_full_local_load() {
+        let sys = tiny_system();
+        let sixty = sys.with_processing_fraction(0.6);
+        assert!((sixty.site(SiteId::new(0)).capacity.get() - 3.03 * 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn central_fraction_scales_remote_load() {
+        let sys = tiny_system();
+        let r90 = sys.with_central_fraction(0.9);
+        assert!((r90.repository().capacity.get() - 4.03 * 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_relaxes_everything() {
+        let sys = tiny_system().with_storage_fraction(0.1);
+        let un = sys.unconstrained();
+        assert_eq!(un.repository().capacity, ReqPerSec::INFINITE);
+        for (_, s) in un.sites().iter() {
+            assert_eq!(s.capacity, ReqPerSec::INFINITE);
+            assert!(s.storage.get() > Bytes::gib(1000).get());
+        }
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert_eq!(
+            SystemBuilder::new().build().unwrap_err(),
+            ModelError::EmptySystem
+        );
+    }
+
+    #[test]
+    fn build_rejects_unknown_object() {
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(default_site());
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![ObjectId::new(7)],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::UnknownObject { .. }
+        ));
+    }
+
+    #[test]
+    fn build_rejects_unknown_site() {
+        let mut b = SystemBuilder::new();
+        let _ = b.add_site(default_site());
+        let m = b.add_object(MediaObject::of_size(Bytes::kib(50)));
+        b.add_page(WebPage {
+            site: SiteId::new(9),
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::UnknownSite { .. }
+        ));
+    }
+
+    #[test]
+    fn build_rejects_object_both_compulsory_and_optional() {
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(default_site());
+        let m = b.add_object(MediaObject::of_size(Bytes::kib(50)));
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m],
+            optional: vec![OptionalRef {
+                object: m,
+                prob: 0.5,
+            }],
+            opt_req_factor: 1.0,
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::DuplicateReference { .. }
+        ));
+    }
+
+    #[test]
+    fn build_rejects_bad_probability() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let mut b = SystemBuilder::new();
+            let s = b.add_site(default_site());
+            let m = b.add_object(MediaObject::of_size(Bytes::kib(50)));
+            b.add_page(WebPage {
+                site: s,
+                html_size: Bytes::kib(1),
+                freq: ReqPerSec(1.0),
+                compulsory: vec![],
+                optional: vec![OptionalRef {
+                    object: m,
+                    prob: bad,
+                }],
+                opt_req_factor: 1.0,
+            });
+            assert!(
+                matches!(b.build().unwrap_err(), ModelError::InvalidProbability { .. }),
+                "probability {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_frequency() {
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(default_site());
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(-1.0),
+            compulsory: vec![],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::InvalidFrequency { .. }
+        ));
+    }
+
+    #[test]
+    fn build_rejects_bad_rate() {
+        let mut b = SystemBuilder::new();
+        let mut site = default_site();
+        site.repo_rate = BytesPerSec(0.0);
+        b.add_site(site);
+        let m = b.add_object(MediaObject::of_size(Bytes::kib(50)));
+        b.add_page(WebPage {
+            site: SiteId::new(0),
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        assert!(matches!(
+            b.build().unwrap_err(),
+            ModelError::InvalidRate { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_compulsory_across_pages_is_fine() {
+        // The same object may be compulsory for many different pages.
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(default_site());
+        let m = b.add_object(MediaObject::of_size(Bytes::kib(50)));
+        for _ in 0..2 {
+            b.add_page(WebPage {
+                site: s,
+                html_size: Bytes::kib(1),
+                freq: ReqPerSec(1.0),
+                compulsory: vec![m],
+                optional: vec![],
+                opt_req_factor: 1.0,
+            });
+        }
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn system_serde_roundtrip() {
+        let sys = tiny_system();
+        let json = serde_json::to_string(&sys).unwrap();
+        let back: System = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sys);
+    }
+}

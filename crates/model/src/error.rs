@@ -1,0 +1,150 @@
+//! Error type for model construction and validation.
+
+use crate::ids::{ObjectId, PageId, SiteId};
+use std::fmt;
+
+/// Errors raised while assembling or validating a [`crate::System`] or a
+/// [`crate::Placement`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A page references an object id that does not exist in the repository
+    /// catalogue.
+    UnknownObject {
+        /// The offending page.
+        page: PageId,
+        /// The dangling object reference.
+        object: ObjectId,
+    },
+    /// A page is assigned to a site id that does not exist.
+    UnknownSite {
+        /// The offending page.
+        page: PageId,
+        /// The dangling site reference.
+        site: SiteId,
+    },
+    /// An object appears both as compulsory and optional for the same page,
+    /// which the paper's `U`/`U'` definitions forbid (`U_jk = 1` forces
+    /// `U'_jk = 0`).
+    DuplicateReference {
+        /// The offending page.
+        page: PageId,
+        /// The doubly-referenced object.
+        object: ObjectId,
+    },
+    /// An optional-object request probability is outside `(0, 1]`.
+    InvalidProbability {
+        /// The offending page.
+        page: PageId,
+        /// The offending object.
+        object: ObjectId,
+        /// The rejected probability value.
+        prob: f64,
+    },
+    /// A page has a non-finite or negative access frequency.
+    InvalidFrequency {
+        /// The offending page.
+        page: PageId,
+        /// The rejected frequency value.
+        freq: f64,
+    },
+    /// A site has a non-positive transfer-rate estimate.
+    InvalidRate {
+        /// The offending site.
+        site: SiteId,
+        /// Human-readable description of which rate was invalid.
+        which: &'static str,
+    },
+    /// A placement's partition vector lengths disagree with the page's
+    /// object lists.
+    PartitionShapeMismatch {
+        /// The offending page.
+        page: PageId,
+        /// Expected (compulsory, optional) lengths.
+        expected: (usize, usize),
+        /// Actual (compulsory, optional) lengths.
+        actual: (usize, usize),
+    },
+    /// The placement covers a different number of pages than the system.
+    PlacementSizeMismatch {
+        /// Pages in the system.
+        system_pages: usize,
+        /// Partitions in the placement.
+        placement_pages: usize,
+    },
+    /// The system has no sites or no pages, which makes every experiment
+    /// degenerate.
+    EmptySystem,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownObject { page, object } => {
+                write!(f, "page {page} references unknown object {object}")
+            }
+            ModelError::UnknownSite { page, site } => {
+                write!(f, "page {page} is hosted on unknown site {site}")
+            }
+            ModelError::DuplicateReference { page, object } => write!(
+                f,
+                "page {page} lists object {object} as both compulsory and optional"
+            ),
+            ModelError::InvalidProbability { page, object, prob } => write!(
+                f,
+                "page {page} optional object {object} has probability {prob} outside (0, 1]"
+            ),
+            ModelError::InvalidFrequency { page, freq } => {
+                write!(f, "page {page} has invalid access frequency {freq}")
+            }
+            ModelError::InvalidRate { site, which } => {
+                write!(f, "site {site} has an invalid {which} transfer rate")
+            }
+            ModelError::PartitionShapeMismatch {
+                page,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "partition for page {page} has shape {actual:?}, expected {expected:?}"
+            ),
+            ModelError::PlacementSizeMismatch {
+                system_pages,
+                placement_pages,
+            } => write!(
+                f,
+                "placement covers {placement_pages} pages but the system has {system_pages}"
+            ),
+            ModelError::EmptySystem => write!(f, "system has no sites or no pages"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_ids() {
+        let e = ModelError::UnknownObject {
+            page: PageId::new(3),
+            object: ObjectId::new(9),
+        };
+        assert_eq!(e.to_string(), "page W3 references unknown object M9");
+
+        let e = ModelError::PartitionShapeMismatch {
+            page: PageId::new(1),
+            expected: (2, 0),
+            actual: (3, 1),
+        };
+        assert!(e.to_string().contains("(3, 1)"));
+        assert!(e.to_string().contains("(2, 0)"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,380 @@
+//! Dense (0,1) matrices — the paper's native formulation.
+//!
+//! Section 3 states the problem over five matrices: the compulsory
+//! incidence `U` (n x m), the optional-probability matrix `U'` (n x m), the
+//! page-allocation matrix `A` (s x n) and the decision matrices `X`, `X'`.
+//! Production code paths use the compact per-page representation in
+//! [`crate::placement`]; this module materializes the dense forms so tests
+//! can verify that both views agree, and so small systems can be inspected
+//! matrix-first exactly as the paper writes them.
+
+use crate::entities::System;
+use crate::ids::{ObjectId, PageId, SiteId};
+use crate::placement::Placement;
+use serde::{Deserialize, Serialize};
+
+/// A dense bit matrix packed into 64-bit words, row-major.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            words: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn locate(&self, r: usize, c: usize) -> (usize, u64) {
+        debug_assert!(r < self.rows && c < self.cols, "bit index out of range");
+        (r * self.words_per_row + c / 64, 1u64 << (c % 64))
+    }
+
+    /// Reads bit `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        let (w, m) = self.locate(r, c);
+        self.words[w] & m != 0
+    }
+
+    /// Sets bit `(r, c)` to `value`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        let (w, m) = self.locate(r, c);
+        if value {
+            self.words[w] |= m;
+        } else {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Number of set bits in row `r` (`Σ_k X_jk`-style sums).
+    pub fn row_count(&self, r: usize) -> usize {
+        let start = r * self.words_per_row;
+        self.words[start..start + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of set bits in column `c`.
+    pub fn col_count(&self, c: usize) -> usize {
+        (0..self.rows).filter(|&r| self.get(r, c)).count()
+    }
+
+    /// Total number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set-column indices of row `r` in ascending order.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = r * self.words_per_row;
+        let words = &self.words[start..start + self.words_per_row];
+        words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Element-wise `self & !other` — e.g. `U_jk (1 - X_jk)`, the remote
+    /// compulsory downloads.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn and_not(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "matrix shapes must match"
+        );
+        let mut out = self.clone();
+        for (o, (&a, &b)) in out
+            .words
+            .iter_mut()
+            .zip(self.words.iter().zip(&other.words))
+        {
+            *o = a & !b;
+        }
+        out
+    }
+
+    /// Whether `other` is a subset of `self` (every set bit of `other` is
+    /// set in `self`) — the feasibility condition `X ⊆ U`.
+    pub fn contains_all(&self, other: &BitMatrix) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .words
+                .iter()
+                .zip(&other.words)
+                .all(|(&a, &b)| b & !a == 0)
+    }
+}
+
+/// The paper's matrices materialized from a [`System`] and optionally a
+/// [`Placement`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixView {
+    /// `U` — `n x m` compulsory incidence.
+    pub u: BitMatrix,
+    /// `U'` — `n x m` optional request probabilities (0 where compulsory).
+    pub u_opt: Vec<Vec<(ObjectId, f64)>>,
+    /// `A` — `s x n` page allocation.
+    pub a: BitMatrix,
+}
+
+impl MatrixView {
+    /// Builds `U`, `U'`, `A` from a system.
+    pub fn of(system: &System) -> Self {
+        let n = system.n_pages();
+        let m = system.n_objects();
+        let s = system.n_sites();
+        let mut u = BitMatrix::zeros(n, m);
+        let mut a = BitMatrix::zeros(s, n);
+        let mut u_opt = vec![Vec::new(); n];
+        for (pid, page) in system.pages().iter() {
+            a.set(page.site.index(), pid.index(), true);
+            for &k in &page.compulsory {
+                u.set(pid.index(), k.index(), true);
+            }
+            for o in &page.optional {
+                u_opt[pid.index()].push((o.object, o.prob));
+            }
+        }
+        MatrixView { u, u_opt, a }
+    }
+
+    /// Materializes the `X` matrix (compulsory local downloads) from a
+    /// placement.
+    pub fn x_matrix(system: &System, placement: &Placement) -> BitMatrix {
+        let mut x = BitMatrix::zeros(system.n_pages(), system.n_objects());
+        for (pid, page) in system.pages().iter() {
+            let part = placement.partition(pid);
+            for (t, &k) in page.compulsory.iter().enumerate() {
+                if part.local_compulsory[t] {
+                    x.set(pid.index(), k.index(), true);
+                }
+            }
+        }
+        x
+    }
+
+    /// Materializes the `X'` matrix: `X` plus the locally-served optional
+    /// objects.
+    pub fn x_prime_matrix(system: &System, placement: &Placement) -> BitMatrix {
+        let mut x = Self::x_matrix(system, placement);
+        for (pid, page) in system.pages().iter() {
+            let part = placement.partition(pid);
+            for (t, o) in page.optional.iter().enumerate() {
+                if part.local_optional[t] {
+                    x.set(pid.index(), o.object.index(), true);
+                }
+            }
+        }
+        x
+    }
+
+    /// Checks the structural invariant `X ⊆ U` — a compulsory object can
+    /// only be local where it is actually referenced.
+    pub fn x_within_u(&self, x: &BitMatrix) -> bool {
+        self.u.contains_all(x)
+    }
+
+    /// The hosting site of page `j` read from the `A` matrix.
+    pub fn host_of(&self, page: PageId) -> Option<SiteId> {
+        (0..self.a.rows())
+            .find(|&i| self.a.get(i, page.index()))
+            .map(SiteId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{default_site, MediaObject, OptionalRef, SystemBuilder, WebPage};
+    use crate::units::{Bytes, ReqPerSec};
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut m = BitMatrix::zeros(3, 130); // spans three words per row
+        assert_eq!(m.count(), 0);
+        m.set(0, 0, true);
+        m.set(1, 64, true);
+        m.set(2, 129, true);
+        assert!(m.get(0, 0));
+        assert!(m.get(1, 64));
+        assert!(m.get(2, 129));
+        assert!(!m.get(0, 1));
+        assert_eq!(m.count(), 3);
+        m.set(1, 64, false);
+        assert!(!m.get(1, 64));
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn row_and_col_counts() {
+        let mut m = BitMatrix::zeros(2, 100);
+        m.set(0, 3, true);
+        m.set(0, 99, true);
+        m.set(1, 3, true);
+        assert_eq!(m.row_count(0), 2);
+        assert_eq!(m.row_count(1), 1);
+        assert_eq!(m.col_count(3), 2);
+        assert_eq!(m.col_count(99), 1);
+        assert_eq!(m.col_count(0), 0);
+    }
+
+    #[test]
+    fn row_iter_ascending_across_words() {
+        let mut m = BitMatrix::zeros(1, 200);
+        for c in [5, 63, 64, 127, 128, 199] {
+            m.set(0, c, true);
+        }
+        let cols: Vec<usize> = m.row_iter(0).collect();
+        assert_eq!(cols, vec![5, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn and_not_is_elementwise() {
+        let mut u = BitMatrix::zeros(1, 70);
+        let mut x = BitMatrix::zeros(1, 70);
+        u.set(0, 1, true);
+        u.set(0, 65, true);
+        x.set(0, 65, true);
+        let remote = u.and_not(&x);
+        assert!(remote.get(0, 1));
+        assert!(!remote.get(0, 65));
+        assert_eq!(remote.count(), 1);
+    }
+
+    #[test]
+    fn contains_all_subset_logic() {
+        let mut u = BitMatrix::zeros(2, 10);
+        u.set(0, 1, true);
+        u.set(1, 2, true);
+        let mut x = BitMatrix::zeros(2, 10);
+        x.set(0, 1, true);
+        assert!(u.contains_all(&x));
+        x.set(1, 3, true); // not in U
+        assert!(!u.contains_all(&x));
+        let wrong_shape = BitMatrix::zeros(2, 11);
+        assert!(!u.contains_all(&wrong_shape));
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix shapes must match")]
+    fn and_not_rejects_shape_mismatch() {
+        let a = BitMatrix::zeros(1, 10);
+        let b = BitMatrix::zeros(2, 10);
+        let _ = a.and_not(&b);
+    }
+
+    fn sample_system() -> System {
+        let mut b = SystemBuilder::new();
+        let s0 = b.add_site(default_site());
+        let s1 = b.add_site(default_site());
+        let m0 = b.add_object(MediaObject::of_size(Bytes::kib(100)));
+        let m1 = b.add_object(MediaObject::of_size(Bytes::kib(600)));
+        b.add_page(WebPage {
+            site: s0,
+            html_size: Bytes::kib(2),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m0],
+            optional: vec![OptionalRef {
+                object: m1,
+                prob: 0.2,
+            }],
+            opt_req_factor: 1.0,
+        });
+        b.add_page(WebPage {
+            site: s1,
+            html_size: Bytes::kib(2),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m0, m1],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matrix_view_mirrors_system() {
+        let sys = sample_system();
+        let view = MatrixView::of(&sys);
+        // U: page 0 needs m0; page 1 needs m0, m1.
+        assert!(view.u.get(0, 0));
+        assert!(!view.u.get(0, 1));
+        assert!(view.u.get(1, 0));
+        assert!(view.u.get(1, 1));
+        // A: page 0 on site 0, page 1 on site 1.
+        assert!(view.a.get(0, 0));
+        assert!(view.a.get(1, 1));
+        assert!(!view.a.get(0, 1));
+        assert_eq!(view.host_of(PageId::new(0)), Some(SiteId::new(0)));
+        assert_eq!(view.host_of(PageId::new(1)), Some(SiteId::new(1)));
+        // U': page 0 has (m1, 0.2).
+        assert_eq!(view.u_opt[0], vec![(ObjectId::new(1), 0.2)]);
+        assert!(view.u_opt[1].is_empty());
+    }
+
+    #[test]
+    fn x_matrices_track_placement() {
+        let sys = sample_system();
+        let view = MatrixView::of(&sys);
+
+        let local = Placement::all_local(&sys);
+        let x = MatrixView::x_matrix(&sys, &local);
+        assert!(view.x_within_u(&x));
+        assert_eq!(x.count(), 3); // all compulsory marks
+
+        let xp = MatrixView::x_prime_matrix(&sys, &local);
+        assert_eq!(xp.count(), 4); // plus the optional mark
+        assert!(xp.get(0, 1));
+
+        let remote = Placement::all_remote(&sys);
+        assert_eq!(MatrixView::x_prime_matrix(&sys, &remote).count(), 0);
+    }
+
+    #[test]
+    fn x_within_u_fails_for_foreign_bits() {
+        let sys = sample_system();
+        let view = MatrixView::of(&sys);
+        let mut x = BitMatrix::zeros(sys.n_pages(), sys.n_objects());
+        x.set(0, 1, true); // m1 is only *optional* for page 0, not in U
+        assert!(!view.x_within_u(&x));
+    }
+}

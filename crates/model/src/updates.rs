@@ -1,0 +1,200 @@
+//! Update-propagation accounting — the read/write extension.
+//!
+//! The paper's model is read-only: objects never change, so a replica
+//! costs only storage. Its related-work discussion (the ADR algorithm,
+//! HTTP DRP) centres on exactly the cost it omits: **keeping replicas
+//! fresh**. This module adds that cost in the paper's own currency, HTTP
+//! requests per second:
+//!
+//! * every update to object `k` (rate `u_k`) triggers one push per
+//!   storing site — `u_k · |sites storing k|` requests at the repository
+//!   (Eq. 9 extension);
+//! * each storing site absorbs the refresh — `Σ_{k stored} u_k` requests
+//!   at the site (Eq. 8 extension).
+//!
+//! The planner can opt in (`PlannerConfig::include_update_load` in
+//! `mmrepl-core`), which makes heavily-updated objects more expensive to
+//! replicate; the `updates` experiment sweeps the update intensity and
+//! shows replication gracefully receding toward the Remote policy.
+
+use crate::entities::System;
+use crate::ids::SiteId;
+use crate::placement::Placement;
+use crate::units::ReqPerSec;
+use serde::{Deserialize, Serialize};
+
+/// The refresh load arriving at `site`: `Σ_{k stored at site} u_k`.
+pub fn site_update_load(system: &System, placement: &Placement, site: SiteId) -> ReqPerSec {
+    let stored = placement.stored_set(system, site);
+    ReqPerSec(
+        stored
+            .iter()
+            .map(|k| system.object(k).update_rate)
+            .sum(),
+    )
+}
+
+/// The push load the repository bears: `Σ_k u_k · |sites storing k|`.
+pub fn repo_update_load(system: &System, placement: &Placement) -> ReqPerSec {
+    ReqPerSec(
+        system
+            .sites()
+            .ids()
+            .map(|s| site_update_load(system, placement, s).get())
+            .sum(),
+    )
+}
+
+/// Total replicas (site, object) pairs — how much refresh fan-out the
+/// placement creates.
+pub fn replica_count(system: &System, placement: &Placement) -> usize {
+    system
+        .sites()
+        .ids()
+        .map(|s| placement.stored_set(system, s).len())
+        .sum()
+}
+
+/// Extended feasibility summary: the paper's Eq. 8/9 loads plus the
+/// update-propagation loads, checked against the same capacities.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UpdateAwareReport {
+    /// Per-site read load (Eq. 8 LHS), raw site order.
+    pub site_read: Vec<ReqPerSec>,
+    /// Per-site refresh load, raw site order.
+    pub site_update: Vec<ReqPerSec>,
+    /// Repository read load (Eq. 9 LHS).
+    pub repo_read: ReqPerSec,
+    /// Repository push load.
+    pub repo_update: ReqPerSec,
+    /// Sites whose combined load exceeds `C(S_i)`.
+    pub overloaded_sites: Vec<SiteId>,
+    /// Whether the repository's combined load exceeds `C(R)`.
+    pub repo_overloaded: bool,
+}
+
+impl UpdateAwareReport {
+    /// Evaluates read + refresh load against the configured capacities.
+    pub fn check(system: &System, placement: &Placement) -> Self {
+        const EPS: f64 = 1e-9;
+        let mut site_read = Vec::with_capacity(system.n_sites());
+        let mut site_update = Vec::with_capacity(system.n_sites());
+        let mut overloaded_sites = Vec::new();
+        for site in system.sites().ids() {
+            let read = placement.site_load(system, site);
+            let upd = site_update_load(system, placement, site);
+            if read.get() + upd.get() > system.site(site).capacity.get() * (1.0 + EPS) + EPS
+            {
+                overloaded_sites.push(site);
+            }
+            site_read.push(read);
+            site_update.push(upd);
+        }
+        let repo_read = placement.repo_load(system);
+        let repo_update = repo_update_load(system, placement);
+        let repo_overloaded = repo_read.get() + repo_update.get()
+            > system.repository().capacity.get() * (1.0 + EPS) + EPS;
+        UpdateAwareReport {
+            site_read,
+            site_update,
+            repo_read,
+            repo_update,
+            overloaded_sites,
+            repo_overloaded,
+        }
+    }
+
+    /// Whether every extended constraint holds.
+    pub fn is_feasible(&self) -> bool {
+        self.overloaded_sites.is_empty() && !self.repo_overloaded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entities::{default_site, MediaObject, SystemBuilder, WebPage};
+    use crate::units::{Bytes, ReqPerSec as Rps};
+
+    /// Two sites sharing one updated object plus one read-only object.
+    fn fixture(update_rate: f64) -> System {
+        let mut b = SystemBuilder::new();
+        let s0 = b.add_site(default_site());
+        let s1 = b.add_site(default_site());
+        let hot = b.add_object(MediaObject::with_update_rate(Bytes::kib(100), update_rate));
+        let cold = b.add_object(MediaObject::of_size(Bytes::kib(100)));
+        for &s in &[s0, s1] {
+            b.add_page(WebPage {
+                site: s,
+                html_size: Bytes::kib(5),
+                freq: Rps(1.0),
+                compulsory: vec![hot, cold],
+                optional: vec![],
+                opt_req_factor: 1.0,
+            });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn read_only_objects_cost_nothing() {
+        let sys = fixture(0.0);
+        let placement = Placement::all_local(&sys);
+        assert_eq!(repo_update_load(&sys, &placement), Rps(0.0));
+        for s in sys.sites().ids() {
+            assert_eq!(site_update_load(&sys, &placement, s), Rps(0.0));
+        }
+    }
+
+    #[test]
+    fn each_replica_charges_site_and_repo() {
+        let sys = fixture(2.0);
+        let placement = Placement::all_local(&sys);
+        // Both sites store the hot object: each pays 2 req/s, repo 4.
+        for s in sys.sites().ids() {
+            assert!((site_update_load(&sys, &placement, s).get() - 2.0).abs() < 1e-12);
+        }
+        assert!((repo_update_load(&sys, &placement).get() - 4.0).abs() < 1e-12);
+        assert_eq!(replica_count(&sys, &placement), 4); // 2 objects x 2 sites
+    }
+
+    #[test]
+    fn all_remote_placement_has_no_update_cost() {
+        let sys = fixture(5.0);
+        let placement = Placement::all_remote(&sys);
+        assert_eq!(repo_update_load(&sys, &placement), Rps(0.0));
+        assert_eq!(replica_count(&sys, &placement), 0);
+    }
+
+    #[test]
+    fn update_aware_report_flags_overload() {
+        let mut sys = fixture(0.0);
+        // Read-only: feasible.
+        let placement = Placement::all_local(&sys);
+        let r = UpdateAwareReport::check(&sys, &placement);
+        assert!(r.is_feasible());
+
+        // Massive update rate: the 150 req/s sites drown in refreshes.
+        sys = fixture(1000.0);
+        let placement = Placement::all_local(&sys);
+        let r = UpdateAwareReport::check(&sys, &placement);
+        assert!(!r.is_feasible());
+        assert_eq!(r.overloaded_sites.len(), 2);
+        assert!((r.site_update[0].get() - 1000.0).abs() < 1e-9);
+        // The default repository is infinite, so it never overloads.
+        assert!(!r.repo_overloaded);
+    }
+
+    #[test]
+    fn with_update_rate_constructor_validates() {
+        let m = MediaObject::with_update_rate(Bytes::kib(500), 0.5);
+        assert_eq!(m.update_rate, 0.5);
+        assert_eq!(m.size, Bytes::kib(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid update rate")]
+    fn negative_update_rate_rejected() {
+        let _ = MediaObject::with_update_rate(Bytes::kib(10), -1.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Control-plane message bus.
+//!
+//! Section 4's off-loading negotiation is a real distributed protocol:
+//! sites send status messages `(Space(S_i), P(S_i), P(S_i, R))`, the
+//! repository replies with workload assignments, sites acknowledge with
+//! what they could absorb, possibly over several rounds. Simulating the
+//! exchange — rather than calling a function — keeps the algorithm honest
+//! about what information each party actually has, and lets experiments
+//! report protocol cost (messages, rounds, elapsed control-plane time).
+
+use crate::event::{EventQueue, SimTime};
+use mmrepl_model::{Secs, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// A protocol participant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// The central repository `R`.
+    Repository,
+    /// A local site `S_i`.
+    Site(SiteId),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Repository => write!(f, "R"),
+            Endpoint::Site(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A delivered message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: Endpoint,
+    /// Receiver.
+    pub to: Endpoint,
+    /// When the sender posted it.
+    pub sent_at: SimTime,
+    /// When it arrives at the receiver.
+    pub deliver_at: SimTime,
+    /// The payload.
+    pub payload: M,
+}
+
+/// Aggregate protocol cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusStats {
+    /// Messages posted.
+    pub sent: u64,
+    /// Messages delivered so far.
+    pub delivered: u64,
+}
+
+/// An in-memory, deterministic message bus with fixed one-way latency per
+/// hop. Messages between the same pair preserve order (equal-time delivery
+/// is FIFO via the event queue's stable ordering).
+pub struct MessageBus<M> {
+    queue: EventQueue<Envelope<M>>,
+    latency: Secs,
+    stats: BusStats,
+}
+
+impl<M> MessageBus<M> {
+    /// A bus where every hop takes `latency` seconds one-way. The Table 1
+    /// estimates put client-repository RTT at 200 ms, so 100 ms one-way is
+    /// the natural default for site-repository control traffic.
+    pub fn new(latency: Secs) -> Self {
+        assert!(latency.is_valid(), "invalid bus latency {latency:?}");
+        MessageBus {
+            queue: EventQueue::new(),
+            latency,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Posts `payload` from `from` to `to`; it will arrive one latency
+    /// later.
+    pub fn send(&mut self, from: Endpoint, to: Endpoint, payload: M) {
+        let sent_at = self.queue.now();
+        let deliver_at = sent_at.after(self.latency.get());
+        self.stats.sent += 1;
+        self.queue.schedule(
+            deliver_at,
+            Envelope {
+                from,
+                to,
+                sent_at,
+                deliver_at,
+                payload,
+            },
+        );
+    }
+
+    /// Delivers the next message in time order, advancing the clock.
+    pub fn deliver_next(&mut self) -> Option<Envelope<M>> {
+        let (_, env) = self.queue.pop()?;
+        self.stats.delivered += 1;
+        Some(env)
+    }
+
+    /// Delivers every message currently in flight (messages sent *during*
+    /// the drain are delivered too), applying `f` to each.
+    pub fn drain(&mut self, mut f: impl FnMut(&mut Self, Envelope<M>)) {
+        while let Some(env) = self.deliver_next() {
+            f(self, env);
+        }
+    }
+
+    /// Current bus time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.pending()
+    }
+
+    /// Protocol cost so far.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// The configured one-way latency.
+    pub fn latency(&self) -> Secs {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_after_latency() {
+        let mut bus: MessageBus<&str> = MessageBus::new(Secs(0.1));
+        bus.send(Endpoint::Site(SiteId::new(0)), Endpoint::Repository, "status");
+        let env = bus.deliver_next().unwrap();
+        assert_eq!(env.payload, "status");
+        assert_eq!(env.sent_at, SimTime::ZERO);
+        assert!((env.deliver_at.get() - 0.1).abs() < 1e-12);
+        assert!((bus.now().get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_between_same_pair() {
+        let mut bus: MessageBus<u32> = MessageBus::new(Secs(0.05));
+        let s = Endpoint::Site(SiteId::new(1));
+        for i in 0..5 {
+            bus.send(s, Endpoint::Repository, i);
+        }
+        let order: Vec<u32> =
+            std::iter::from_fn(|| bus.deliver_next().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn request_reply_takes_two_latencies() {
+        let mut bus: MessageBus<&str> = MessageBus::new(Secs(0.1));
+        bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(2)), "assign");
+        let req = bus.deliver_next().unwrap();
+        assert_eq!(req.payload, "assign");
+        // Reply is posted at delivery time.
+        bus.send(req.to, req.from, "ack");
+        let reply = bus.deliver_next().unwrap();
+        assert_eq!(reply.payload, "ack");
+        assert!((reply.deliver_at.get() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_handles_cascading_sends() {
+        // Repository broadcasts; each site acks; repository counts acks.
+        let mut bus: MessageBus<&str> = MessageBus::new(Secs(0.1));
+        for i in 0..3 {
+            bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(i)), "req");
+        }
+        let mut acks = 0;
+        bus.drain(|bus, env| match env.payload {
+            "req" => bus.send(env.to, env.from, "ack"),
+            "ack" => acks += 1,
+            _ => unreachable!(),
+        });
+        assert_eq!(acks, 3);
+        assert_eq!(bus.stats(), BusStats { sent: 6, delivered: 6 });
+        assert_eq!(bus.in_flight(), 0);
+    }
+
+    #[test]
+    fn stats_track_sent_vs_delivered() {
+        let mut bus: MessageBus<()> = MessageBus::new(Secs(1.0));
+        bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(0)), ());
+        bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(1)), ());
+        assert_eq!(bus.stats().sent, 2);
+        assert_eq!(bus.stats().delivered, 0);
+        assert_eq!(bus.in_flight(), 2);
+        bus.deliver_next();
+        assert_eq!(bus.stats().delivered, 1);
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(Endpoint::Repository.to_string(), "R");
+        assert_eq!(Endpoint::Site(SiteId::new(3)).to_string(), "S3");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bus latency")]
+    fn rejects_negative_latency() {
+        let _: MessageBus<()> = MessageBus::new(Secs(-0.1));
+    }
+}

@@ -1,0 +1,342 @@
+//! Response-time statistics.
+//!
+//! The experiment harness replays 100,000 requests per run across worker
+//! threads, so the accumulators here are **mergeable**: each worker fills
+//! its own [`ResponseStats`], and the harness combines them without locks
+//! in the hot path. Mean/variance use Welford's parallel-combinable form;
+//! percentiles come from a fixed log-spaced histogram (response times span
+//! roughly 1 s to 1000 s, so 1 % relative resolution needs only a few
+//! hundred buckets).
+
+use mmrepl_model::Secs;
+use serde::{Deserialize, Serialize};
+
+/// Log-spaced histogram over `[min, max]` with saturating under/overflow
+/// buckets.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    log_min: f64,
+    log_width: f64,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram with `n_buckets` log-spaced buckets covering
+    /// `[min, max]` (both positive, min < max).
+    pub fn new(min: f64, max: f64, n_buckets: usize) -> Self {
+        assert!(min > 0.0 && max > min, "invalid histogram range [{min}, {max}]");
+        assert!(n_buckets >= 1, "need at least one bucket");
+        let log_min = min.ln();
+        let log_width = (max.ln() - log_min) / n_buckets as f64;
+        Histogram {
+            min,
+            max,
+            log_min,
+            log_width,
+            // +2 for the underflow and overflow buckets.
+            buckets: vec![0; n_buckets + 2],
+        }
+    }
+
+    /// The default range for response times: 10 ms to 100,000 s at ~2 %
+    /// relative resolution (modem-era multimedia pages run to minutes;
+    /// deliberately-overloaded queueing scenarios to hours).
+    pub fn for_response_times() -> Self {
+        Histogram::new(0.01, 100_000.0, 800)
+    }
+
+    fn bucket_of(&self, v: f64) -> usize {
+        if v < self.min {
+            0
+        } else if v >= self.max {
+            self.buckets.len() - 1
+        } else {
+            1 + (((v.ln() - self.log_min) / self.log_width) as usize)
+                .min(self.buckets.len() - 3)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        let b = self.bucket_of(v);
+        self.buckets[b] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Approximate `q`-quantile (`0 <= q <= 1`), or `None` when empty.
+    /// Returns the geometric midpoint of the bucket containing the
+    /// quantile.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.bucket_value(i));
+            }
+        }
+        Some(self.max)
+    }
+
+    fn bucket_value(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.min
+        } else if i == self.buckets.len() - 1 {
+            self.max
+        } else {
+            // Geometric midpoint of the bucket.
+            let lo = self.log_min + (i - 1) as f64 * self.log_width;
+            (lo + 0.5 * self.log_width).exp()
+        }
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.min == other.min
+                && self.max == other.max
+                && self.buckets.len() == other.buckets.len(),
+            "merging incompatible histograms"
+        );
+        for (a, &b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// Streaming response-time statistics: count, mean, variance (Welford),
+/// min/max, and a histogram for percentiles.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResponseStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    hist: Histogram,
+}
+
+impl Default for ResponseStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResponseStats {
+    /// An empty accumulator with the default response-time histogram.
+    pub fn new() -> Self {
+        ResponseStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            hist: Histogram::for_response_times(),
+        }
+    }
+
+    /// Records one response time.
+    pub fn record(&mut self, t: Secs) {
+        debug_assert!(t.is_valid(), "recording invalid time {t:?}");
+        let v = t.get();
+        self.count += 1;
+        let delta = v - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (v - self.mean);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.hist.record(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or `None` when empty.
+    pub fn mean(&self) -> Option<Secs> {
+        (self.count > 0).then_some(Secs(self.mean))
+    }
+
+    /// Sample standard deviation (n-1 denominator), or `None` for < 2
+    /// samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        (self.count > 1).then(|| (self.m2 / (self.count - 1) as f64).sqrt())
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<Secs> {
+        (self.count > 0).then_some(Secs(self.min))
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<Secs> {
+        (self.count > 0).then_some(Secs(self.max))
+    }
+
+    /// Approximate quantile from the histogram.
+    pub fn quantile(&self, q: f64) -> Option<Secs> {
+        self.hist.quantile(q).map(Secs)
+    }
+
+    /// Merges another accumulator (parallel Welford combination).
+    pub fn merge(&mut self, other: &ResponseStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_report_none() {
+        let s = ResponseStats::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_none());
+        assert!(s.std_dev().is_none());
+        assert!(s.min().is_none());
+        assert!(s.max().is_none());
+        assert!(s.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut s = ResponseStats::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(Secs(v));
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean().unwrap().get() - 2.5).abs() < 1e-12);
+        assert_eq!(s.min().unwrap().get(), 1.0);
+        assert_eq!(s.max().unwrap().get(), 4.0);
+        // std dev of 1,2,3,4 = sqrt(5/3)
+        assert!((s.std_dev().unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let values: Vec<f64> = (1..=100).map(|i| (i as f64).sqrt() * 3.7).collect();
+        let mut all = ResponseStats::new();
+        for &v in &values {
+            all.record(Secs(v));
+        }
+        let mut a = ResponseStats::new();
+        let mut b = ResponseStats::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 3 == 0 {
+                a.record(Secs(v));
+            } else {
+                b.record(Secs(v));
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean().unwrap().get() - all.mean().unwrap().get()).abs() < 1e-9);
+        assert!((a.std_dev().unwrap() - all.std_dev().unwrap()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = ResponseStats::new();
+        s.record(Secs(5.0));
+        let snapshot = s.clone();
+        s.merge(&ResponseStats::new());
+        assert_eq!(s, snapshot);
+
+        let mut empty = ResponseStats::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_approximately_right() {
+        let mut s = ResponseStats::new();
+        // Uniform 1..=1000 seconds.
+        for i in 1..=1000 {
+            s.record(Secs(i as f64));
+        }
+        let p50 = s.quantile(0.5).unwrap().get();
+        let p95 = s.quantile(0.95).unwrap().get();
+        assert!((p50 / 500.0 - 1.0).abs() < 0.05, "p50 = {p50}");
+        assert!((p95 / 950.0 - 1.0).abs() < 0.05, "p95 = {p95}");
+        let p0 = s.quantile(0.0).unwrap().get();
+        assert!(p0 <= s.quantile(1.0).unwrap().get());
+    }
+
+    #[test]
+    fn histogram_handles_out_of_range() {
+        let mut h = Histogram::new(1.0, 100.0, 10);
+        h.record(0.5); // underflow
+        h.record(1e9); // overflow
+        h.record(10.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), Some(1.0)); // underflow bucket
+        assert_eq!(h.quantile(1.0), Some(100.0)); // overflow bucket
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new(1.0, 100.0, 10);
+        let mut b = Histogram::new(1.0, 100.0, 10);
+        a.record(5.0);
+        b.record(5.0);
+        b.record(50.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn histogram_merge_rejects_mismatch() {
+        let mut a = Histogram::new(1.0, 100.0, 10);
+        let b = Histogram::new(1.0, 100.0, 20);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn histogram_rejects_bad_range() {
+        let _ = Histogram::new(0.0, 10.0, 5);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        let mut s = ResponseStats::new();
+        s.record(Secs(42.0));
+        let q = s.quantile(0.5).unwrap().get();
+        assert!((q / 42.0 - 1.0).abs() < 0.05, "q = {q}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Server processing-capacity model.
+//!
+//! The paper treats per-request processing time as constant ("since we
+//! assumed peak hours, i.e., almost fixed server utilization"), so a server
+//! with capacity `C` requests/second is a deterministic FIFO queue with
+//! service time `1/C` per HTTP request. The planning constraints (Eq. 8/9)
+//! keep offered load under `C`; this model answers the follow-up question
+//! the paper leaves implicit — *how much queueing delay appears when a
+//! placement violates them* — and powers the queueing-aware replay
+//! extension in `mmrepl-sim`.
+
+use crate::event::SimTime;
+use mmrepl_model::{ReqPerSec, Secs};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic-service FIFO server.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueueingServer {
+    capacity: ReqPerSec,
+    next_free: SimTime,
+    served: u64,
+    busy: f64,
+}
+
+/// The outcome of admitting a batch of requests.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServiceOutcome {
+    /// When service began (>= arrival).
+    pub start: SimTime,
+    /// When the batch finished processing.
+    pub finish: SimTime,
+    /// Queueing delay suffered before service began.
+    pub wait: Secs,
+}
+
+impl QueueingServer {
+    /// A server with the given processing capacity. Infinite capacity means
+    /// zero service time (the Table 1 repository).
+    pub fn new(capacity: ReqPerSec) -> Self {
+        assert!(
+            capacity.get() > 0.0,
+            "server capacity must be positive, got {capacity:?}"
+        );
+        QueueingServer {
+            capacity,
+            next_free: SimTime::ZERO,
+            served: 0,
+            busy: 0.0,
+        }
+    }
+
+    /// Deterministic service time for `n_requests` HTTP requests.
+    pub fn service_time(&self, n_requests: f64) -> Secs {
+        if self.capacity.get().is_infinite() {
+            Secs::ZERO
+        } else {
+            Secs(n_requests / self.capacity.get())
+        }
+    }
+
+    /// Admits a batch of `n_requests` arriving at `arrival`; FIFO service.
+    pub fn admit(&mut self, arrival: SimTime, n_requests: f64) -> ServiceOutcome {
+        assert!(
+            n_requests >= 0.0 && n_requests.is_finite(),
+            "invalid batch size {n_requests}"
+        );
+        let start = arrival.max(self.next_free);
+        let service = self.service_time(n_requests);
+        let finish = start.after(service.get());
+        self.next_free = finish;
+        self.served += n_requests.round() as u64;
+        self.busy += service.get();
+        ServiceOutcome {
+            start,
+            finish,
+            wait: Secs(start.get() - arrival.get()),
+        }
+    }
+
+    /// Total requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// When the server next becomes idle.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Fraction of `[0, horizon]` the server spent serving. Values above 1
+    /// mean the queue never drained within the horizon.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon.get() == 0.0 {
+            0.0
+        } else {
+            self.busy / horizon.get()
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> ReqPerSec {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = QueueingServer::new(ReqPerSec(10.0));
+        let out = s.admit(SimTime::new(1.0), 5.0);
+        assert_eq!(out.start, SimTime::new(1.0));
+        assert!((out.finish.get() - 1.5).abs() < 1e-12); // 5 req / 10 rps
+        assert_eq!(out.wait, Secs::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_arrivals_queue_fifo() {
+        let mut s = QueueingServer::new(ReqPerSec(1.0));
+        let a = s.admit(SimTime::new(0.0), 2.0); // busy until t=2
+        let b = s.admit(SimTime::new(1.0), 1.0); // arrives during service
+        assert_eq!(a.finish, SimTime::new(2.0));
+        assert_eq!(b.start, SimTime::new(2.0));
+        assert!((b.wait.get() - 1.0).abs() < 1e-12);
+        assert_eq!(b.finish, SimTime::new(3.0));
+    }
+
+    #[test]
+    fn gap_lets_queue_drain() {
+        let mut s = QueueingServer::new(ReqPerSec(1.0));
+        s.admit(SimTime::new(0.0), 1.0); // done at 1
+        let late = s.admit(SimTime::new(5.0), 1.0);
+        assert_eq!(late.start, SimTime::new(5.0));
+        assert_eq!(late.wait, Secs::ZERO);
+    }
+
+    #[test]
+    fn infinite_capacity_never_queues() {
+        let mut s = QueueingServer::new(ReqPerSec::INFINITE);
+        for i in 0..100 {
+            let out = s.admit(SimTime::new(i as f64 * 0.001), 50.0);
+            assert_eq!(out.wait, Secs::ZERO);
+            assert_eq!(out.start, out.finish);
+        }
+        assert_eq!(s.utilization(SimTime::new(1.0)), 0.0);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_time() {
+        let mut s = QueueingServer::new(ReqPerSec(2.0));
+        s.admit(SimTime::new(0.0), 4.0); // 2 seconds of service
+        assert!((s.utilization(SimTime::new(4.0)) - 0.5).abs() < 1e-12);
+        assert!(s.utilization(SimTime::ZERO) == 0.0);
+    }
+
+    #[test]
+    fn served_counts_requests() {
+        let mut s = QueueingServer::new(ReqPerSec(100.0));
+        s.admit(SimTime::new(0.0), 3.0);
+        s.admit(SimTime::new(0.0), 2.0);
+        assert_eq!(s.served(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = QueueingServer::new(ReqPerSec(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid batch")]
+    fn rejects_negative_batch() {
+        let mut s = QueueingServer::new(ReqPerSec(1.0));
+        s.admit(SimTime::ZERO, -1.0);
+    }
+
+    #[test]
+    fn overload_grows_queue_without_bound() {
+        // Offered load 2x capacity: waits must increase monotonically.
+        let mut s = QueueingServer::new(ReqPerSec(1.0));
+        let mut last_wait = -1.0;
+        for i in 0..50 {
+            let out = s.admit(SimTime::new(i as f64 * 0.5), 1.0);
+            assert!(out.wait.get() >= last_wait);
+            last_wait = out.wait.get();
+        }
+        assert!(last_wait > 10.0, "queue should have built up: {last_wait}");
+    }
+}

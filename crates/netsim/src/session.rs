@@ -1,0 +1,190 @@
+//! Event-driven page-download sessions.
+//!
+//! The closed-form pipeline arithmetic in [`crate::transfer`] is what the
+//! experiments use; this module simulates the *same* download as discrete
+//! events — connection established, each payload completed — on the
+//! [`crate::event::EventQueue`]. Its purpose is cross-validation: the
+//! event-driven end time must equal the closed form exactly, which the
+//! unit and property tests assert. It also gives downstream users an
+//! observable timeline (when did object `k` arrive?) that the closed form
+//! cannot provide.
+
+use crate::event::{EventQueue, SimTime};
+use crate::transfer::StreamPlan;
+use serde::{Deserialize, Serialize};
+
+/// Which of the page's two parallel streams an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamSide {
+    /// The local-server connection (carries the HTML first).
+    Local,
+    /// The repository connection.
+    Remote,
+}
+
+/// One observable milestone of a page download.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// The connection finished setup and the first byte is flowing.
+    Connected(StreamSide),
+    /// Payload `index` (in stream order) fully arrived.
+    PayloadComplete {
+        /// Which stream delivered it.
+        side: StreamSide,
+        /// Index into that stream's payload list.
+        index: u32,
+    },
+    /// The stream delivered everything and closed.
+    StreamDone(StreamSide),
+}
+
+/// The full, time-ordered milestone log of one page download.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SessionTimeline {
+    /// `(time, event)` pairs in non-decreasing time order.
+    pub events: Vec<(SimTime, SessionEvent)>,
+    /// When the page completed: the later `StreamDone` (or the only one).
+    pub page_done: SimTime,
+}
+
+impl SessionTimeline {
+    /// When `index` on `side` completed, if it exists.
+    pub fn payload_time(&self, side: StreamSide, index: u32) -> Option<SimTime> {
+        self.events.iter().find_map(|&(t, e)| match e {
+            SessionEvent::PayloadComplete { side: s, index: i } if s == side && i == index => {
+                Some(t)
+            }
+            _ => None,
+        })
+    }
+}
+
+/// Simulates the two parallel pipelined streams of one page request as
+/// discrete events, starting at time zero. Empty streams produce no
+/// events (the connection is never opened), matching
+/// [`StreamPlan::total_time`]'s zero.
+pub fn simulate_page(local: &StreamPlan, remote: &StreamPlan) -> SessionTimeline {
+    let mut queue: EventQueue<SessionEvent> = EventQueue::new();
+    for (side, plan) in [(StreamSide::Local, local), (StreamSide::Remote, remote)] {
+        if plan.is_empty() {
+            continue;
+        }
+        queue.schedule(
+            SimTime::new(plan.profile.overhead.get()),
+            SessionEvent::Connected(side),
+        );
+        let completions = plan.completion_times();
+        for (i, t) in completions.iter().enumerate() {
+            queue.schedule(
+                SimTime::new(t.get()),
+                SessionEvent::PayloadComplete {
+                    side,
+                    index: i as u32,
+                },
+            );
+        }
+        let done = completions.last().expect("non-empty stream");
+        queue.schedule(SimTime::new(done.get()), SessionEvent::StreamDone(side));
+    }
+
+    let mut events = Vec::with_capacity(queue.pending());
+    let mut page_done = SimTime::ZERO;
+    while let Some((t, e)) = queue.pop() {
+        if matches!(e, SessionEvent::StreamDone(_)) {
+            page_done = page_done.max(t);
+        }
+        events.push((t, e));
+    }
+    SessionTimeline { events, page_done }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::{parallel_page_time, ConnectionProfile};
+    use mmrepl_model::{Bytes, BytesPerSec, Secs};
+
+    fn profile(ovhd: f64, rate_kib: f64) -> ConnectionProfile {
+        ConnectionProfile::new(Secs(ovhd), BytesPerSec::kib_per_sec(rate_kib))
+    }
+
+    fn plan(p: ConnectionProfile, kib: &[u64]) -> StreamPlan {
+        let mut s = StreamPlan::empty(p);
+        for &k in kib {
+            s.push(Bytes::kib(k));
+        }
+        s
+    }
+
+    #[test]
+    fn event_end_time_matches_closed_form() {
+        let local = plan(profile(1.0, 10.0), &[10, 50, 20]);
+        let remote = plan(profile(2.0, 1.0), &[5]);
+        let timeline = simulate_page(&local, &remote);
+        let closed = parallel_page_time(&local, &remote);
+        assert!((timeline.page_done.get() - closed.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_complete() {
+        let local = plan(profile(1.5, 8.0), &[12, 400]);
+        let remote = plan(profile(2.2, 1.0), &[60, 30]);
+        let t = simulate_page(&local, &remote);
+        // 2 connects + 4 payloads + 2 dones.
+        assert_eq!(t.events.len(), 8);
+        let mut last = 0.0;
+        for &(time, _) in &t.events {
+            assert!(time.get() >= last);
+            last = time.get();
+        }
+        // Each payload has a timestamp equal to its prefix sum.
+        let local_times = local.completion_times();
+        for (i, lt) in local_times.iter().enumerate() {
+            let observed = t.payload_time(StreamSide::Local, i as u32).unwrap();
+            assert!((observed.get() - lt.get()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_remote_stream_produces_no_remote_events() {
+        let local = plan(profile(1.0, 10.0), &[10]);
+        let remote = StreamPlan::empty(profile(2.0, 1.0));
+        let t = simulate_page(&local, &remote);
+        assert!(t.events.iter().all(|&(_, e)| match e {
+            SessionEvent::Connected(s)
+            | SessionEvent::StreamDone(s)
+            | SessionEvent::PayloadComplete { side: s, .. } => s == StreamSide::Local,
+        }));
+        assert!((t.page_done.get() - local.total_time().get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connected_precedes_first_payload() {
+        let local = plan(profile(1.0, 10.0), &[10]);
+        let remote = plan(profile(2.0, 1.0), &[10]);
+        let t = simulate_page(&local, &remote);
+        for side in [StreamSide::Local, StreamSide::Remote] {
+            let connect = t
+                .events
+                .iter()
+                .find(|&&(_, e)| e == SessionEvent::Connected(side))
+                .unwrap()
+                .0;
+            let first_payload = t.payload_time(side, 0).unwrap();
+            assert!(connect <= first_payload);
+        }
+    }
+
+    #[test]
+    fn html_arrives_before_big_objects_on_the_same_stream() {
+        // Pipelining means the 12 KiB HTML lands long before the 4 MiB
+        // video sharing its connection.
+        let local = plan(profile(1.5, 8.0), &[12, 4096]);
+        let remote = StreamPlan::empty(profile(2.2, 1.0));
+        let t = simulate_page(&local, &remote);
+        let html = t.payload_time(StreamSide::Local, 0).unwrap();
+        let video = t.payload_time(StreamSide::Local, 1).unwrap();
+        assert!(html < video);
+        assert!(video.get() - html.get() > 500.0);
+    }
+}

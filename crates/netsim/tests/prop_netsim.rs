@@ -1,0 +1,165 @@
+//! Property tests for the netsim substrate: statistics merging, event
+//! ordering and transfer arithmetic.
+
+use mmrepl_model::{Bytes, BytesPerSec, ReqPerSec, Secs};
+use mmrepl_netsim::{
+    parallel_page_time, pipeline_time, simulate_page, ConnectionProfile, EventQueue,
+    QueueingServer, ResponseStats, SimTime, StreamPlan,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Merging split accumulators equals accumulating sequentially,
+    /// regardless of the split.
+    #[test]
+    fn stats_merge_is_split_invariant(
+        values in prop::collection::vec(0.001f64..10_000.0, 1..200),
+        split in any::<u64>(),
+    ) {
+        let mut whole = ResponseStats::new();
+        let mut a = ResponseStats::new();
+        let mut b = ResponseStats::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(Secs(v));
+            if (split >> (i % 64)) & 1 == 0 {
+                a.record(Secs(v));
+            } else {
+                b.record(Secs(v));
+            }
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        let (am, wm) = (a.mean().unwrap().get(), whole.mean().unwrap().get());
+        prop_assert!((am - wm).abs() <= 1e-9 * wm.max(1.0));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+        if values.len() > 1 {
+            let (asd, wsd) = (a.std_dev().unwrap(), whole.std_dev().unwrap());
+            prop_assert!((asd - wsd).abs() <= 1e-6 * wsd.max(1.0));
+        }
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max.
+    #[test]
+    fn quantiles_monotone(values in prop::collection::vec(0.01f64..5_000.0, 1..300)) {
+        let mut s = ResponseStats::new();
+        for &v in &values {
+            s.record(Secs(v));
+        }
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0];
+        let mut last = 0.0;
+        for &q in &qs {
+            let v = s.quantile(q).unwrap().get();
+            prop_assert!(v >= last, "q{} = {} < {}", q, v, last);
+            last = v;
+        }
+    }
+
+    /// Events always pop in non-decreasing time order, with FIFO ties.
+    #[test]
+    fn event_queue_orders_any_schedule(times in prop::collection::vec(0.0f64..100.0, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::new(t), i);
+        }
+        let mut last_t = -1.0;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_time = f64::NAN;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t.get() >= last_t);
+            if t.get() == last_time {
+                // FIFO among equal times: indices ascend.
+                prop_assert!(seen_at_time.last().is_none_or(|&p| p < i));
+            } else {
+                seen_at_time.clear();
+                last_time = t.get();
+            }
+            seen_at_time.push(i);
+            last_t = t.get();
+        }
+        prop_assert_eq!(q.processed() as usize, times.len());
+    }
+
+    /// A FIFO server never reorders and never finishes before arrival +
+    /// service.
+    #[test]
+    fn queueing_server_fifo_invariants(
+        arrivals in prop::collection::vec((0.0f64..100.0, 0.1f64..20.0), 1..50),
+        capacity in 0.5f64..100.0,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut server = QueueingServer::new(ReqPerSec(capacity));
+        let mut last_finish = 0.0;
+        for (t, n) in sorted {
+            let out = server.admit(SimTime::new(t), n);
+            prop_assert!(out.start.get() >= t);
+            prop_assert!(out.start.get() >= last_finish - 1e-12);
+            let service = n / capacity;
+            prop_assert!((out.finish.get() - out.start.get() - service).abs() < 1e-9);
+            last_finish = out.finish.get();
+        }
+    }
+
+    /// The event-driven session simulation agrees exactly with the
+    /// closed-form parallel page time, for arbitrary stream shapes.
+    #[test]
+    fn event_simulation_matches_closed_form(
+        local_ovhd in 0.0f64..5.0,
+        local_rate in 0.1f64..100.0,
+        remote_ovhd in 0.0f64..5.0,
+        remote_rate in 0.1f64..100.0,
+        local_sizes in prop::collection::vec(1u64..2_000_000, 1..20),
+        remote_sizes in prop::collection::vec(1u64..2_000_000, 0..20),
+    ) {
+        let mut local = StreamPlan::empty(ConnectionProfile::new(
+            Secs(local_ovhd),
+            BytesPerSec(local_rate * 1024.0),
+        ));
+        for s in local_sizes {
+            local.push(Bytes(s));
+        }
+        let mut remote = StreamPlan::empty(ConnectionProfile::new(
+            Secs(remote_ovhd),
+            BytesPerSec(remote_rate * 1024.0),
+        ));
+        for s in remote_sizes {
+            remote.push(Bytes(s));
+        }
+        let timeline = simulate_page(&local, &remote);
+        let closed = parallel_page_time(&local, &remote);
+        prop_assert!(
+            (timeline.page_done.get() - closed.get()).abs() < 1e-9,
+            "events {} vs closed form {}",
+            timeline.page_done.get(),
+            closed.get()
+        );
+        // The timeline is monotone.
+        let mut last = 0.0;
+        for (t, _) in &timeline.events {
+            prop_assert!(t.get() >= last);
+            last = t.get();
+        }
+    }
+
+    /// Pipelining payloads on one connection is never slower than the sum
+    /// of independent fetches (overhead paid once vs n times) and never
+    /// faster than the pure transfer time.
+    #[test]
+    fn pipeline_bounds(
+        ovhd in 0.0f64..5.0,
+        rate in 0.1f64..100.0,
+        sizes in prop::collection::vec(1u64..5_000_000, 1..30),
+    ) {
+        let profile = ConnectionProfile::new(Secs(ovhd), BytesPerSec(rate * 1024.0));
+        let payloads: Vec<Bytes> = sizes.iter().map(|&s| Bytes(s)).collect();
+        let pipelined = pipeline_time(profile, &payloads).get();
+        let independent: f64 = payloads
+            .iter()
+            .map(|&p| profile.single_fetch(p).get())
+            .sum();
+        let pure: f64 = payloads.iter().map(|&p| profile.transfer_time(p).get()).sum();
+        prop_assert!(pipelined <= independent + 1e-9);
+        prop_assert!(pipelined + 1e-9 >= pure);
+    }
+}

@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! # mmrepl-sim
+//!
+//! The experiment harness: perturbed trace replay plus the sweeps that
+//! regenerate every figure in the paper's evaluation (Section 5).
+//!
+//! * [`replay`] — replays a request trace against any
+//!   [`mmrepl_baselines::RequestRouter`], serving each request under its
+//!   perturbed network conditions and recording response-time statistics;
+//! * [`queueing`] — an extension replay that additionally models server
+//!   queueing delay with the `mmrepl-netsim` capacity servers (the paper
+//!   treats capacity as a planning constraint only; this quantifies what
+//!   overload would actually cost);
+//! * [`experiment`] — the Figure 1/2/3 sweeps: N independent runs
+//!   (fresh workload + trace per run), every policy replayed against the
+//!   *same* per-run trace, results normalized to our policy with no
+//!   constraints — exactly the paper's methodology;
+//! * [`par`] — a small crossbeam-based fork-join helper that fans
+//!   independent runs out across cores (runs are embarrassingly parallel;
+//!   each takes seconds at paper scale);
+//! * [`ablation`] / [`drift`] / [`caches`] / [`updates`] — the DESIGN.md
+//!   A1-A5 ablations and the extension studies: "breaking news"
+//!   replanning, cache-policy comparison, update propagation;
+//! * [`des`] — an event-driven replay twin that must agree exactly with
+//!   the analytic queueing replay;
+//! * [`breakdown`] — per-site result reporting (regional asymmetry).
+//!
+//! ## Example
+//!
+//! ```
+//! use mmrepl_sim::{figure2, ExperimentConfig};
+//!
+//! let mut cfg = ExperimentConfig::quick(); // paper() for Table 1 scale
+//! cfg.runs = 1;
+//! let fig = figure2(&cfg, &[0.5, 1.0]);
+//! let ours = fig.series("ours");
+//! // Halving the processing capacity cannot improve response time.
+//! assert!(ours[0].1 >= ours[1].1 - 1.0);
+//! ```
+
+pub mod ablation;
+pub mod breakdown;
+pub mod caches;
+pub mod des;
+pub mod drift;
+pub mod experiment;
+pub mod par;
+pub mod queueing;
+pub mod replay;
+pub mod updates;
+
+pub use breakdown::{breakdown_table, site_breakdown, SiteReport};
+pub use caches::{cache_comparison, run_gds, run_lfu};
+pub use des::{des_replay, DesOutcome};
+pub use updates::{update_study, UpdatePoint, UpdateStudy};
+pub use drift::{drift_study, DriftEpoch, DriftStudy};
+
+pub use ablation::{
+    ablation_amortization, ablation_greedy_gap, ablation_offload,
+    ablation_partition_order, ablation_weights, all_ablations, AblationResult,
+};
+pub use experiment::{
+    figure1, figure2, figure3, headline, ExperimentConfig, FigureData, FigurePoint,
+    Headline,
+};
+pub use par::parallel_map;
+pub use queueing::{queueing_replay, QueueingOutcome};
+pub use replay::{replay_all, replay_site, ReplayOutcome};

@@ -1,0 +1,193 @@
+//! Workload drift — the "breaking news" effect of Section 4.1.
+//!
+//! The paper motivates periodic re-execution of the replication algorithm
+//! with the observation that "allocation decisions made off-line using
+//! the past access patterns may be inaccurate due to the dynamic nature
+//! of the Web, e.g., breaking news". This module models exactly that:
+//! between planning epochs, a fraction of each site's *hot* pages go cold
+//! and an equal number of cold pages become hot, swapping their request
+//! frequencies. The aggregate rate, the hot/cold split and every
+//! structural property are preserved — only *which* pages are hot moves.
+
+use crate::sampling::sample_distinct;
+use mmrepl_model::{PageId, ReqPerSec, SiteId, System};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Drift configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftModel {
+    /// Fraction of each site's hot set replaced per epoch, in `[0, 1]`.
+    /// `0.5` means half the front page turns over between plans.
+    pub rotation: f64,
+}
+
+impl DriftModel {
+    /// A drift model replacing `rotation` of the hot set per epoch.
+    pub fn new(rotation: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rotation),
+            "rotation {rotation} outside [0, 1]"
+        );
+        DriftModel { rotation }
+    }
+
+    /// Applies one epoch of drift, deterministically in `seed`.
+    ///
+    /// Per site: identify the hot pages (the top-frequency decile by
+    /// construction of the generator), pick `rotation x |hot|` of them and
+    /// an equal number of cold pages, and swap their frequencies
+    /// pairwise.
+    pub fn apply(&self, system: &System, seed: u64) -> System {
+        if self.rotation == 0.0 {
+            return system.clone();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xd31f7);
+        // Collect the swaps first, then rewrite in one pass.
+        let mut new_freq: Vec<f64> = system
+            .pages()
+            .values()
+            .map(|p| p.freq.get())
+            .collect();
+        for site in system.sites().ids() {
+            let swaps = self.site_swaps(system, site, &mut rng);
+            for (hot, cold) in swaps {
+                new_freq.swap(hot.index(), cold.index());
+            }
+        }
+        system.map_frequencies(|pid, _| ReqPerSec(new_freq[pid.index()]))
+    }
+
+    /// The (hot page, cold page) frequency swaps for one site.
+    fn site_swaps(
+        &self,
+        system: &System,
+        site: SiteId,
+        rng: &mut StdRng,
+    ) -> Vec<(PageId, PageId)> {
+        let pages = system.pages_of(site);
+        if pages.len() < 2 {
+            return Vec::new();
+        }
+        // Hot set: pages strictly above the median frequency band — with
+        // the generator's two-level split, exactly the hot decile.
+        let mut by_freq: Vec<PageId> = pages.to_vec();
+        by_freq.sort_by(|&a, &b| {
+            system
+                .page(b)
+                .freq
+                .get()
+                .total_cmp(&system.page(a).freq.get())
+                .then(a.cmp(&b))
+        });
+        let hot_max = system.page(by_freq[0]).freq.get();
+        let n_hot = by_freq
+            .iter()
+            .take_while(|&&p| system.page(p).freq.get() >= hot_max - 1e-12)
+            .count()
+            .min(pages.len() - 1);
+        let n_rotate = ((self.rotation * n_hot as f64).round() as usize).min(n_hot);
+        if n_rotate == 0 {
+            return Vec::new();
+        }
+        let hot = &by_freq[..n_hot];
+        let cold = &by_freq[n_hot..];
+        let hot_picks = sample_distinct(rng, hot.len(), n_rotate);
+        let cold_picks = sample_distinct(rng, cold.len(), n_rotate.min(cold.len()));
+        hot_picks
+            .into_iter()
+            .zip(cold_picks)
+            .map(|(h, c)| (hot[h], cold[c]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadParams;
+    use crate::generator::generate_system;
+
+    fn sys() -> System {
+        generate_system(&WorkloadParams::small(), 3).unwrap()
+    }
+
+    #[test]
+    fn zero_rotation_is_identity() {
+        let s = sys();
+        let drifted = DriftModel::new(0.0).apply(&s, 1);
+        assert_eq!(drifted, s);
+    }
+
+    #[test]
+    fn drift_preserves_total_rate_and_structure() {
+        let s = sys();
+        let drifted = DriftModel::new(0.5).apply(&s, 1);
+        assert_eq!(drifted.n_pages(), s.n_pages());
+        assert_eq!(drifted.n_objects(), s.n_objects());
+        for site in s.sites().ids() {
+            let before: f64 = s
+                .pages_of(site)
+                .iter()
+                .map(|&p| s.page(p).freq.get())
+                .sum();
+            let after: f64 = drifted
+                .pages_of(site)
+                .iter()
+                .map(|&p| drifted.page(p).freq.get())
+                .sum();
+            assert!((before - after).abs() < 1e-9, "rate changed at {site}");
+        }
+        // Structure untouched: same references, same sizes.
+        for (pid, page) in s.pages().iter() {
+            let d = drifted.page(pid);
+            assert_eq!(d.compulsory, page.compulsory);
+            assert_eq!(d.html_size, page.html_size);
+        }
+    }
+
+    #[test]
+    fn drift_actually_moves_the_hot_set() {
+        let s = sys();
+        let drifted = DriftModel::new(1.0).apply(&s, 2);
+        // At full rotation every site's hot set must have moved somewhere.
+        let mut moved = 0;
+        for (pid, page) in s.pages().iter() {
+            if drifted.page(pid).freq != page.freq {
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "full rotation changed nothing");
+        // And the multiset of frequencies per site is preserved (swaps).
+        for site in s.sites().ids() {
+            let mut before: Vec<u64> = s
+                .pages_of(site)
+                .iter()
+                .map(|&p| s.page(p).freq.get().to_bits())
+                .collect();
+            let mut after: Vec<u64> = drifted
+                .pages_of(site)
+                .iter()
+                .map(|&p| drifted.page(p).freq.get().to_bits())
+                .collect();
+            before.sort_unstable();
+            after.sort_unstable();
+            assert_eq!(before, after, "frequencies not a permutation at {site}");
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic_in_seed() {
+        let s = sys();
+        let m = DriftModel::new(0.5);
+        assert_eq!(m.apply(&s, 7), m.apply(&s, 7));
+        assert_ne!(m.apply(&s, 7), m.apply(&s, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_bad_rotation() {
+        let _ = DriftModel::new(1.5);
+    }
+}

@@ -1,0 +1,395 @@
+//! Builds a [`System`] from [`WorkloadParams`] — Section 5.1's synthetic
+//! workload.
+//!
+//! Construction is deterministic in `(params, seed)`:
+//!
+//! 1. **Objects** — `n_objects` multimedia objects, split into the Table 1
+//!    size bands with exact proportions (30 % small, 60 % medium, 10 %
+//!    large), sizes uniform within each band.
+//! 2. **Sites** — per-site estimates drawn uniformly: local overhead
+//!    1.275-1.775 s, repository overhead 1.975-2.475 s, local rate 3-10
+//!    KiB/s, repository rate 0.3-2 KiB/s; processing capacity fixed at the
+//!    Table 1 value.
+//! 3. **Catalogues** — each site references a random 1,500-4,500-object
+//!    subset of the network ("Number of MOs in an LS"), so sites share
+//!    objects exactly as a company sharing a central repository would.
+//! 4. **Pages** — 400-800 per site; 10 % are *hot* and carry 60 % of the
+//!    site's request rate, the rest share the remaining 40 % evenly; each
+//!    page has 5-45 compulsory objects, and 10 % of pages additionally
+//!    carry 10-85 optional links, each requested with probability
+//!    `0.10 x 0.30 = 0.03` per page view.
+//! 5. **Storage** — every site's `Size(S_i)` is set to its full demand
+//!    (HTML + every referenced object), i.e. the "100 %" point of the
+//!    Figure 1 axis; sweeps scale it down from there.
+
+use crate::config::WorkloadParams;
+use crate::sampling::{sample_distinct, uniform_count, uniform_in};
+use mmrepl_model::{
+    Bytes, BytesPerSec, MediaObject, OptionalRef, ReqPerSec, Secs, Site, System,
+    SystemBuilder, WebPage,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the synthetic system. Fails only if `params` are internally
+/// inconsistent (see [`WorkloadParams::validate`]).
+pub fn generate_system(params: &WorkloadParams, seed: u64) -> Result<System, String> {
+    params.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = SystemBuilder::new();
+
+    // --- 1. Objects, with exact band proportions -------------------------
+    let n = params.n_objects;
+    let n_small = (params.mo_small.0 * n as f64).round() as usize;
+    let n_medium = (params.mo_medium.0 * n as f64).round() as usize;
+    let n_small = n_small.min(n);
+    let n_medium = n_medium.min(n - n_small);
+    let object_ids: Vec<_> = (0..n)
+        .map(|i| {
+            let band = if i < n_small {
+                params.mo_small.1
+            } else if i < n_small + n_medium {
+                params.mo_medium.1
+            } else {
+                params.mo_large.1
+            };
+            let size = Bytes(uniform_in(&mut rng, band.lo, band.hi).round() as u64);
+            let object = if params.update_rate.hi > 0.0 {
+                MediaObject::with_update_rate(
+                    size,
+                    uniform_in(&mut rng, params.update_rate.lo, params.update_rate.hi),
+                )
+            } else {
+                MediaObject::of_size(size)
+            };
+            builder.add_object(object)
+        })
+        .collect();
+
+    // --- 2. Sites ---------------------------------------------------------
+    let site_ids: Vec<_> = (0..params.n_sites)
+        .map(|_| {
+            builder.add_site(Site {
+                // Placeholder; replaced by the full demand after build.
+                storage: Bytes(u64::MAX / 4),
+                capacity: ReqPerSec(params.site_capacity),
+                local_rate: BytesPerSec(uniform_in(
+                    &mut rng,
+                    params.local_rate.lo,
+                    params.local_rate.hi,
+                )),
+                repo_rate: BytesPerSec(uniform_in(
+                    &mut rng,
+                    params.repo_rate.lo,
+                    params.repo_rate.hi,
+                )),
+                local_ovhd: Secs(uniform_in(
+                    &mut rng,
+                    params.site_overhead.lo,
+                    params.site_overhead.hi,
+                )),
+                repo_ovhd: Secs(uniform_in(
+                    &mut rng,
+                    params.repo_overhead.lo,
+                    params.repo_overhead.hi,
+                )),
+            })
+        })
+        .collect();
+    builder.repository_capacity(ReqPerSec(params.repo_capacity));
+
+    // --- 3 & 4. Catalogues and pages ---------------------------------------
+    let opt_prob = params.optional_prob();
+    for &site in &site_ids {
+        let catalogue_size = uniform_count(
+            &mut rng,
+            params.objects_per_site.lo,
+            params.objects_per_site.hi,
+        );
+        let catalogue: Vec<usize> = sample_distinct(&mut rng, n, catalogue_size);
+
+        let n_pages = uniform_count(
+            &mut rng,
+            params.pages_per_site.lo,
+            params.pages_per_site.hi,
+        );
+        let n_hot = ((params.hot_page_frac * n_pages as f64).round() as usize).min(n_pages);
+        let n_cold = n_pages - n_hot;
+        // Frequency split: hot pages share hot_traffic_frac of the site's
+        // aggregate rate evenly; cold pages share the rest. Degenerate
+        // splits (no hot or no cold pages) collapse to an even split.
+        let (hot_rate, cold_rate) = if n_hot == 0 {
+            (0.0, params.site_page_rate / n_cold.max(1) as f64)
+        } else if n_cold == 0 {
+            (params.site_page_rate / n_hot as f64, 0.0)
+        } else {
+            (
+                params.site_page_rate * params.hot_traffic_frac / n_hot as f64,
+                params.site_page_rate * (1.0 - params.hot_traffic_frac) / n_cold as f64,
+            )
+        };
+
+        let n_opt_pages =
+            ((params.pages_with_optional_frac * n_pages as f64).round() as usize)
+                .min(n_pages);
+        // Which pages are hot / carry optionals: random distinct picks.
+        let hot_set: std::collections::HashSet<usize> =
+            sample_distinct(&mut rng, n_pages, n_hot).into_iter().collect();
+        let opt_set: std::collections::HashSet<usize> =
+            sample_distinct(&mut rng, n_pages, n_opt_pages)
+                .into_iter()
+                .collect();
+
+        for p in 0..n_pages {
+            let html_size = Bytes(sample_html_size(params, &mut rng).round() as u64);
+            let n_comp = uniform_count(
+                &mut rng,
+                params.compulsory_per_page.lo,
+                params.compulsory_per_page.hi,
+            );
+            let n_opt = if opt_set.contains(&p) {
+                uniform_count(
+                    &mut rng,
+                    params.optional_per_page.lo,
+                    params.optional_per_page.hi,
+                )
+            } else {
+                0
+            };
+            // Draw compulsory and optional references together so they are
+            // distinct within the page.
+            let picks = sample_distinct(&mut rng, catalogue.len(), n_comp + n_opt);
+            let compulsory = picks[..n_comp]
+                .iter()
+                .map(|&c| object_ids[catalogue[c]])
+                .collect();
+            let optional = picks[n_comp..]
+                .iter()
+                .map(|&c| OptionalRef {
+                    object: object_ids[catalogue[c]],
+                    prob: opt_prob,
+                })
+                .collect();
+            builder.add_page(WebPage {
+                site,
+                html_size,
+                freq: ReqPerSec(if hot_set.contains(&p) { hot_rate } else { cold_rate }),
+                compulsory,
+                optional,
+                opt_req_factor: 1.0,
+            });
+        }
+    }
+
+    // --- 5. Storage = full demand ("100 %") --------------------------------
+    let sys = builder.build().map_err(|e| e.to_string())?;
+    Ok(sys.with_storage_fraction(1.0))
+}
+
+fn sample_html_size(params: &WorkloadParams, rng: &mut StdRng) -> f64 {
+    let r: f64 = rng.random();
+    let band = if r < params.html_small.0 {
+        params.html_small.1
+    } else if r < params.html_small.0 + params.html_medium.0 {
+        params.html_medium.1
+    } else {
+        params.html_large.1
+    };
+    uniform_in(rng, band.lo, band.hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadParams;
+    use mmrepl_model::SizeClass;
+
+    fn small_sys(seed: u64) -> System {
+        generate_system(&WorkloadParams::small(), seed).unwrap()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = small_sys(42);
+        let b = small_sys(42);
+        assert_eq!(a, b);
+        let c = small_sys(43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_structural_counts() {
+        let params = WorkloadParams::small();
+        let sys = small_sys(1);
+        assert_eq!(sys.n_sites(), params.n_sites);
+        assert_eq!(sys.n_objects(), params.n_objects);
+        for site in sys.sites().ids() {
+            let n_pages = sys.pages_of(site).len();
+            assert!(
+                (params.pages_per_site.lo as usize..=params.pages_per_site.hi as usize)
+                    .contains(&n_pages),
+                "site {site} has {n_pages} pages"
+            );
+            let n_ref = sys.objects_referenced_by(site).len();
+            assert!(
+                n_ref <= params.objects_per_site.hi as usize,
+                "site {site} references {n_ref} objects"
+            );
+        }
+    }
+
+    #[test]
+    fn page_reference_counts_in_range() {
+        let params = WorkloadParams::small();
+        let sys = small_sys(2);
+        for (_, page) in sys.pages().iter() {
+            let c = page.n_compulsory();
+            assert!(
+                params.compulsory_per_page.contains(c as f64),
+                "{c} compulsory"
+            );
+            let o = page.n_optional();
+            assert!(
+                o == 0 || params.optional_per_page.contains(o as f64),
+                "{o} optional"
+            );
+        }
+    }
+
+    #[test]
+    fn about_ten_percent_of_pages_have_optionals() {
+        let sys = small_sys(3);
+        let params = WorkloadParams::small();
+        for site in sys.sites().ids() {
+            let pages = sys.pages_of(site);
+            let with_opt = pages
+                .iter()
+                .filter(|&&p| sys.page(p).n_optional() > 0)
+                .count();
+            let expected =
+                (params.pages_with_optional_frac * pages.len() as f64).round() as usize;
+            assert_eq!(with_opt, expected, "site {site}");
+        }
+    }
+
+    #[test]
+    fn hot_pages_carry_configured_traffic_share() {
+        let params = WorkloadParams::small();
+        let sys = small_sys(4);
+        for site in sys.sites().ids() {
+            let pages = sys.pages_of(site);
+            let mut freqs: Vec<f64> =
+                pages.iter().map(|&p| sys.page(p).freq.get()).collect();
+            let total: f64 = freqs.iter().sum();
+            assert!((total - params.site_page_rate).abs() < 1e-9, "site rate {total}");
+            freqs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let n_hot = (params.hot_page_frac * pages.len() as f64).round() as usize;
+            let hot_share: f64 = freqs[..n_hot].iter().sum::<f64>() / total;
+            assert!(
+                (hot_share - params.hot_traffic_frac).abs() < 1e-9,
+                "hot share {hot_share}"
+            );
+        }
+    }
+
+    #[test]
+    fn object_sizes_respect_bands_and_proportions() {
+        let params = WorkloadParams::small();
+        let sys = small_sys(5);
+        let mut counts = [0usize; 3];
+        for (_, obj) in sys.objects().iter() {
+            let s = obj.size.get() as f64;
+            match obj.class {
+                SizeClass::Small => {
+                    counts[0] += 1;
+                    assert!(params.mo_small.1.contains(s), "small {s}");
+                }
+                SizeClass::Medium => {
+                    counts[1] += 1;
+                    assert!(params.mo_medium.1.contains(s), "medium {s}");
+                }
+                SizeClass::Large => {
+                    counts[2] += 1;
+                    assert!(params.mo_large.1.contains(s), "large {s}");
+                }
+            }
+        }
+        let n = sys.n_objects() as f64;
+        assert!((counts[0] as f64 / n - params.mo_small.0).abs() < 0.01);
+        assert!((counts[1] as f64 / n - params.mo_medium.0).abs() < 0.01);
+        assert!((counts[2] as f64 / n - params.mo_large.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn html_sizes_within_bands() {
+        let params = WorkloadParams::small();
+        let sys = small_sys(6);
+        for (_, page) in sys.pages().iter() {
+            let s = page.html_size.get() as f64;
+            assert!(
+                params.html_small.1.contains(s)
+                    || params.html_medium.1.contains(s)
+                    || params.html_large.1.contains(s),
+                "html size {s} outside every band"
+            );
+        }
+    }
+
+    #[test]
+    fn optional_probabilities_are_the_table1_product() {
+        let sys = small_sys(7);
+        for (_, page) in sys.pages().iter() {
+            for o in &page.optional {
+                assert!((o.prob - 0.03).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn site_estimates_within_table1_ranges() {
+        let params = WorkloadParams::small();
+        let sys = small_sys(8);
+        for (_, site) in sys.sites().iter() {
+            assert!(params.local_rate.contains(site.local_rate.get()));
+            assert!(params.repo_rate.contains(site.repo_rate.get()));
+            assert!(params.site_overhead.contains(site.local_ovhd.get()));
+            assert!(params.repo_overhead.contains(site.repo_ovhd.get()));
+            assert_eq!(site.capacity, ReqPerSec(params.site_capacity));
+        }
+    }
+
+    #[test]
+    fn storage_defaults_to_full_demand() {
+        let sys = small_sys(9);
+        for site in sys.sites().ids() {
+            assert_eq!(sys.site(site).storage, sys.full_storage_demand(site));
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = WorkloadParams::small();
+        p.hot_page_frac = 2.0;
+        assert!(generate_system(&p, 1).is_err());
+    }
+
+    #[test]
+    fn paper_scale_generation_smoke() {
+        // Full Table 1 scale: 10 sites, 15k objects, 4k-8k pages.
+        let sys = generate_system(&WorkloadParams::paper(), 0).unwrap();
+        assert_eq!(sys.n_sites(), 10);
+        assert_eq!(sys.n_objects(), 15_000);
+        let total_pages = sys.n_pages();
+        assert!((4000..=8000).contains(&total_pages), "{total_pages} pages");
+        // The paper quotes ~1.8 GB average storage demand at 100 %; our
+        // regenerated workload should land in the same order of magnitude.
+        let avg_demand: f64 = sys
+            .sites()
+            .ids()
+            .map(|s| sys.full_storage_demand(s).get() as f64)
+            .sum::<f64>()
+            / sys.n_sites() as f64;
+        let gib = avg_demand / (1024.0 * 1024.0 * 1024.0);
+        assert!((0.5..=4.0).contains(&gib), "average demand {gib:.2} GiB");
+    }
+}

@@ -1,0 +1,276 @@
+//! The "actuals differ from estimates" model of Section 5.1.
+//!
+//! The replication decision is made against per-site *estimated* rates and
+//! overheads; each simulated request is then served under *actual*
+//! conditions drawn around (or far below) those estimates:
+//!
+//! * local transfer rate — 60 % of requests within ±10 % of the estimate,
+//!   30 % at between 1/2 and 1/3 of it, 10 % at 1/4 to 1/6 (network
+//!   congestion);
+//! * repository transfer rate — within ±20 %;
+//! * repository connection overhead — within ±20 %;
+//! * local connection overhead — −10 % to +50 %.
+//!
+//! The paper's stated rationale: estimates that are systematically too
+//! optimistic about local service push the planner toward intensive
+//! replication, and the policy must stay robust when reality is more
+//! conservative.
+
+use crate::config::Range;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One weighted bucket of multiplicative rate factors.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Probability of a request landing in this bucket.
+    pub weight: f64,
+    /// Factor range applied to the estimated rate.
+    pub factor: Range,
+}
+
+/// The full perturbation model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PerturbModel {
+    /// Local-rate buckets, probed in order; weights must sum to 1.
+    pub local_rate_buckets: Vec<Bucket>,
+    /// Repository-rate factor band.
+    pub repo_rate_band: Range,
+    /// Repository-overhead factor band.
+    pub repo_ovhd_band: Range,
+    /// Local-overhead factor band.
+    pub local_ovhd_band: Range,
+}
+
+impl PerturbModel {
+    /// The published Section 5.1 model.
+    pub fn paper() -> Self {
+        PerturbModel {
+            local_rate_buckets: vec![
+                Bucket {
+                    weight: 0.60,
+                    factor: Range::new(0.9, 1.1),
+                },
+                Bucket {
+                    weight: 0.30,
+                    factor: Range::new(1.0 / 3.0, 1.0 / 2.0),
+                },
+                Bucket {
+                    weight: 0.10,
+                    factor: Range::new(1.0 / 6.0, 1.0 / 4.0),
+                },
+            ],
+            repo_rate_band: Range::new(0.8, 1.2),
+            repo_ovhd_band: Range::new(0.8, 1.2),
+            local_ovhd_band: Range::new(0.9, 1.5),
+        }
+    }
+
+    /// The identity model — every request served exactly at the estimates.
+    /// Used to validate that replaying a trace under no perturbation
+    /// reproduces the analytic cost model.
+    pub fn none() -> Self {
+        PerturbModel {
+            local_rate_buckets: vec![Bucket {
+                weight: 1.0,
+                factor: Range::fixed(1.0),
+            }],
+            repo_rate_band: Range::fixed(1.0),
+            repo_ovhd_band: Range::fixed(1.0),
+            local_ovhd_band: Range::fixed(1.0),
+        }
+    }
+
+    /// Validates bucket weights and factor ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.local_rate_buckets.is_empty() {
+            return Err("perturbation model needs at least one bucket".into());
+        }
+        let total: f64 = self.local_rate_buckets.iter().map(|b| b.weight).sum();
+        if (total - 1.0).abs() > 1e-9 {
+            return Err(format!("bucket weights sum to {total}, not 1"));
+        }
+        for b in &self.local_rate_buckets {
+            if b.weight < 0.0 {
+                return Err("negative bucket weight".into());
+            }
+            if b.factor.lo <= 0.0 {
+                return Err("rate factors must be positive".into());
+            }
+        }
+        for band in [self.repo_rate_band, self.repo_ovhd_band, self.local_ovhd_band] {
+            if band.lo <= 0.0 {
+                return Err("factor bands must be positive".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Draws the actual service conditions for one page request.
+    pub fn draw<R: Rng + ?Sized>(&self, rng: &mut R) -> RequestConditions {
+        let mut pick: f64 = rng.random();
+        let mut local_rate_factor = self
+            .local_rate_buckets
+            .last()
+            .map(|b| b.factor.mid())
+            .unwrap_or(1.0);
+        for b in &self.local_rate_buckets {
+            if pick < b.weight {
+                local_rate_factor =
+                    crate::sampling::uniform_in(rng, b.factor.lo, b.factor.hi);
+                break;
+            }
+            pick -= b.weight;
+        }
+        RequestConditions {
+            local_rate_factor,
+            repo_rate_factor: crate::sampling::uniform_in(
+                rng,
+                self.repo_rate_band.lo,
+                self.repo_rate_band.hi,
+            ),
+            local_ovhd_factor: crate::sampling::uniform_in(
+                rng,
+                self.local_ovhd_band.lo,
+                self.local_ovhd_band.hi,
+            ),
+            repo_ovhd_factor: crate::sampling::uniform_in(
+                rng,
+                self.repo_ovhd_band.lo,
+                self.repo_ovhd_band.hi,
+            ),
+        }
+    }
+}
+
+impl Default for PerturbModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The actual conditions one page request is served under, as
+/// multiplicative factors over the per-site estimates. The paper fixes one
+/// transfer rate per arriving request ("every arriving HTTP request is
+/// served using a fixed data transfer rate"), and clients of a site share
+/// their repository rate, so a single factor per stream suffices.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestConditions {
+    /// Multiplier on the estimated local transfer rate `B(S_i)`.
+    pub local_rate_factor: f64,
+    /// Multiplier on the estimated repository rate `B(R, S_i)`.
+    pub repo_rate_factor: f64,
+    /// Multiplier on the local overhead `Ovhd(S_i)`.
+    pub local_ovhd_factor: f64,
+    /// Multiplier on the repository overhead `Ovhd(R, S_i)`.
+    pub repo_ovhd_factor: f64,
+}
+
+impl RequestConditions {
+    /// The identity conditions (exactly the estimates).
+    pub fn nominal() -> Self {
+        RequestConditions {
+            local_rate_factor: 1.0,
+            repo_rate_factor: 1.0,
+            local_ovhd_factor: 1.0,
+            repo_ovhd_factor: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_model_validates() {
+        PerturbModel::paper().validate().unwrap();
+        PerturbModel::none().validate().unwrap();
+    }
+
+    #[test]
+    fn none_model_is_identity() {
+        let m = PerturbModel::none();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = m.draw(&mut rng);
+            assert_eq!(c.local_rate_factor, 1.0);
+            assert_eq!(c.repo_rate_factor, 1.0);
+            assert_eq!(c.local_ovhd_factor, 1.0);
+            assert_eq!(c.repo_ovhd_factor, 1.0);
+        }
+    }
+
+    #[test]
+    fn factors_within_declared_bands() {
+        let m = PerturbModel::paper();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let c = m.draw(&mut rng);
+            assert!(
+                (0.9..=1.1).contains(&c.local_rate_factor)
+                    || (1.0 / 3.0..=0.5).contains(&c.local_rate_factor)
+                    || (1.0 / 6.0..=0.25).contains(&c.local_rate_factor),
+                "local factor {} outside all buckets",
+                c.local_rate_factor
+            );
+            assert!((0.8..=1.2).contains(&c.repo_rate_factor));
+            assert!((0.8..=1.2).contains(&c.repo_ovhd_factor));
+            assert!((0.9..=1.5).contains(&c.local_ovhd_factor));
+        }
+    }
+
+    #[test]
+    fn bucket_frequencies_match_weights() {
+        let m = PerturbModel::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let c = m.draw(&mut rng);
+            if c.local_rate_factor >= 0.9 {
+                counts[0] += 1;
+            } else if c.local_rate_factor >= 1.0 / 3.0 {
+                counts[1] += 1;
+            } else {
+                counts[2] += 1;
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.60).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.30).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.10).abs() < 0.01);
+    }
+
+    #[test]
+    fn validate_rejects_bad_weights() {
+        let mut m = PerturbModel::paper();
+        m.local_rate_buckets[0].weight = 0.7; // sums to 1.1
+        assert!(m.validate().is_err());
+
+        let mut m = PerturbModel::paper();
+        m.local_rate_buckets.clear();
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nonpositive_factors() {
+        let mut m = PerturbModel::paper();
+        m.repo_rate_band = Range::new(0.0, 1.0);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn mean_local_slowdown_is_substantial() {
+        // The design intent: actual local service is on average notably
+        // slower than estimated (pushing back against over-replication).
+        let m = PerturbModel::paper();
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| m.draw(&mut rng).local_rate_factor).sum::<f64>()
+            / n as f64;
+        // 0.6*1.0 + 0.3*~0.417 + 0.1*~0.208 ≈ 0.746
+        assert!((0.70..0.78).contains(&mean), "mean local factor {mean}");
+    }
+}

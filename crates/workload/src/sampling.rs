@@ -1,0 +1,273 @@
+//! Weighted sampling utilities.
+//!
+//! Each experiment run draws 10,000 page requests per site, frequency-
+//! weighted, across 20 runs x several policies x sweep points — hundreds of
+//! millions of draws over a bench session. [`AliasTable`] (Vose's alias
+//! method) makes every draw O(1) after an O(n) build.
+
+use rand::Rng;
+
+/// An O(1) discrete sampler over `n` weighted outcomes (Vose's alias
+/// method).
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized). Returns `Err` if the slice is empty, any weight is
+    /// negative/non-finite, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Result<Self, String> {
+        let n = weights.len();
+        if n == 0 {
+            return Err("alias table needs at least one outcome".into());
+        }
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(format!("weight {i} is invalid: {w}"));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err("all weights are zero".into());
+        }
+
+        // Scale to mean 1 and split into under/over-full buckets.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // The large bucket donates the deficit of the small one.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers saturate to probability 1.
+        for &i in small.iter().chain(&large) {
+            prob[i as usize] = 1.0;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index in O(1).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// Draws a uniform value in `[lo, hi]` — Table 1's "x - y" parameters.
+#[inline]
+pub fn uniform_in<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    if lo == hi {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+/// Draws a uniform integer in `[lo, hi]` from a float range, rounding the
+/// bounds inward.
+#[inline]
+pub fn uniform_count<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> usize {
+    let lo = lo.ceil() as usize;
+    let hi = hi.floor() as usize;
+    if lo >= hi {
+        lo
+    } else {
+        rng.random_range(lo..=hi)
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (Floyd's algorithm), returned
+/// in random order. Panics if `k > n`.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    // Floyd: for j in n-k..n, pick t in 0..=j; insert t or j if t taken.
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        let pick = if chosen.insert(t) { t } else { j };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        out.push(pick);
+    }
+    // Shuffle so callers don't see the biased insertion order.
+    for i in (1..out.len()).rev() {
+        let j = rng.random_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let t = AliasTable::new(&[3.7]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 2.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 0 || s == 2, "sampled zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "outcome {i}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_cold_split_reproduces_zipf_like_skew() {
+        // 10% of outcomes carry 60% of weight — the Table 1 hot-page split.
+        let n = 100;
+        let hot = 10;
+        let mut weights = vec![0.4 / (n - hot) as f64; n];
+        for w in weights.iter_mut().take(hot) {
+            *w = 0.6 / hot as f64;
+        }
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let draws = 100_000;
+        let hot_hits = (0..draws).filter(|_| t.sample(&mut rng) < hot).count();
+        let frac = hot_hits as f64 / draws as f64;
+        assert!((frac - 0.6).abs() < 0.01, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = uniform_in(&mut rng, 1.275, 1.775);
+            assert!((1.275..=1.775).contains(&v));
+        }
+        assert_eq!(uniform_in(&mut rng, 2.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn uniform_count_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = uniform_count(&mut rng, 5.0, 45.0);
+            assert!((5..=45).contains(&v));
+            seen_lo |= v == 5;
+            seen_hi |= v == 45;
+        }
+        assert!(seen_lo && seen_hi, "bounds never drawn");
+        assert_eq!(uniform_count(&mut rng, 7.0, 7.0), 7);
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for k in [0usize, 1, 10, 100] {
+            let v = sample_distinct(&mut rng, 100, k);
+            assert_eq!(v.len(), k);
+            let set: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), k, "duplicates in {v:?}");
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut v = sample_distinct(&mut rng, 20, 20);
+        v.sort_unstable();
+        assert_eq!(v, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_covers_all_elements_over_time() {
+        // Every index should be reachable, not just a prefix.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = vec![false; 30];
+        for _ in 0..2000 {
+            for i in sample_distinct(&mut rng, 30, 3) {
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_rejects_oversample() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = sample_distinct(&mut rng, 3, 4);
+    }
+}

@@ -1,0 +1,305 @@
+//! Request traces — the "10,000 page requests per server" of Section 5.1.
+//!
+//! A trace fixes, per site, the sequence of page requests, the optional
+//! objects each request goes on to fetch, and the perturbed network
+//! conditions it is served under. Traces are generated once per
+//! `(system, seed)` and replayed against *every* policy, so policies are
+//! compared on identical request sequences (paired comparison — the same
+//! experimental discipline the paper's "average over 20 runs" implies).
+
+use crate::config::WorkloadParams;
+use crate::perturb::{PerturbModel, RequestConditions};
+use crate::sampling::{sample_distinct, AliasTable};
+use mmrepl_model::{PageId, SiteId, System};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One page request and everything nondeterministic about serving it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// The requested page.
+    pub page: PageId,
+    /// Actual service conditions (perturbation factors).
+    pub conditions: RequestConditions,
+    /// Indices into the page's `optional` list that this user fetches
+    /// after the page loads. Empty for the ~90 % of users who never click.
+    pub optional_slots: Vec<u32>,
+}
+
+/// The request sequence one site serves.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SiteTrace {
+    /// The site the requests arrive at.
+    pub site: SiteId,
+    /// Requests in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl SiteTrace {
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Knobs for trace generation, extracted from [`WorkloadParams`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Page requests generated per site (Table 1: 10,000).
+    pub requests_per_site: usize,
+    /// Perturbation model for actual service conditions.
+    pub perturb: PerturbModel,
+    /// Probability a user requests any optional objects (Table 1: 0.10).
+    pub optional_interest_prob: f64,
+    /// Fraction of the page's optional links an interested user requests
+    /// (Table 1: 0.30).
+    pub optional_request_frac: f64,
+}
+
+impl TraceConfig {
+    /// Extracts the trace knobs from workload parameters, with the paper's
+    /// perturbation model.
+    pub fn from_params(params: &WorkloadParams) -> Self {
+        TraceConfig {
+            requests_per_site: params.requests_per_site,
+            perturb: PerturbModel::paper(),
+            optional_interest_prob: params.optional_interest_prob,
+            optional_request_frac: params.optional_request_frac,
+        }
+    }
+
+    /// Same, but with no perturbation (for analytic cross-checks).
+    pub fn nominal_from_params(params: &WorkloadParams) -> Self {
+        TraceConfig {
+            perturb: PerturbModel::none(),
+            ..Self::from_params(params)
+        }
+    }
+}
+
+/// Generates one trace per site, deterministically in `(system, seed)`.
+///
+/// Page selection is frequency-weighted via an alias table over the site's
+/// `f(W_j)` values; the per-site RNG stream is decorrelated from other
+/// sites with a SplitMix64 hash of `(seed, site)` so traces don't shift
+/// when the site count changes.
+pub fn generate_trace(system: &System, config: &TraceConfig, seed: u64) -> Vec<SiteTrace> {
+    system
+        .sites()
+        .ids()
+        .map(|site| generate_site_trace(system, config, seed, site))
+        .collect()
+}
+
+/// Generates the trace of a single site (used directly by the parallel
+/// replay paths so each worker builds only its own trace).
+pub fn generate_site_trace(
+    system: &System,
+    config: &TraceConfig,
+    seed: u64,
+    site: SiteId,
+) -> SiteTrace {
+    let mut rng = StdRng::seed_from_u64(splitmix64(
+        seed ^ splitmix64(0x5157_u64 + site.raw() as u64),
+    ));
+    let pages = system.pages_of(site);
+    if pages.is_empty() {
+        return SiteTrace {
+            site,
+            requests: Vec::new(),
+        };
+    }
+    let weights: Vec<f64> = pages.iter().map(|&p| system.page(p).freq.get()).collect();
+    // A site whose pages all have zero frequency still serves uniform
+    // traffic in the simulation (pages exist but the planner ignores them).
+    let table = AliasTable::new(&weights)
+        .unwrap_or_else(|_| AliasTable::new(&vec![1.0; pages.len()]).expect("uniform"));
+
+    let mut requests = Vec::with_capacity(config.requests_per_site);
+    for _ in 0..config.requests_per_site {
+        let page_id = pages[table.sample(&mut rng)];
+        let page = system.page(page_id);
+        let conditions = config.perturb.draw(&mut rng);
+        let optional_slots = if page.n_optional() > 0
+            && rng.random::<f64>() < config.optional_interest_prob
+        {
+            let k = ((config.optional_request_frac * page.n_optional() as f64).round()
+                as usize)
+                .clamp(1, page.n_optional());
+            let mut slots: Vec<u32> = sample_distinct(&mut rng, page.n_optional(), k)
+                .into_iter()
+                .map(|s| s as u32)
+                .collect();
+            slots.sort_unstable();
+            slots
+        } else {
+            Vec::new()
+        };
+        requests.push(Request {
+            page: page_id,
+            conditions,
+            optional_slots,
+        });
+    }
+    SiteTrace { site, requests }
+}
+
+/// SplitMix64 — cheap, well-mixed seed derivation.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadParams;
+    use crate::generator::generate_system;
+
+    fn setup() -> (System, TraceConfig) {
+        let params = WorkloadParams::small();
+        let sys = generate_system(&params, 11).unwrap();
+        (sys, TraceConfig::from_params(&params))
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let (sys, cfg) = setup();
+        let a = generate_trace(&sys, &cfg, 99);
+        let b = generate_trace(&sys, &cfg, 99);
+        assert_eq!(a, b);
+        let c = generate_trace(&sys, &cfg, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_site_traces_are_independent_streams() {
+        let (sys, cfg) = setup();
+        let all = generate_trace(&sys, &cfg, 7);
+        for t in &all {
+            let solo = generate_site_trace(&sys, &cfg, 7, t.site);
+            assert_eq!(&solo, t);
+        }
+    }
+
+    #[test]
+    fn trace_has_configured_length_and_local_pages() {
+        let (sys, cfg) = setup();
+        for t in generate_trace(&sys, &cfg, 5) {
+            assert_eq!(t.len(), cfg.requests_per_site);
+            assert!(!t.is_empty());
+            for r in &t.requests {
+                assert_eq!(sys.host_of(r.page), t.site, "foreign page in trace");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_pages_dominate_the_trace() {
+        let (sys, cfg) = setup();
+        let traces = generate_trace(&sys, &cfg, 6);
+        for t in &traces {
+            // Identify the hot pages of this site by frequency.
+            let pages = sys.pages_of(t.site);
+            let mut freqs: Vec<(PageId, f64)> = pages
+                .iter()
+                .map(|&p| (p, sys.page(p).freq.get()))
+                .collect();
+            freqs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let n_hot = (0.10 * pages.len() as f64).round() as usize;
+            let hot: std::collections::HashSet<PageId> =
+                freqs[..n_hot].iter().map(|&(p, _)| p).collect();
+            let hot_hits = t.requests.iter().filter(|r| hot.contains(&r.page)).count();
+            let frac = hot_hits as f64 / t.len() as f64;
+            assert!(
+                (0.5..0.7).contains(&frac),
+                "hot fraction {frac} far from 0.6"
+            );
+        }
+    }
+
+    #[test]
+    fn optional_fetches_only_from_pages_with_optionals() {
+        let (sys, cfg) = setup();
+        for t in generate_trace(&sys, &cfg, 8) {
+            for r in &t.requests {
+                let page = sys.page(r.page);
+                if page.n_optional() == 0 {
+                    assert!(r.optional_slots.is_empty());
+                } else {
+                    for &s in &r.optional_slots {
+                        assert!((s as usize) < page.n_optional());
+                    }
+                    // Distinct slots.
+                    let set: std::collections::HashSet<_> =
+                        r.optional_slots.iter().collect();
+                    assert_eq!(set.len(), r.optional_slots.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optional_interest_rate_is_about_ten_percent() {
+        let (sys, mut cfg) = setup();
+        cfg.requests_per_site = 20_000;
+        let traces = generate_trace(&sys, &cfg, 9);
+        let mut with_opt_pages = 0usize;
+        let mut clicked = 0usize;
+        for t in &traces {
+            for r in &t.requests {
+                if sys.page(r.page).n_optional() > 0 {
+                    with_opt_pages += 1;
+                    if !r.optional_slots.is_empty() {
+                        clicked += 1;
+                    }
+                }
+            }
+        }
+        assert!(with_opt_pages > 500, "not enough optional-page requests");
+        let frac = clicked as f64 / with_opt_pages as f64;
+        assert!((frac - 0.10).abs() < 0.02, "interest rate {frac}");
+    }
+
+    #[test]
+    fn interested_users_fetch_thirty_percent_of_links() {
+        let (sys, mut cfg) = setup();
+        cfg.requests_per_site = 20_000;
+        for t in generate_trace(&sys, &cfg, 10) {
+            for r in &t.requests {
+                if !r.optional_slots.is_empty() {
+                    let n = sys.page(r.page).n_optional() as f64;
+                    let expected = (0.30 * n).round().max(1.0) as usize;
+                    assert_eq!(r.optional_slots.len(), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_config_uses_identity_perturbation() {
+        let (sys, _) = setup();
+        let cfg = TraceConfig::nominal_from_params(&WorkloadParams::small());
+        for t in generate_trace(&sys, &cfg, 3) {
+            for r in &t.requests {
+                assert_eq!(r.conditions, RequestConditions::nominal());
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_distinguishes_nearby_seeds() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a >> 32, b >> 32, "high bits should differ too");
+    }
+}

@@ -1,0 +1,73 @@
+//! Capacity planning: how much storage do the regional sites actually
+//! need? The paper's Figure 1 claim is that the partition-aware policy
+//! delivers LRU-at-full-storage response times with only ~65 % of the
+//! storage. This example sweeps the storage fraction on one workload and
+//! prints where the curve flattens.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use mmrepl::prelude::*;
+
+fn main() {
+    let params = WorkloadParams::small();
+    let seed = 7;
+    let system = generate_system(&params, seed).expect("valid params");
+    let traces = generate_trace(&system, &TraceConfig::from_params(&params), seed);
+
+    // Baseline: our policy with no constraints at all.
+    let relaxed = system.unconstrained();
+    let base_plan = ReplicationPolicy::new().plan(&relaxed);
+    let baseline = replay_all(
+        &relaxed,
+        &traces,
+        &mut StaticRouter::new(&base_plan.placement, "ours"),
+    )
+    .mean_response();
+    println!("unconstrained mean response: {baseline:.1} s\n");
+    println!("storage   ours      lru    (% increase over unconstrained)");
+
+    let mut ours_at: Vec<(f64, f64)> = Vec::new();
+    let mut lru_full = f64::NAN;
+    for frac in [0.3, 0.5, 0.65, 0.8, 1.0] {
+        let sys_f = system
+            .with_storage_fraction(frac)
+            .with_processing_fraction(f64::INFINITY);
+        let plan = ReplicationPolicy::new().plan(&sys_f);
+        let ours = replay_all(
+            &sys_f,
+            &traces,
+            &mut StaticRouter::new(&plan.placement, "ours"),
+        )
+        .mean_response();
+        let lru = replay_all(&sys_f, &traces, &mut LruRouter::new(&sys_f)).mean_response();
+        let ours_pct = (ours / baseline - 1.0) * 100.0;
+        let lru_pct = (lru / baseline - 1.0) * 100.0;
+        println!("{:>6.0}%   {ours_pct:>5.1}%   {lru_pct:>5.1}%", frac * 100.0);
+        ours_at.push((frac, ours_pct));
+        lru_full = lru_pct;
+    }
+
+    // Where does our policy match LRU-at-100%?
+    if let Some(&(frac, _)) = ours_at.iter().find(|&&(_, pct)| pct <= lru_full) {
+        println!(
+            "\n=> our policy matches LRU@100% storage using only {:.0}% of the storage",
+            frac * 100.0
+        );
+    } else {
+        println!("\n=> our policy never matched LRU@100% on this workload");
+    }
+
+    // Storage demand context.
+    let avg_demand: f64 = system
+        .sites()
+        .ids()
+        .map(|s| system.full_storage_demand(s).get() as f64)
+        .sum::<f64>()
+        / system.n_sites() as f64;
+    println!(
+        "average full storage demand per site: {}",
+        Bytes(avg_demand as u64)
+    );
+}

@@ -1,0 +1,76 @@
+//! The paper's motivating scenario: a news agency with dispersed regional
+//! sites sharing a central multimedia repository. Generates the Table 1
+//! workload (scaled down so the example runs in seconds), plans with the
+//! paper's policy and replays the same perturbed request trace under all
+//! four policies.
+//!
+//! ```text
+//! cargo run --release --example news_agency
+//! ```
+
+use mmrepl::prelude::*;
+
+fn main() {
+    let params = WorkloadParams::small();
+    let seed = 2026;
+    let system = generate_system(&params, seed).expect("valid params");
+    println!(
+        "news agency: {} sites, {} pages, {} shared multimedia objects",
+        system.n_sites(),
+        system.n_pages(),
+        system.n_objects()
+    );
+
+    // Every site keeps 70% of the storage it would need to hold
+    // everything its pages reference.
+    let constrained = system.with_storage_fraction(0.7);
+    let traces = generate_trace(&constrained, &TraceConfig::from_params(&params), seed);
+    let n_requests: usize = traces.iter().map(|t| t.len()).sum();
+    println!("replaying {n_requests} page requests per policy\n");
+
+    // Our policy.
+    let outcome = ReplicationPolicy::new().plan(&constrained);
+    assert!(outcome.report.feasible, "plan should fit at 70% storage");
+    let ours = replay_all(
+        &constrained,
+        &traces,
+        &mut StaticRouter::new(&outcome.placement, "ours"),
+    );
+
+    // Baselines (Remote/Local unconstrained, LRU under Eq. 8 only).
+    let remote = replay_all(
+        &constrained,
+        &traces,
+        &mut StaticRouter::new(&remote_policy(&constrained), "remote"),
+    );
+    let local = replay_all(
+        &constrained,
+        &traces,
+        &mut StaticRouter::new(&local_policy(&constrained), "local"),
+    );
+    let mut lru_router = LruRouter::new(&constrained);
+    let lru = replay_all(&constrained, &traces, &mut lru_router);
+
+    println!("policy      mean response   p95 response   served locally");
+    for (name, out) in [
+        ("ours", &ours),
+        ("lru", &lru),
+        ("local", &local),
+        ("remote", &remote),
+    ] {
+        println!(
+            "{:<10}  {:>10.1} s   {:>10.1} s   {:>8.1}%",
+            name,
+            out.mean_response(),
+            out.pages.quantile(0.95).unwrap().get(),
+            out.local_fraction() * 100.0
+        );
+    }
+    println!(
+        "\nlru cache: {} hits, {} misses, {} capacity denials",
+        lru_router.hits(),
+        lru_router.misses(),
+        lru_router.denied()
+    );
+    assert!(ours.mean_response() <= remote.mean_response());
+}

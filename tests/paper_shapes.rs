@@ -1,0 +1,145 @@
+//! The EXPERIMENTS.md shape criteria, pinned as an integration test at
+//! quick scale: if a refactor breaks any qualitative conclusion of the
+//! reproduction — who wins, where curves bend, what order series come in —
+//! this suite fails before anyone re-runs the full figures.
+
+use mmrepl::prelude::*;
+use mmrepl::sim::{all_ablations, cache_comparison, update_study};
+
+fn cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.runs = 2;
+    cfg.base_seed = 0x5eed;
+    cfg
+}
+
+#[test]
+fn figure1_shape_criteria() {
+    let fig = figure1(&cfg(), &[0.4, 0.6, 0.8, 1.0]);
+    let ours = fig.series("ours");
+    let lru = fig.series("lru");
+    let local = fig.series("local")[0].1;
+    let remote = fig.series("remote")[0].1;
+
+    // Remote >> Local; ours beats LRU at every storage level.
+    assert!(remote > local + 50.0, "remote {remote} vs local {local}");
+    for ((x, o), (_, l)) in ours.iter().zip(&lru) {
+        assert!(o < l, "at {x}: ours {o} vs lru {l}");
+    }
+    // Ours at full storage is the baseline; LRU still pays cold starts.
+    assert!(ours.last().unwrap().1.abs() < 5.0);
+    assert!(lru.last().unwrap().1 > 5.0);
+    // Both policies degrade monotonically (weakly) as storage shrinks.
+    for w in ours.windows(2) {
+        assert!(w[0].1 >= w[1].1 - 2.0, "ours not monotone: {ours:?}");
+    }
+}
+
+#[test]
+fn figure2_knee_shape() {
+    let fig = figure2(&cfg(), &[0.2, 0.4, 0.6, 0.8, 1.0]);
+    let ours = fig.series("ours");
+    // Flat region at high capacity...
+    let at_100 = ours[4].1;
+    let at_80 = ours[3].1;
+    assert!(at_100.abs() < 5.0, "not at baseline at 100%: {at_100}");
+    assert!(at_80 < 15.0, "already degraded at 80%: {at_80}");
+    // ...ever-steepening rise below the knee.
+    let d_high = ours[2].1 - ours[3].1; // 60% -> 40% region start
+    let d_low = ours[0].1 - ours[1].1; // 40% -> 20%
+    assert!(
+        d_low > d_high,
+        "curve not convex: drop {d_low} vs {d_high} ({ours:?})"
+    );
+    // Bounded by the Remote extreme.
+    let remote = fig.series("remote")[0].1;
+    assert!(ours[0].1 <= remote + 5.0);
+}
+
+#[test]
+fn figure3_central_capacity_ordering() {
+    let fig = figure3(&cfg(), &[0.9, 0.5], &[0.9, 1.0]);
+    for p in &fig.points {
+        let tight = p.series["central 50%"];
+        let loose = p.series["central 90%"];
+        assert!(
+            tight >= loose - 1.0,
+            "tighter repository helped at x={}: {tight} vs {loose}",
+            p.x
+        );
+    }
+}
+
+#[test]
+fn headline_ordering() {
+    let fig = figure1(&cfg(), &[0.6, 1.0]);
+    let h = headline(&fig);
+    assert!(h.remote_pct > h.local_pct);
+    assert!(h.remote_pct > h.lru_full_pct);
+    assert!(h.ours_full_pct < h.lru_full_pct);
+    assert!(h.ours_matches_lru_at.is_some());
+}
+
+#[test]
+fn ablations_preserve_paper_choices() {
+    let results = all_ablations(&cfg());
+    assert_eq!(results.len(), 5);
+    let by_name = |n: &str| {
+        results
+            .iter()
+            .find(|r| r.name.starts_with(n))
+            .unwrap_or_else(|| panic!("missing ablation {n}"))
+    };
+    // A1: the paper's decreasing-size order is competitive.
+    let a1 = by_name("A1");
+    let paper = a1.variants["decreasing-size (paper)"];
+    assert!(paper <= a1.variants["increasing-size"] * 1.05);
+    // A2: amortization no worse than raw delta.
+    let a2 = by_name("A2");
+    assert!(
+        a2.variants["amortized-over-size (paper)"]
+            <= a2.variants["raw-delta"] * 1.05
+    );
+    // A5: greedy stays near the exhaustive optimum.
+    let a5 = by_name("A5");
+    assert!(a5.variants["greedy mean gap"] < 5.0);
+}
+
+#[test]
+fn cache_comparison_conclusion_survives() {
+    let fig = cache_comparison(&cfg(), &[0.6, 1.0]);
+    for p in &fig.points {
+        let ours = p.series["ours"];
+        for name in ["lru", "gds", "lfu"] {
+            assert!(
+                ours <= p.series[name] + 1.0,
+                "at {}: ours {ours} vs {name} {}",
+                p.x,
+                p.series[name]
+            );
+        }
+    }
+}
+
+#[test]
+fn update_study_recedes_gracefully() {
+    let study = update_study(&cfg(), &[0.0, 10.0]);
+    let zero = &study.points[0];
+    let heavy = &study.points[1];
+    assert!((zero.aware_replica_frac - 1.0).abs() < 1e-9);
+    assert!(heavy.aware_replica_frac < zero.aware_replica_frac);
+    assert_eq!(heavy.aware_feasible_frac, 1.0);
+    assert!(heavy.blind_overloaded_sites > 0.0);
+}
+
+#[test]
+fn drift_story_holds() {
+    let study = drift_study(&cfg(), 2, 0.8);
+    let last = study.epochs.last().unwrap();
+    // Replanning recovers what the stale plan loses.
+    assert!(
+        last.series["replanned"] <= last.series["stale"] + 1.0,
+        "{last:?}"
+    );
+    assert!(last.replan_changed_marks > 0.0);
+}

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the core invariants, driven
+//! through the public API with randomly generated systems, placements and
+//! constraint levels.
+
+use mmrepl::core::{partition_all, ReplicationPolicy};
+use mmrepl::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a compact random system — 1-3 sites, a handful of objects
+/// and pages — with valid rates and references by construction.
+fn arb_system() -> impl Strategy<Value = System> {
+    (
+        1usize..=3,                   // sites
+        4usize..=20,                  // objects
+        1usize..=6,                   // pages per site
+        0u64..u64::MAX,               // seed for value jitter
+    )
+        .prop_map(|(n_sites, n_objects, pages_per_site, seed)| {
+            let mut builder = SystemBuilder::new();
+            let mut x = seed;
+            let mut next = move || {
+                // xorshift for deterministic jitter inside the strategy
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let sites: Vec<SiteId> = (0..n_sites)
+                .map(|_| {
+                    builder.add_site(Site {
+                        storage: Bytes::mib(64 + (next() % 64)),
+                        capacity: ReqPerSec(50.0 + (next() % 200) as f64),
+                        local_rate: BytesPerSec::kib_per_sec(
+                            3.0 + (next() % 70) as f64 / 10.0,
+                        ),
+                        repo_rate: BytesPerSec::kib_per_sec(
+                            0.3 + (next() % 17) as f64 / 10.0,
+                        ),
+                        local_ovhd: Secs(1.275 + (next() % 500) as f64 / 1000.0),
+                        repo_ovhd: Secs(1.975 + (next() % 500) as f64 / 1000.0),
+                    })
+                })
+                .collect();
+            let objects: Vec<ObjectId> = (0..n_objects)
+                .map(|_| {
+                    builder.add_object(MediaObject::of_size(Bytes::kib(
+                        40 + next() % 4000,
+                    )))
+                })
+                .collect();
+            for &site in &sites {
+                for _ in 0..pages_per_site {
+                    let n_comp = 1 + (next() as usize) % (n_objects / 2).max(1);
+                    let mut picks: Vec<usize> = (0..n_objects).collect();
+                    // Deterministic shuffle.
+                    for i in (1..picks.len()).rev() {
+                        let j = (next() as usize) % (i + 1);
+                        picks.swap(i, j);
+                    }
+                    let compulsory: Vec<ObjectId> =
+                        picks[..n_comp].iter().map(|&i| objects[i]).collect();
+                    let optional = picks[n_comp..]
+                        .iter()
+                        .take((next() as usize) % 3)
+                        .map(|&i| OptionalRef {
+                            object: objects[i],
+                            prob: 0.03,
+                        })
+                        .collect();
+                    builder.add_page(WebPage {
+                        site,
+                        html_size: Bytes::kib(1 + next() % 49),
+                        freq: ReqPerSec(0.1 + (next() % 50) as f64 / 10.0),
+                        compulsory,
+                        optional,
+                        opt_req_factor: 1.0,
+                    });
+                }
+            }
+            builder.build().expect("strategy builds valid systems")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The planner's output always satisfies Eq. 8-10 whenever it claims
+    /// feasibility — for arbitrary systems and constraint tightness.
+    #[test]
+    fn planned_placements_are_feasible_when_claimed(
+        sys in arb_system(),
+        storage_frac in 0.05f64..1.5,
+        proc_frac in 0.05f64..1.5,
+    ) {
+        let sys = sys
+            .with_storage_fraction(storage_frac)
+            .with_processing_fraction(proc_frac);
+        let outcome = ReplicationPolicy::new().plan(&sys);
+        let check = ConstraintReport::check(&sys, &outcome.placement);
+        if outcome.report.feasible {
+            prop_assert!(check.is_feasible(), "claimed feasible but {:?}", check.violations);
+        }
+        // Either way the placement must be structurally valid: every local
+        // mark's object fits the page shape (checked by construction in
+        // Placement::new, which plan() used).
+        prop_assert_eq!(outcome.placement.len(), sys.n_pages());
+    }
+
+    /// The greedy partition never loses to BOTH extremes on the estimated
+    /// response objective (it can tie the better extreme).
+    #[test]
+    fn partition_never_worse_than_both_extremes(sys in arb_system()) {
+        let cm = CostModel::with_defaults(&sys);
+        let ours = cm.d1(&partition_all(&sys));
+        let local = cm.d1(&Placement::all_local(&sys));
+        let remote = cm.d1(&Placement::all_remote(&sys));
+        prop_assert!(ours <= local.min(remote) + 1e-9,
+            "ours {} vs local {} remote {}", ours, local, remote);
+    }
+
+    /// Eq. 5: every page's response equals max(local stream, remote
+    /// stream) and both streams are non-negative.
+    #[test]
+    fn response_is_max_of_streams(sys in arb_system()) {
+        let cm = CostModel::with_defaults(&sys);
+        let placement = partition_all(&sys);
+        for (pid, part) in placement.iter() {
+            let l = cm.time_local(pid, part);
+            let r = cm.time_remote(pid, part);
+            prop_assert!(l.get() > 0.0);
+            prop_assert!(r.get() >= 0.0);
+            prop_assert_eq!(cm.page_response(pid, part), l.max(r));
+        }
+    }
+
+    /// Load conservation: site loads plus repository load equal the loads
+    /// of the extremes' envelope — moving marks only moves load.
+    #[test]
+    fn load_is_conserved_between_sites_and_repo(sys in arb_system()) {
+        let placement = partition_all(&sys);
+        let site_load: f64 = sys.sites().ids()
+            .map(|s| placement.site_load(&sys, s).get())
+            .sum();
+        let repo_load = placement.repo_load(&sys).get();
+        // Total demand = HTML (1/view) + every referenced object weighted
+        // by its request probability; independent of placement.
+        let all_local: f64 = sys.sites().ids()
+            .map(|s| Placement::all_local(&sys).site_load(&sys, s).get())
+            .sum();
+        prop_assert!((site_load + repo_load - all_local).abs() < 1e-6,
+            "site {} + repo {} != total {}", site_load, repo_load, all_local);
+    }
+
+    /// Storage used never exceeds the sum of referenced object sizes plus
+    /// HTML, and the all-remote placement stores only HTML.
+    #[test]
+    fn storage_bounds(sys in arb_system()) {
+        let placement = partition_all(&sys);
+        for site in sys.sites().ids() {
+            let used = placement.storage_used(&sys, site);
+            prop_assert!(used <= sys.full_storage_demand(site));
+            prop_assert!(used >= sys.html_bytes_of(site));
+            let remote_used = Placement::all_remote(&sys).storage_used(&sys, site);
+            prop_assert_eq!(remote_used, sys.html_bytes_of(site));
+        }
+    }
+
+    /// Tightening storage monotonically (weakly) increases the planner's
+    /// own objective estimate.
+    #[test]
+    fn objective_monotone_in_storage(sys in arb_system(), f1 in 0.1f64..1.0) {
+        let f2 = f1 * 0.5;
+        let cm_sys = sys.clone();
+        let cm = CostModel::with_defaults(&cm_sys);
+        let loose = ReplicationPolicy::new()
+            .plan(&sys.with_storage_fraction(f1).with_processing_fraction(f64::INFINITY));
+        let tight = ReplicationPolicy::new()
+            .plan(&sys.with_storage_fraction(f2).with_processing_fraction(f64::INFINITY));
+        prop_assert!(cm.objective(&tight.placement) + 1e-9 >= cm.objective(&loose.placement));
+    }
+}
