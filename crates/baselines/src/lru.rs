@@ -88,11 +88,7 @@ impl LruCache {
         }
         // Evict oldest unprotected entries until it fits.
         while self.used + size > self.capacity {
-            let victim = self
-                .by_age
-                .iter()
-                .map(|(_, &k)| k)
-                .find(|&k| !protected(k));
+            let victim = self.by_age.iter().map(|(_, &k)| k).find(|&k| !protected(k));
             match victim {
                 Some(k) => self.evict(system, k),
                 None => return false, // everything old is protected
@@ -231,12 +227,7 @@ impl<C: ObjectCache> CachingRouter<C> {
 }
 
 impl<C: ObjectCache> RequestRouter for CachingRouter<C> {
-    fn route(
-        &mut self,
-        system: &System,
-        page: PageId,
-        optional_slots: &[u32],
-    ) -> RouteDecision {
+    fn route(&mut self, system: &System, page: PageId, optional_slots: &[u32]) -> RouteDecision {
         let pg = system.page(page);
         let state = &mut self.sites[pg.site.index()];
 
@@ -258,11 +249,7 @@ impl<C: ObjectCache> RequestRouter for CachingRouter<C> {
             }
         };
 
-        let local_compulsory: Vec<bool> = pg
-            .compulsory
-            .iter()
-            .map(|&k| serve(state, k))
-            .collect();
+        let local_compulsory: Vec<bool> = pg.compulsory.iter().map(|&k| serve(state, k)).collect();
         let local_optional: Vec<bool> = optional_slots
             .iter()
             .map(|&s| serve(state, pg.optional[s as usize].object))
@@ -304,9 +291,7 @@ impl<C: ObjectCache> RequestRouter for CachingRouter<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmrepl_model::{
-        default_site, MediaObject, ReqPerSec, SystemBuilder, WebPage,
-    };
+    use mmrepl_model::{default_site, MediaObject, ReqPerSec, SystemBuilder, WebPage};
     use mmrepl_workload::{generate_system, WorkloadParams};
 
     fn cache_fixture() -> (System, Vec<ObjectId>) {

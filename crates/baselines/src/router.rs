@@ -30,12 +30,7 @@ pub trait RequestRouter {
     /// Routes one page request. `optional_slots` lists the optional-object
     /// slots this user fetches after the page loads (empty for most
     /// requests). Called in trace order; implementations may carry state.
-    fn route(
-        &mut self,
-        system: &System,
-        page: PageId,
-        optional_slots: &[u32],
-    ) -> RouteDecision;
+    fn route(&mut self, system: &System, page: PageId, optional_slots: &[u32]) -> RouteDecision;
 
     /// A short label for reports.
     fn name(&self) -> &'static str;
@@ -56,12 +51,7 @@ impl<'a> StaticRouter<'a> {
 }
 
 impl RequestRouter for StaticRouter<'_> {
-    fn route(
-        &mut self,
-        _system: &System,
-        page: PageId,
-        optional_slots: &[u32],
-    ) -> RouteDecision {
+    fn route(&mut self, _system: &System, page: PageId, optional_slots: &[u32]) -> RouteDecision {
         let part = self.placement.partition(page);
         RouteDecision {
             local_compulsory: part.local_compulsory.clone(),
@@ -99,10 +89,7 @@ mod tests {
         let decision = router.route(&sys, pid, &slots);
         assert_eq!(decision.local_compulsory.len(), page.n_compulsory());
         assert_eq!(decision.local_optional, vec![true, true]);
-        assert_eq!(
-            decision.n_local(),
-            page.n_compulsory() + 2
-        );
+        assert_eq!(decision.n_local(), page.n_compulsory() + 2);
     }
 
     #[test]

@@ -5,8 +5,7 @@
 
 use mmrepl_baselines::{GdsCache, LfuCache, LruCache, ObjectCache};
 use mmrepl_model::{
-    default_site, Bytes, MediaObject, ObjectId, ReqPerSec, SiteId, System,
-    SystemBuilder, WebPage,
+    default_site, Bytes, MediaObject, ObjectId, ReqPerSec, SiteId, System, SystemBuilder, WebPage,
 };
 use proptest::prelude::*;
 
@@ -38,13 +37,15 @@ enum Op {
 
 fn ops_strategy(n_objects: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        (0..n_objects, any::<bool>()).prop_map(|(i, insert)| {
-            if insert {
-                Op::Insert(i)
-            } else {
-                Op::Touch(i)
-            }
-        }),
+        (0..n_objects, any::<bool>()).prop_map(
+            |(i, insert)| {
+                if insert {
+                    Op::Insert(i)
+                } else {
+                    Op::Touch(i)
+                }
+            },
+        ),
         0..120,
     )
 }

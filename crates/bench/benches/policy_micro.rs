@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmrepl_baselines::{LruRouter, StaticRouter};
-use mmrepl_core::{
-    partition_all, restore_capacity, restore_storage, ReplicationPolicy, SiteWork,
-};
+use mmrepl_core::{partition_all, restore_capacity, restore_storage, ReplicationPolicy, SiteWork};
 use mmrepl_model::{CostParams, SiteId};
 use mmrepl_sim::{replay_all, replay_site};
 use mmrepl_workload::{generate_trace, AliasTable, TraceConfig, WorkloadParams};
@@ -30,15 +28,13 @@ fn bench_restorations(c: &mut Criterion) {
     let placement = partition_all(&sys);
     c.bench_function("restore_storage_site0_50pct", |b| {
         b.iter(|| {
-            let mut w =
-                SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+            let mut w = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
             black_box(restore_storage(&mut w))
         })
     });
     c.bench_function("restore_capacity_site0_70pct", |b| {
         b.iter(|| {
-            let mut w =
-                SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+            let mut w = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
             restore_storage(&mut w);
             black_box(restore_capacity(&mut w))
         })

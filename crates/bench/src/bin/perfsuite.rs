@@ -1,0 +1,206 @@
+//! Tracked planner performance baseline.
+//!
+//! Times the hot paths the planner optimisation work targets — a full
+//! single-threaded `plan`, the storage and capacity restorations in
+//! isolation, and one end-to-end Figure 1 cell (generate + plan + replay
+//! every policy at one storage fraction) — at paper scale (Table 1) and
+//! at 10× scale, and writes the medians to `BENCH_PLANNER.json` at the
+//! repo root. `scripts/bench_regress.sh` compares a fresh run against the
+//! committed file and fails on regressions.
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin perfsuite            # full suite
+//! cargo run --release -p mmrepl-bench --bin perfsuite -- --iters 3
+//! cargo run -p mmrepl-bench --bin perfsuite -- --quick           # smoke test
+//! ```
+
+use mmrepl_core::{partition_all, restore_capacity, restore_storage, ReplicationPolicy, SiteWork};
+use mmrepl_model::CostParams;
+use mmrepl_sim::{figure1, ExperimentConfig};
+use mmrepl_workload::{generate_system, WorkloadParams};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The whole tracked baseline document.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct BenchDoc {
+    schema: u32,
+    suite: String,
+    iters: usize,
+    note: String,
+    scales: BTreeMap<String, ScaleTimings>,
+}
+
+/// Medians (seconds) for one workload scale.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct ScaleTimings {
+    /// Sites × objects, for the record.
+    n_sites: usize,
+    n_objects: usize,
+    /// Full single-threaded `plan` on a storage+processing-constrained
+    /// system.
+    plan_s: f64,
+    /// Full single-threaded `plan` on the default (unconstrained)
+    /// generated system — partition + state builds only, no restoration.
+    plan_unconstrained_s: f64,
+    /// `restore_storage` summed over all sites (state builds untimed).
+    restore_storage_s: f64,
+    /// `restore_capacity` summed over all sites, on storage-restored
+    /// state.
+    restore_capacity_s: f64,
+    /// One end-to-end Figure 1 cell: workload + trace generation, every
+    /// policy planned and replayed at a single storage fraction.
+    fig1_cell_s: f64,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    xs[xs.len() / 2]
+}
+
+fn time_median(iters: usize, mut f: impl FnMut()) -> f64 {
+    median(
+        (0..iters)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) -> ScaleTimings {
+    // Constrain storage and processing so every pipeline stage does real
+    // work (unconstrained systems make the restorations no-ops).
+    let system = generate_system(params, seed)
+        .expect("workload generates")
+        .with_storage_fraction(0.5)
+        .with_processing_fraction(0.8);
+    let policy = ReplicationPolicy::new();
+    let cost = CostParams::default();
+
+    let plan_s = time_median(iters, || {
+        std::hint::black_box(policy.plan(&system));
+    });
+    let unconstrained = generate_system(params, seed).expect("workload generates");
+    let plan_unconstrained_s = time_median(iters, || {
+        std::hint::black_box(policy.plan(&unconstrained));
+    });
+
+    // Time the restorations without the state builds: rebuild the
+    // per-site state fresh each iteration, clock only the restoration
+    // calls (capacity runs on storage-restored state, as in the planner).
+    let initial = partition_all(&system);
+    let site_ids: Vec<_> = system.sites().ids().collect();
+    let mut storage_times = Vec::with_capacity(iters);
+    let mut capacity_times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let mut works: Vec<_> = site_ids
+            .iter()
+            .map(|&s| SiteWork::new(&system, s, &initial, cost))
+            .collect();
+        let t = Instant::now();
+        for w in &mut works {
+            std::hint::black_box(restore_storage(w));
+        }
+        storage_times.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for w in &mut works {
+            std::hint::black_box(restore_capacity(w));
+        }
+        capacity_times.push(t.elapsed().as_secs_f64());
+    }
+    let restore_storage_s = median(storage_times);
+    let restore_capacity_s = median(capacity_times);
+
+    // One end-to-end Figure 1 cell (cells are seconds-scale; a single
+    // timed pass keeps the suite fast and the medians above carry the
+    // low-variance signal).
+    let cell_iters = iters.min(3);
+    let cfg = ExperimentConfig {
+        params: params.clone(),
+        runs: 1,
+        base_seed: seed,
+        threads: 1,
+    };
+    cfg.params.validate().expect("params are valid");
+    let fig1_cell_s = time_median(cell_iters, || {
+        std::hint::black_box(figure1(&cfg, &[0.6]));
+    });
+
+    let t = ScaleTimings {
+        n_sites: params.n_sites,
+        n_objects: params.n_objects,
+        plan_s,
+        plan_unconstrained_s,
+        restore_storage_s,
+        restore_capacity_s,
+        fig1_cell_s,
+    };
+    println!(
+        "{label:>6}: plan {:.4}s  plan(unconstrained) {:.4}s  storage {:.4}s  \
+         capacity {:.4}s  fig1 cell {:.3}s",
+        t.plan_s, t.plan_unconstrained_s, t.restore_storage_s, t.restore_capacity_s, t.fig1_cell_s
+    );
+    t
+}
+
+fn main() -> std::io::Result<()> {
+    let mut iters = 5usize;
+    let mut quick = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a number");
+                iters = iters.max(1);
+            }
+            "--quick" => quick = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: perfsuite [--iters N] [--quick] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| {
+        // Default: BENCH_PLANNER.json at the repo root, wherever the
+        // suite is invoked from.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PLANNER.json")
+    });
+
+    let mut scales: BTreeMap<String, ScaleTimings> = BTreeMap::new();
+    if quick {
+        scales.insert(
+            "quick".into(),
+            bench_scale("quick", &WorkloadParams::small(), 42, iters),
+        );
+    } else {
+        let paper = WorkloadParams::paper();
+        scales.insert("paper".into(), bench_scale("paper", &paper, 42, iters));
+        let mut big = paper.clone();
+        big.n_sites *= 10;
+        big.n_objects *= 10;
+        scales.insert("10x".into(), bench_scale("10x", &big, 42, iters));
+    }
+
+    let doc = BenchDoc {
+        schema: 1,
+        suite: "perfsuite".into(),
+        iters,
+        note: "median seconds per operation; see crates/bench/src/bin/perfsuite.rs".into(),
+        scales,
+    };
+    let mut body = serde_json::to_string_pretty(&doc).expect("baseline serializes");
+    body.push('\n');
+    std::fs::write(&out, body)?;
+    println!("wrote {}", out.display());
+    Ok(())
+}

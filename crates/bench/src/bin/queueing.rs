@@ -26,25 +26,18 @@ fn main() -> std::io::Result<()> {
             .base_seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(run as u64);
-        let system = mmrepl_workload::generate_system(&cfg.params, seed)
-            .expect("valid params");
+        let system = mmrepl_workload::generate_system(&cfg.params, seed).expect("valid params");
         let traces = generate_trace(&system, &TraceConfig::from_params(&cfg.params), seed);
         fractions
             .iter()
             .map(|&f| {
                 let sys_f = system.with_processing_fraction(f);
                 let planned = ReplicationPolicy::new().plan(&sys_f).placement;
-                let feasible = queueing_replay(
-                    &sys_f,
-                    &traces,
-                    &mut StaticRouter::new(&planned, "ours"),
-                );
+                let feasible =
+                    queueing_replay(&sys_f, &traces, &mut StaticRouter::new(&planned, "ours"));
                 let all_local = Placement::all_local(&sys_f);
-                let infeasible = queueing_replay(
-                    &sys_f,
-                    &traces,
-                    &mut StaticRouter::new(&all_local, "local"),
-                );
+                let infeasible =
+                    queueing_replay(&sys_f, &traces, &mut StaticRouter::new(&all_local, "local"));
                 (
                     feasible.mean_response(),
                     infeasible.mean_response(),

@@ -46,8 +46,7 @@ impl BinArgs {
                     out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
                 }
                 "--help" | "-h" => {
-                    return Err("usage: [--quick] [--runs N] [--seed S] [--out DIR]"
-                        .to_string())
+                    return Err("usage: [--quick] [--runs N] [--seed S] [--out DIR]".to_string())
                 }
                 other => return Err(format!("unknown argument {other:?}")),
             }

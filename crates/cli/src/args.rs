@@ -218,9 +218,7 @@ impl Command {
                     Some(other) => return Err(format!("unknown policy {other:?}")),
                 };
                 if placement.is_some() == policy.is_some() {
-                    return Err(
-                        "evaluate needs exactly one of --placement or --policy".into()
-                    );
+                    return Err("evaluate needs exactly one of --placement or --policy".into());
                 }
                 Ok(Command::Evaluate {
                     system: require_path("system")?,
@@ -286,9 +284,10 @@ mod tests {
 
     #[test]
     fn generate_with_options() {
-        let cmd =
-            parse(&["generate", "--seed", "9", "--scale", "paper", "--out", "x.json"])
-                .unwrap();
+        let cmd = parse(&[
+            "generate", "--seed", "9", "--scale", "paper", "--out", "x.json",
+        ])
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Generate {
@@ -302,7 +301,13 @@ mod tests {
     #[test]
     fn plan_parses_fractions_and_weights() {
         let cmd = parse(&[
-            "plan", "--system", "s.json", "--storage", "0.65", "--alpha1", "3",
+            "plan",
+            "--system",
+            "s.json",
+            "--storage",
+            "0.65",
+            "--alpha1",
+            "3",
         ])
         .unwrap();
         match cmd {
@@ -334,9 +339,7 @@ mod tests {
         ])
         .is_err());
         assert!(parse(&["evaluate", "--system", "s.json", "--policy", "lru"]).is_ok());
-        assert!(
-            parse(&["evaluate", "--system", "s.json", "--placement", "p.json"]).is_ok()
-        );
+        assert!(parse(&["evaluate", "--system", "s.json", "--placement", "p.json"]).is_ok());
     }
 
     #[test]

@@ -64,8 +64,8 @@ fn params_for(scale: Scale) -> WorkloadParams {
 }
 
 fn load_system(path: &Path) -> Result<System, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
 }
 
@@ -114,11 +114,7 @@ fn inspect(path: &Path) -> Result<(), CliError> {
         system.n_pages(),
         system.n_objects()
     );
-    let _ = writeln!(
-        out,
-        "repository capacity: {}",
-        system.repository().capacity
-    );
+    let _ = writeln!(out, "repository capacity: {}", system.repository().capacity);
     let _ = writeln!(
         out,
         "all-remote repository load: {}",
@@ -164,11 +160,17 @@ fn plan(
     });
     let outcome = policy.plan(&system);
     let r = &outcome.report;
-    println!("plan: feasible={} objective D={:.2}", r.feasible, r.objective);
+    println!(
+        "plan: feasible={} objective D={:.2}",
+        r.feasible, r.objective
+    );
     let dealloc: usize = r.storage.iter().map(|s| s.deallocated).sum();
     let freed: u64 = r.storage.iter().map(|s| s.bytes_freed).sum();
     let moves: usize = r.capacity.iter().map(|c| c.moves).sum();
-    println!("  storage restoration : {dealloc} deallocations, {} freed", Bytes(freed));
+    println!(
+        "  storage restoration : {dealloc} deallocations, {} freed",
+        Bytes(freed)
+    );
     println!("  capacity restoration: {moves} downloads moved to repository");
     println!(
         "  off-loading         : {} rounds, {} messages, {:.2} req/s pushed back",
@@ -205,10 +207,9 @@ fn evaluate(
 
     let (label, outcome) = match (placement_path, policy) {
         (Some(p), None) => {
-            let text = std::fs::read_to_string(p)
-                .map_err(|e| format!("reading {}: {e}", p.display()))?;
-            let placement: Placement =
-                serde_json::from_str(&text).map_err(|e| e.to_string())?;
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let placement: Placement = serde_json::from_str(&text).map_err(|e| e.to_string())?;
             placement
                 .validate(&system)
                 .map_err(|e| format!("placement does not fit this system: {e}"))?;

@@ -8,14 +8,14 @@
 //! An object that loses its last local mark is deallocated, "further
 //! reducing the storage space required".
 //!
-//! Candidates live in the same lazily-revalidated min-heap as storage
-//! restoration; flipping a slot only staleness-es the other slots of the
-//! same page, which the pop-time recheck fixes.
+//! Candidates live in the same lazily-revalidated min-heap
+//! ([`crate::lazyheap`]) as storage restoration; flipping a slot only
+//! staleness-es the other slots of the same page, which the pop-time
+//! recheck fixes.
 
-use crate::state::{SiteWork, SlotKind, TotalF64};
+use crate::lazyheap::LazyMinHeap;
+use crate::state::{SiteWork, SlotKind};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// What capacity restoration did to one site.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -46,52 +46,39 @@ pub fn restore_capacity(work: &mut SiteWork<'_>) -> CapacityReport {
         return report;
     }
 
-    // Seed the heap with every local mark.
-    let mut heap: BinaryHeap<Reverse<(TotalF64, Candidate)>> = BinaryHeap::new();
+    // Seed the heap with every local mark. Marks already flipped are dead
+    // entries (shouldn't happen — each is pushed once — but cheap to
+    // guard); deltas stale-d by earlier flips on the same page are
+    // re-keyed on pop.
+    let mut heap: LazyMinHeap<Candidate> = LazyMinHeap::new();
     for idx in 0..work.n_pages() {
         let part = work.partition(idx);
         for (slot, &local) in part.local_compulsory.iter().enumerate() {
             if local {
                 let cand = (idx as u32, slot as u32, SlotKind::Compulsory);
-                heap.push(Reverse((TotalF64(ratio(work, cand)), cand)));
+                heap.push(ratio(work, cand), cand);
             }
         }
         for (slot, &local) in part.local_optional.iter().enumerate() {
             if local {
                 let cand = (idx as u32, slot as u32, SlotKind::Optional);
-                heap.push(Reverse((TotalF64(ratio(work, cand)), cand)));
+                heap.push(ratio(work, cand), cand);
             }
         }
     }
 
+    let still_local = |work: &SiteWork<'_>, (idx, slot, kind): Candidate| match kind {
+        SlotKind::Compulsory => work.partition(idx as usize).local_compulsory[slot as usize],
+        SlotKind::Optional => work.partition(idx as usize).local_optional[slot as usize],
+    };
+
     while work.load() > capacity + EPS {
-        let Some(Reverse((key, cand))) = heap.pop() else {
+        let Some(cand) = heap.pop_current(|c| still_local(work, c), |c| ratio(work, c)) else {
             report.feasible = false;
             break;
         };
         let (idx, slot, kind) = cand;
         let (idx, slot) = (idx as usize, slot as usize);
-        // Skip marks already flipped (shouldn't happen — each is pushed
-        // once — but cheap to guard).
-        let still_local = match kind {
-            SlotKind::Compulsory => work.partition(idx).local_compulsory[slot],
-            SlotKind::Optional => work.partition(idx).local_optional[slot],
-        };
-        if !still_local {
-            continue;
-        }
-        // Lazy revalidation: the delta may have changed since push.
-        let current = ratio(work, cand);
-        if current > key.0 + 1e-12 {
-            let still_best = heap
-                .peek()
-                .map(|Reverse((next, _))| current <= next.0 + 1e-12)
-                .unwrap_or(true);
-            if !still_best {
-                heap.push(Reverse((TotalF64(current), cand)));
-                continue;
-            }
-        }
 
         let object = match kind {
             SlotKind::Compulsory => {
@@ -158,8 +145,7 @@ fn ratio(work: &SiteWork<'_>, (idx, slot, kind): Candidate) -> f64 {
                 * work
                     .optional_cost(idx)
                     .delta_if_flipped(oref.prob, size, false, work.params());
-            let delta_load =
-                freq * page.opt_req_factor * oref.prob + orphan_bonus(oref.object);
+            let delta_load = freq * page.opt_req_factor * oref.prob + orphan_bonus(oref.object);
             delta_d / delta_load.max(f64::MIN_POSITIVE)
         }
     }
@@ -181,8 +167,7 @@ mod tests {
 
     fn restored(sys: &System, site: u32) -> (SiteWork<'_>, CapacityReport) {
         let placement = partition_all(sys);
-        let mut w =
-            SiteWork::new(sys, SiteId::new(site), &placement, CostParams::default());
+        let mut w = SiteWork::new(sys, SiteId::new(site), &placement, CostParams::default());
         restore_storage(&mut w);
         let report = restore_capacity(&mut w);
         (w, report)
@@ -234,9 +219,7 @@ mod tests {
         assert!(!report.feasible);
         // Every movable mark was moved.
         let marks: usize = (0..w.n_pages())
-            .map(|i| {
-                w.partition(i).n_local_compulsory() + w.partition(i).n_local_optional()
-            })
+            .map(|i| w.partition(i).n_local_compulsory() + w.partition(i).n_local_optional())
             .sum();
         assert_eq!(marks, 0, "marks remain despite infeasibility");
     }
@@ -260,13 +243,8 @@ mod tests {
         // less than 30% of the objective (the paper's Figure 2 plateau).
         let free_sys = system_at(10.0, 6);
         let placement = partition_all(&free_sys);
-        let d_free = SiteWork::new(
-            &free_sys,
-            SiteId::new(0),
-            &placement,
-            CostParams::default(),
-        )
-        .total_d();
+        let d_free =
+            SiteWork::new(&free_sys, SiteId::new(0), &placement, CostParams::default()).total_d();
 
         let tight_sys = system_at(0.7, 6);
         let (w, report) = restored(&tight_sys, 0);

@@ -50,23 +50,26 @@
 //! ```
 
 pub mod capacity;
+pub mod lazyheap;
 pub mod offload;
 pub mod partition;
 pub mod planner;
+pub mod pool;
 pub mod state;
 pub mod storage;
 pub mod streams;
 
 pub use capacity::{restore_capacity, CapacityReport};
+pub use lazyheap::LazyMinHeap;
 pub use offload::{
-    absorb_workload, run_offload, AssignmentRule, OffloadConfig, OffloadOutcome,
-    OffloadReport,
+    absorb_workload, run_offload, AssignmentRule, OffloadConfig, OffloadOutcome, OffloadReport,
 };
 pub use partition::{
     optimal_partition, partition_all, partition_all_ordered, partition_page,
     partition_page_ordered, PartitionOrder,
 };
 pub use planner::{PlanOutcome, PlanReport, PlannerConfig, ReplicationPolicy};
+pub use pool::{effective_threads, parallel_map};
 pub use state::SiteWork;
 pub use storage::{restore_storage, restore_storage_with, DeallocCriterion, StorageReport};
 pub use streams::{OptionalCost, SiteParams, Streams};

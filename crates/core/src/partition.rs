@@ -54,20 +54,20 @@ pub fn partition_page_ordered(
     let p = system.page(page);
     let params = SiteParams::of(system.site(p.site));
 
-    // Order compulsory slot indices; ties break by slot order for
-    // determinism.
-    let mut order: Vec<usize> = (0..p.n_compulsory()).collect();
+    // Order `(size, slot)` pairs so the sort compares plain integers
+    // instead of chasing object ids; ties break by slot order for
+    // determinism (the keys are distinct, so the unstable sort is exact).
+    let mut order: Vec<(u64, u32)> = p
+        .compulsory
+        .iter()
+        .enumerate()
+        .map(|(slot, &k)| (system.object_size(k).get(), slot as u32))
+        .collect();
     match visit {
-        PartitionOrder::DecreasingSize => order.sort_by(|&a, &b| {
-            let sa = system.object_size(p.compulsory[a]);
-            let sb = system.object_size(p.compulsory[b]);
-            sb.cmp(&sa).then(a.cmp(&b))
-        }),
-        PartitionOrder::IncreasingSize => order.sort_by(|&a, &b| {
-            let sa = system.object_size(p.compulsory[a]);
-            let sb = system.object_size(p.compulsory[b]);
-            sa.cmp(&sb).then(a.cmp(&b))
-        }),
+        PartitionOrder::DecreasingSize => {
+            order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)))
+        }
+        PartitionOrder::IncreasingSize => order.sort_unstable(),
         PartitionOrder::DocumentOrder => {}
     }
 
@@ -75,8 +75,9 @@ pub fn partition_page_ordered(
     let mut remote = params.repo_ovhd;
     let mut local_compulsory = vec![false; p.n_compulsory()];
 
-    for slot in order {
-        let size = system.object_size(p.compulsory[slot]).get() as f64;
+    for &(size, slot) in &order {
+        let size = size as f64;
+        let slot = slot as usize;
         let local_cost = size / params.local_rate;
         let remote_cost = size / params.repo_rate;
         // Tentatively charge both streams (paper pseudocode).
@@ -248,10 +249,12 @@ mod tests {
         let cm = CostModel::with_defaults(&sys);
         let page = PageId::new(0);
         let split = cm.page_response(page, &part).get();
-        let all_local =
-            cm.page_response(page, &PagePartition::all_local(sys.page(page))).get();
-        let all_remote =
-            cm.page_response(page, &PagePartition::all_remote(sys.page(page))).get();
+        let all_local = cm
+            .page_response(page, &PagePartition::all_local(sys.page(page)))
+            .get();
+        let all_remote = cm
+            .page_response(page, &PagePartition::all_remote(sys.page(page)))
+            .get();
         assert!(split <= all_local + 1e-9, "{split} vs local {all_local}");
         assert!(split <= all_remote + 1e-9, "{split} vs remote {all_remote}");
     }
@@ -295,7 +298,10 @@ mod tests {
         }
         // Greedy is not optimal in general, but on two objects with this
         // geometry it should land within 20% of brute force.
-        assert!(greedy <= best * 1.2 + 1e-9, "greedy {greedy} vs best {best}");
+        assert!(
+            greedy <= best * 1.2 + 1e-9,
+            "greedy {greedy} vs best {best}"
+        );
     }
 
     #[test]
@@ -374,9 +380,7 @@ mod tests {
         // On a batch of random pages with symmetric pipes (the hard case
         // for the greedy), the brute force must weakly dominate.
         for seed in 0..20u64 {
-            let sizes: Vec<u64> = (0..10)
-                .map(|i| 40 + (seed * 997 + i * 131) % 760)
-                .collect();
+            let sizes: Vec<u64> = (0..10).map(|i| 40 + (seed * 997 + i * 131) % 760).collect();
             let sys = one_page_system(site(4.0, 4.0), &sizes, &[]);
             let cm = CostModel::with_defaults(&sys);
             let page = PageId::new(0);
@@ -402,10 +406,7 @@ mod tests {
         // optimal, and the greedy finds exactly that.
         let sys = one_page_system(site(10.0, 1.0), &[100, 60, 30], &[]);
         let page = PageId::new(0);
-        assert_eq!(
-            optimal_partition(&sys, page),
-            partition_page(&sys, page)
-        );
+        assert_eq!(optimal_partition(&sys, page), partition_page(&sys, page));
     }
 
     #[test]
@@ -432,13 +433,11 @@ mod tests {
         let mut dec_total = 0.0;
         let mut doc_total = 0.0;
         for seed in 0..10u64 {
-            let sizes: Vec<u64> =
-                (0..8).map(|i| 37 + (seed * 131 + i * 97) % 400).collect();
+            let sizes: Vec<u64> = (0..8).map(|i| 37 + (seed * 131 + i * 97) % 400).collect();
             let sys = one_page_system(site(5.0, 5.0), &sizes, &[]);
             let cm = CostModel::with_defaults(&sys);
             let page = PageId::new(0);
-            let dec =
-                partition_page_ordered(&sys, page, PartitionOrder::DecreasingSize);
+            let dec = partition_page_ordered(&sys, page, PartitionOrder::DecreasingSize);
             let doc = partition_page_ordered(&sys, page, PartitionOrder::DocumentOrder);
             dec_total += cm.page_response(page, &dec).get();
             doc_total += cm.page_response(page, &doc).get();

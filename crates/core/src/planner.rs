@@ -6,9 +6,7 @@ use crate::offload::{run_offload, OffloadConfig, OffloadReport};
 use crate::partition::partition_all;
 use crate::state::SiteWork;
 use crate::storage::{restore_storage, StorageReport};
-use mmrepl_model::{
-    ConstraintReport, CostParams, IdVec, PageId, PagePartition, Placement, System,
-};
+use mmrepl_model::{ConstraintReport, CostParams, IdVec, PageId, PagePartition, Placement, System};
 use serde::{Deserialize, Serialize};
 
 /// Planner configuration.
@@ -73,35 +71,49 @@ impl ReplicationPolicy {
 
     /// Runs the full pipeline over `system`.
     pub fn plan(&self, system: &System) -> PlanOutcome {
-        self.plan_with_threads(system, 1)
+        self.plan_with_threads(system, &partition_all(system), 1)
+    }
+
+    /// Like [`ReplicationPolicy::plan`], but adopting a caller-provided
+    /// unconstrained partition instead of recomputing it.
+    ///
+    /// `PARTITION` depends only on transfer rates, connection overheads
+    /// and object sizes — never on storage, processing or repository
+    /// capacities — so one [`partition_all`] result can warm-start every
+    /// capacity sweep point derived from the same system, bit-identically
+    /// to a cold [`ReplicationPolicy::plan`].
+    pub fn plan_with_partition(&self, system: &System, initial: &Placement) -> PlanOutcome {
+        self.plan_with_threads(system, initial, 1)
     }
 
     /// Like [`ReplicationPolicy::plan`], but fans the per-site stages
-    /// (partition + storage + capacity restoration) out over up to
-    /// `threads` crossbeam scoped threads (`0` = one per core). Sites are
-    /// independent until the off-loading negotiation, so the result is
-    /// **bit-identical** to the sequential plan — asserted by tests.
+    /// (storage + capacity restoration) out over up to `threads` worker
+    /// threads (`0` = one per core). Sites are independent until the
+    /// off-loading negotiation, so the result is **bit-identical** to the
+    /// sequential plan — asserted by tests.
     pub fn plan_parallel(&self, system: &System, threads: usize) -> PlanOutcome {
-        self.plan_with_threads(system, threads)
+        self.plan_with_threads(system, &partition_all(system), threads)
     }
 
-    fn plan_with_threads(&self, system: &System, threads: usize) -> PlanOutcome {
-        // Stage 1: unconstrained greedy partition, then per-site working
-        // state adopting it; stages 2 & 3: local restorations. All three
-        // are per-site independent, so they run in one fused pass per
-        // site, optionally in parallel.
-        let initial = partition_all(system);
+    fn plan_with_threads(
+        &self,
+        system: &System,
+        initial: &Placement,
+        threads: usize,
+    ) -> PlanOutcome {
+        // Stage 1 (the `initial` partition) is per-site independent, as
+        // are stages 2 & 3 (the local restorations), so the per-site state
+        // build and both restorations run in one fused pass per site,
+        // optionally in parallel on the shared worker pool. Results come
+        // back in site-id order, so the outcome is bit-identical to the
+        // sequential plan.
         let site_ids: Vec<_> = system.sites().ids().collect();
-        let hw = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let threads = (if threads == 0 { hw } else { threads }).clamp(1, site_ids.len());
 
         let per_site = |s: mmrepl_model::SiteId| {
             let mut w = SiteWork::with_update_accounting(
                 system,
                 s,
-                &initial,
+                initial,
                 self.config.cost,
                 self.config.include_update_load,
             );
@@ -110,29 +122,8 @@ impl ReplicationPolicy {
             (w, st, cap)
         };
 
-        let results: Vec<(SiteWork<'_>, StorageReport, CapacityReport)> = if threads <= 1
-        {
-            site_ids.iter().map(|&s| per_site(s)).collect()
-        } else {
-            // Static block partition keeps output order == site order.
-            crossbeam::thread::scope(|scope| {
-                let chunk = site_ids.len().div_ceil(threads);
-                let handles: Vec<_> = site_ids
-                    .chunks(chunk)
-                    .map(|ids| {
-                        let per_site = &per_site;
-                        scope.spawn(move |_| {
-                            ids.iter().map(|&s| per_site(s)).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("site worker panicked"))
-                    .collect()
-            })
-            .expect("plan scope panicked")
-        };
+        let results: Vec<(SiteWork<'_>, StorageReport, CapacityReport)> =
+            crate::pool::parallel_map(site_ids.len(), threads, |i| per_site(site_ids[i]));
         let mut works = Vec::with_capacity(results.len());
         let mut storage = Vec::with_capacity(results.len());
         let mut capacity = Vec::with_capacity(results.len());
@@ -157,8 +148,7 @@ impl ReplicationPolicy {
             .into_iter()
             .map(|r| r.expect("every page belongs to exactly one site"))
             .collect();
-        let placement =
-            Placement::new(system, partitions).expect("plan shapes are consistent");
+        let placement = Placement::new(system, partitions).expect("plan shapes are consistent");
 
         let check = ConstraintReport::check(system, &placement);
         let update_ok = !self.config.include_update_load
@@ -212,11 +202,7 @@ mod tests {
         };
         let outcome = ReplicationPolicy::new().plan(&sys);
         let check = ConstraintReport::check(&sys, &outcome.placement);
-        assert!(
-            check.is_feasible(),
-            "violations: {:?}",
-            check.violations
-        );
+        assert!(check.is_feasible(), "violations: {:?}", check.violations);
         assert!(outcome.report.feasible);
     }
 
@@ -235,7 +221,9 @@ mod tests {
         let policy = ReplicationPolicy::new();
         let mut last = f64::NEG_INFINITY;
         for &frac in &[1.0, 0.8, 0.6, 0.4, 0.2] {
-            let sys = base.with_storage_fraction(frac).with_processing_fraction(10.0);
+            let sys = base
+                .with_storage_fraction(frac)
+                .with_processing_fraction(10.0);
             let outcome = policy.plan(&sys);
             // Compare on the *same* cost model (the base system estimates).
             let cm = CostModel::with_defaults(&base);

@@ -17,7 +17,9 @@ use crate::streams::{OptionalCost, SiteParams, Streams};
 use mmrepl_model::{
     CostParams, ObjectId, PageId, PagePartition, Placement, SiteId, StoredSet, System,
 };
-use std::collections::HashMap;
+
+/// Sentinel in the global→local object index for "not referenced here".
+const NOT_LOCAL: u32 = u32::MAX;
 
 /// A totally ordered `f64` key for greedy heaps (orders by
 /// `f64::total_cmp`; the algorithms never produce NaN, but the type stays
@@ -71,24 +73,34 @@ pub struct SiteWork<'a> {
     /// Refresh load of the current store: `Σ_{k stored} u_k` (zero when
     /// `count_updates` is off).
     update_load: f64,
-    /// Local-mark count per stored object (orphan detection).
-    mark_count: HashMap<ObjectId, u32>,
-    /// Reverse index: object -> (page_idx, slot) compulsory references.
-    comp_refs: HashMap<ObjectId, Vec<(u32, u32)>>,
-    /// Reverse index: object -> (page_idx, slot) optional references.
-    opt_refs: HashMap<ObjectId, Vec<(u32, u32)>>,
+    /// Global object id → local index (`NOT_LOCAL` = unreferenced here).
+    /// Local indices run over the objects this site's pages reference, in
+    /// ascending id order; all dense per-object arrays below share them.
+    obj_local: Vec<u32>,
+    /// Local-mark count per local object (orphan detection).
+    mark_count: Vec<u32>,
+    /// CSR reverse index: compulsory `(page_idx, slot)` references of local
+    /// object `o` live at `comp_dat[comp_off[o] .. comp_off[o + 1]]`, in
+    /// (page idx, slot) ascending order.
+    comp_off: Vec<u32>,
+    comp_dat: Vec<(u32, u32)>,
+    /// CSR reverse index for optional references, same layout.
+    opt_off: Vec<u32>,
+    opt_dat: Vec<(u32, u32)>,
+    /// Objects whose mark count touched zero since the last
+    /// [`SiteWork::drop_orphans`]; entries may be stale (re-marked since)
+    /// and are re-checked on drain.
+    zero_marks: Vec<ObjectId>,
+    /// Reusable scratch for [`SiteWork::dealloc`]'s ref walk (the flips
+    /// need `&mut self` while the CSR slice borrows `&self`).
+    scratch_refs: Vec<(u32, u32)>,
 }
 
 impl<'a> SiteWork<'a> {
     /// Builds working state for `site` from an initial placement, adopting
     /// its marks. The store becomes exactly the locally-marked object set.
     /// Update-propagation load is not accounted (the paper's model).
-    pub fn new(
-        sys: &'a System,
-        site: SiteId,
-        placement: &Placement,
-        cost: CostParams,
-    ) -> Self {
+    pub fn new(sys: &'a System, site: SiteId, placement: &Placement, cost: CostParams) -> Self {
         Self::with_update_accounting(sys, site, placement, cost, false)
     }
 
@@ -104,6 +116,57 @@ impl<'a> SiteWork<'a> {
     ) -> Self {
         let params = SiteParams::of(sys.site(site));
         let pages: Vec<PageId> = sys.pages_of(site).to_vec();
+
+        // Build the site-local dense object index: every object some local
+        // page references, in ascending id order. A bitmask scan assigns
+        // the indices without sorting the (much longer) reference list.
+        let mut mask = vec![0u64; sys.n_objects().div_ceil(64)];
+        for &pid in &pages {
+            let page = sys.page(pid);
+            for &k in &page.compulsory {
+                mask[k.index() >> 6] |= 1 << (k.index() & 63);
+            }
+            for o in &page.optional {
+                let i = o.object.index();
+                mask[i >> 6] |= 1 << (i & 63);
+            }
+        }
+        let mut obj_local = vec![NOT_LOCAL; sys.n_objects()];
+        let mut n_local = 0u32;
+        for (word, &bits) in mask.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                obj_local[(word << 6) + bits.trailing_zeros() as usize] = n_local;
+                n_local += 1;
+                bits &= bits - 1;
+            }
+        }
+        let n_local = n_local as usize;
+
+        // CSR reverse indices: count refs per object, prefix-sum into
+        // offsets, then fill through a cursor copy. Filling in page-idx,
+        // slot order reproduces the reference order the restoration
+        // algorithms were tuned against.
+        let mut comp_off = vec![0u32; n_local + 1];
+        let mut opt_off = vec![0u32; n_local + 1];
+        for &pid in &pages {
+            let page = sys.page(pid);
+            for &k in &page.compulsory {
+                comp_off[obj_local[k.index()] as usize + 1] += 1;
+            }
+            for o in &page.optional {
+                opt_off[obj_local[o.object.index()] as usize + 1] += 1;
+            }
+        }
+        for i in 1..comp_off.len() {
+            comp_off[i] += comp_off[i - 1];
+            opt_off[i] += opt_off[i - 1];
+        }
+        let mut comp_cur = comp_off.clone();
+        let mut opt_cur = opt_off.clone();
+        let mut comp_dat = vec![(0u32, 0u32); *comp_off.last().unwrap() as usize];
+        let mut opt_dat = vec![(0u32, 0u32); *opt_off.last().unwrap() as usize];
+
         let mut freq = Vec::with_capacity(pages.len());
         let mut streams = Vec::with_capacity(pages.len());
         let mut opt_cost = Vec::with_capacity(pages.len());
@@ -112,9 +175,7 @@ impl<'a> SiteWork<'a> {
         let mut stored_bytes = 0u64;
         let mut html_bytes = 0u64;
         let mut load = 0.0;
-        let mut mark_count: HashMap<ObjectId, u32> = HashMap::new();
-        let mut comp_refs: HashMap<ObjectId, Vec<(u32, u32)>> = HashMap::new();
-        let mut opt_refs: HashMap<ObjectId, Vec<(u32, u32)>> = HashMap::new();
+        let mut mark_count = vec![0u32; n_local];
 
         for (idx, &pid) in pages.iter().enumerate() {
             let page = sys.page(pid);
@@ -124,17 +185,16 @@ impl<'a> SiteWork<'a> {
 
             let mut s = Streams::all_local_base(page.html_size);
             for (slot, &k) in page.compulsory.iter().enumerate() {
-                comp_refs
-                    .entry(k)
-                    .or_default()
-                    .push((idx as u32, slot as u32));
+                let o = obj_local[k.index()] as usize;
+                comp_dat[comp_cur[o] as usize] = (idx as u32, slot as u32);
+                comp_cur[o] += 1;
                 let size = sys.object_size(k);
                 if part.local_compulsory[slot] {
                     s.local_bytes += size.get();
                     if store.insert(k) {
                         stored_bytes += size.get();
                     }
-                    *mark_count.entry(k).or_insert(0) += 1;
+                    mark_count[o] += 1;
                 } else {
                     s.remote_bytes += size.get();
                     s.n_remote += 1;
@@ -148,16 +208,15 @@ impl<'a> SiteWork<'a> {
                 }),
             );
             for (slot, o) in page.optional.iter().enumerate() {
-                opt_refs
-                    .entry(o.object)
-                    .or_default()
-                    .push((idx as u32, slot as u32));
+                let lo = obj_local[o.object.index()] as usize;
+                opt_dat[opt_cur[lo] as usize] = (idx as u32, slot as u32);
+                opt_cur[lo] += 1;
                 if part.local_optional[slot] {
                     let size = sys.object_size(o.object);
                     if store.insert(o.object) {
                         stored_bytes += size.get();
                     }
-                    *mark_count.entry(o.object).or_insert(0) += 1;
+                    mark_count[lo] += 1;
                 }
             }
 
@@ -168,8 +227,7 @@ impl<'a> SiteWork<'a> {
                 .filter(|(_, &l)| l)
                 .map(|(o, _)| o.prob)
                 .sum();
-            load += f
-                * (1.0 + part.n_local_compulsory() as f64 + page.opt_req_factor * opt_local);
+            load += f * (1.0 + part.n_local_compulsory() as f64 + page.opt_req_factor * opt_local);
 
             freq.push(f);
             streams.push(s);
@@ -200,9 +258,23 @@ impl<'a> SiteWork<'a> {
             load,
             count_updates,
             update_load,
+            obj_local,
             mark_count,
-            comp_refs,
-            opt_refs,
+            comp_off,
+            comp_dat,
+            opt_off,
+            opt_dat,
+            zero_marks: Vec::new(),
+            scratch_refs: Vec::new(),
+        }
+    }
+
+    /// The site-local index of `object`, if any local page references it.
+    #[inline]
+    fn local_of(&self, object: ObjectId) -> Option<usize> {
+        match self.obj_local[object.index()] {
+            NOT_LOCAL => None,
+            i => Some(i as usize),
         }
     }
 
@@ -333,7 +405,7 @@ impl<'a> SiteWork<'a> {
 
     /// Number of local marks currently on `object`.
     pub fn marks_on(&self, object: ObjectId) -> u32 {
-        self.mark_count.get(&object).copied().unwrap_or(0)
+        self.local_of(object).map_or(0, |o| self.mark_count[o])
     }
 
     /// Iterates the stored objects in ascending id order.
@@ -356,12 +428,18 @@ impl<'a> SiteWork<'a> {
 
     /// Compulsory references to `object` at this site.
     pub fn compulsory_refs(&self, object: ObjectId) -> &[(u32, u32)] {
-        self.comp_refs.get(&object).map(Vec::as_slice).unwrap_or(&[])
+        match self.local_of(object) {
+            Some(o) => &self.comp_dat[self.comp_off[o] as usize..self.comp_off[o + 1] as usize],
+            None => &[],
+        }
     }
 
     /// Optional references to `object` at this site.
     pub fn optional_refs(&self, object: ObjectId) -> &[(u32, u32)] {
-        self.opt_refs.get(&object).map(Vec::as_slice).unwrap_or(&[])
+        match self.local_of(object) {
+            Some(o) => &self.opt_dat[self.opt_off[o] as usize..self.opt_off[o + 1] as usize],
+            None => &[],
+        }
     }
 
     // --- mutation ---------------------------------------------------------
@@ -378,6 +456,9 @@ impl<'a> SiteWork<'a> {
         let pid = self.pages[idx];
         let object = self.sys.page(pid).compulsory[slot];
         let size = self.sys.object_size(object);
+        let o = self
+            .local_of(object)
+            .expect("compulsory slot references an object unknown to this site");
         if local {
             assert!(
                 self.store.contains(object),
@@ -386,15 +467,15 @@ impl<'a> SiteWork<'a> {
             );
             self.streams[idx].move_to_local(size);
             self.load += self.freq[idx];
-            *self.mark_count.entry(object).or_insert(0) += 1;
+            self.mark_count[o] += 1;
         } else {
             self.streams[idx].move_to_remote(size);
             self.load -= self.freq[idx];
-            let c = self
-                .mark_count
-                .get_mut(&object)
-                .expect("unmarking an object with no marks");
-            *c -= 1;
+            assert!(self.mark_count[o] > 0, "unmarking an object with no marks");
+            self.mark_count[o] -= 1;
+            if self.mark_count[o] == 0 {
+                self.zero_marks.push(object);
+            }
         }
         self.parts[idx].local_compulsory[slot] = local;
     }
@@ -410,6 +491,9 @@ impl<'a> SiteWork<'a> {
         let oref = page.optional[slot];
         let size = self.sys.object_size(oref.object);
         let workload = self.freq[idx] * page.opt_req_factor * oref.prob;
+        let o = self
+            .local_of(oref.object)
+            .expect("optional slot references an object unknown to this site");
         if local {
             assert!(
                 self.store.contains(oref.object),
@@ -417,14 +501,17 @@ impl<'a> SiteWork<'a> {
                 oref.object
             );
             self.load += workload;
-            *self.mark_count.entry(oref.object).or_insert(0) += 1;
+            self.mark_count[o] += 1;
         } else {
             self.load -= workload;
-            let c = self
-                .mark_count
-                .get_mut(&oref.object)
-                .expect("unmarking an optional with no marks");
-            *c -= 1;
+            assert!(
+                self.mark_count[o] > 0,
+                "unmarking an optional with no marks"
+            );
+            self.mark_count[o] -= 1;
+            if self.mark_count[o] == 0 {
+                self.zero_marks.push(oref.object);
+            }
         }
         self.opt_cost[idx].flip(oref.prob, size, local, &self.params);
         self.parts[idx].local_optional[slot] = local;
@@ -438,6 +525,9 @@ impl<'a> SiteWork<'a> {
             if self.count_updates {
                 self.update_load += self.sys.object(object).update_rate;
             }
+            // Stored with zero marks until a caller flips one local — an
+            // orphan candidate if none ever lands.
+            self.zero_marks.push(object);
             true
         } else {
             false
@@ -474,21 +564,27 @@ impl<'a> SiteWork<'a> {
     /// partition changed (candidates for re-partitioning).
     pub fn dealloc(&mut self, object: ObjectId) -> Vec<usize> {
         let mut affected = Vec::new();
-        let comp: Vec<(u32, u32)> = self.compulsory_refs(object).to_vec();
-        for (idx, slot) in comp {
+        // The flips below need `&mut self` while the CSR rows borrow
+        // `&self`, so stage the rows through a reusable scratch buffer.
+        let mut refs = std::mem::take(&mut self.scratch_refs);
+        refs.clear();
+        refs.extend_from_slice(self.compulsory_refs(object));
+        for &(idx, slot) in &refs {
             let (idx, slot) = (idx as usize, slot as usize);
             if self.parts[idx].local_compulsory[slot] {
                 self.set_compulsory(idx, slot, false);
                 affected.push(idx);
             }
         }
-        let opt: Vec<(u32, u32)> = self.optional_refs(object).to_vec();
-        for (idx, slot) in opt {
+        refs.clear();
+        refs.extend_from_slice(self.optional_refs(object));
+        for &(idx, slot) in &refs {
             let (idx, slot) = (idx as usize, slot as usize);
             if self.parts[idx].local_optional[slot] {
                 self.set_optional(idx, slot, false);
             }
         }
+        self.scratch_refs = refs;
         if self.store.remove(object) {
             self.stored_bytes -= self.sys.object_size(object).get();
             if self.count_updates {
@@ -496,29 +592,32 @@ impl<'a> SiteWork<'a> {
             }
         }
         debug_assert_eq!(self.marks_on(object), 0);
-        self.mark_count.remove(&object);
         affected
     }
 
     /// Removes stored objects that no longer carry any local mark,
     /// returning the bytes freed. Zero objective cost by construction.
     pub fn drop_orphans(&mut self) -> u64 {
-        let orphans: Vec<ObjectId> = self
-            .store
-            .iter()
-            .filter(|&k| self.marks_on(k) == 0)
-            .collect();
+        // Every orphan went through a marks→0 transition (or a markless
+        // `alloc`), so the worklist covers them all; entries re-marked
+        // since are filtered by the re-check. Ascending-id drain keeps the
+        // update-load subtraction order of the old full-store scan.
+        let mut worklist = std::mem::take(&mut self.zero_marks);
+        worklist.sort_unstable();
+        worklist.dedup();
         let mut freed = 0;
-        for k in orphans {
-            self.store.remove(k);
+        for k in worklist.drain(..) {
+            if self.marks_on(k) != 0 || !self.store.remove(k) {
+                continue;
+            }
             let sz = self.sys.object_size(k).get();
             self.stored_bytes -= sz;
             freed += sz;
             if self.count_updates {
                 self.update_load -= self.sys.object(k).update_rate;
             }
-            self.mark_count.remove(&k);
         }
+        self.zero_marks = worklist;
         freed
     }
 
@@ -569,8 +668,7 @@ impl<'a> SiteWork<'a> {
             .optional
             .iter()
             .map(|o| {
-                self.store.contains(o.object)
-                    && p.local_fetch_wins(self.sys.object_size(o.object))
+                self.store.contains(o.object) && p.local_fetch_wins(self.sys.object_size(o.object))
             })
             .collect();
 
@@ -648,7 +746,11 @@ impl<'a> SiteWork<'a> {
                 page.opt_req_factor,
                 &self.params,
                 page.optional.iter().enumerate().map(|(slot, o)| {
-                    (o.prob, self.sys.object_size(o.object), part.local_optional[slot])
+                    (
+                        o.prob,
+                        self.sys.object_size(o.object),
+                        part.local_optional[slot],
+                    )
                 }),
             );
             assert!(
@@ -755,9 +857,7 @@ mod tests {
         let total: f64 = sys
             .sites()
             .ids()
-            .map(|s| {
-                SiteWork::new(&sys, s, &placement, CostParams::default()).total_d()
-            })
+            .map(|s| SiteWork::new(&sys, s, &placement, CostParams::default()).total_d())
             .sum();
         assert!(
             (total - cm.objective(&placement)).abs() / total < 1e-9,
@@ -774,9 +874,7 @@ mod tests {
         let before_d = w.total_d();
         // Find a local compulsory mark and flip it away and back.
         let (idx, slot) = (0..w.n_pages())
-            .flat_map(|idx| {
-                (0..w.partition(idx).local_compulsory.len()).map(move |s| (idx, s))
-            })
+            .flat_map(|idx| (0..w.partition(idx).local_compulsory.len()).map(move |s| (idx, s)))
             .find(|&(idx, s)| w.partition(idx).local_compulsory[s])
             .expect("no local marks");
         w.set_compulsory(idx, slot, false);
@@ -866,9 +964,8 @@ mod tests {
             let pid = w.pages()[idx];
             let page = sys.page(pid);
             (0..page.n_compulsory()).find_map(|s| {
-                (!w.partition(idx).local_compulsory[s]
-                    && !w.is_stored(page.compulsory[s]))
-                .then_some((idx, s))
+                (!w.partition(idx).local_compulsory[s] && !w.is_stored(page.compulsory[s]))
+                    .then_some((idx, s))
             })
         });
         // If every remote object happens to be stored, force the situation.

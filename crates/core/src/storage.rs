@@ -8,18 +8,18 @@
 //! shrunken store ("after each deallocation we check whether we can reduce
 //! the download time for pages previously marking the deallocated MO").
 //!
-//! The candidate ranking lives in a lazily-revalidated min-heap: deltas of
+//! The candidate ranking lives in a lazily-revalidated min-heap
+//! ([`crate::lazyheap`]): deltas of
 //! objects sharing a page with the victim go stale on each deallocation,
 //! so each pop re-computes the candidate's current delta and re-inserts it
 //! unless it is still at least as good as the next-best key. With ~4,500
 //! stored objects per site and a handful of references each, restoration
 //! is near-linear in the number of deallocations.
 
-use crate::state::{SiteWork, TotalF64};
+use crate::lazyheap::LazyMinHeap;
+use crate::state::SiteWork;
 use mmrepl_model::ObjectId;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// The greedy deallocation criterion (A2 ablation).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,10 +57,7 @@ pub fn restore_storage(work: &mut SiteWork<'_>) -> StorageReport {
 }
 
 /// Restores Eq. 10 with an explicit deallocation criterion (A2 ablation).
-pub fn restore_storage_with(
-    work: &mut SiteWork<'_>,
-    criterion: DeallocCriterion,
-) -> StorageReport {
+pub fn restore_storage_with(work: &mut SiteWork<'_>, criterion: DeallocCriterion) -> StorageReport {
     let mut report = StorageReport {
         feasible: true,
         ..StorageReport::default()
@@ -76,35 +73,23 @@ pub fn restore_storage_with(
         report.bytes_freed += freed;
     }
 
-    // Min-heap of (criterion key, object). Lazy revalidation on pop.
-    let mut heap: BinaryHeap<Reverse<(TotalF64, ObjectId)>> = work
-        .stored_objects()
-        .into_iter()
-        .map(|k| Reverse((TotalF64(dealloc_key(work, k, criterion)), k)))
-        .collect();
+    // Min-heap of (criterion key, object). Lazy revalidation on pop:
+    // entries whose object was orphaned meanwhile are dead, entries whose
+    // delta grew are re-keyed.
+    let mut heap: LazyMinHeap<ObjectId> = LazyMinHeap::from_entries(
+        work.stored_objects()
+            .into_iter()
+            .map(|k| (dealloc_key(work, k, criterion), k)),
+    );
 
     while work.storage_used() > capacity {
-        let Some(Reverse((key, object))) = heap.pop() else {
+        let Some(object) =
+            heap.pop_current(|k| work.is_stored(k), |k| dealloc_key(work, k, criterion))
+        else {
             // Store is empty but HTML alone overflows: infeasible.
             report.feasible = false;
             break;
         };
-        if !work.is_stored(object) {
-            continue; // already gone (orphaned earlier)
-        }
-        let current = dealloc_key(work, object, criterion);
-        if current > key.0 + 1e-12 {
-            // Stale entry: its delta grew since it was pushed. Re-insert
-            // with the fresh key unless it still beats the next candidate.
-            let still_best = heap
-                .peek()
-                .map(|Reverse((next, _))| current <= next.0 + 1e-12)
-                .unwrap_or(true);
-            if !still_best {
-                heap.push(Reverse((TotalF64(current), object)));
-                continue;
-            }
-        }
 
         let size = work.system().object_size(object).get();
         let affected = work.dealloc(object);
@@ -211,8 +196,7 @@ mod tests {
         // between pages, so some degradation is unavoidable).
         let sys = constrained_system(10.0, 4); // effectively unconstrained
         let placement = partition_all(&sys);
-        let w_free =
-            SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        let w_free = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
         let d_free = w_free.total_d();
         let remote = mmrepl_model::Placement::all_remote(&sys);
         let d_remote =
@@ -236,14 +220,12 @@ mod tests {
         let sys = constrained_system(0.5, 5);
         let placement = partition_all(&sys);
 
-        let mut greedy =
-            SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        let mut greedy = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
         let report = restore_storage(&mut greedy);
         assert!(report.feasible);
 
         // Random-order (id-order) deallocation to the same capacity.
-        let mut blind =
-            SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        let mut blind = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
         let mut stored = blind.stored_objects();
         stored.sort(); // deterministic "uninformed" order
         let mut i = 0;
@@ -268,8 +250,7 @@ mod tests {
             .unwrap()
             .with_storage_fraction(0.0001);
         let placement = partition_all(&sys);
-        let mut w =
-            SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        let mut w = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
         let report = restore_storage(&mut w);
         assert!(!report.feasible);
         // Everything deallocatable was deallocated.
@@ -282,11 +263,9 @@ mod tests {
         // to raw-delta on the very workload it was designed for.
         let sys = constrained_system(0.5, 11);
         let placement = partition_all(&sys);
-        let mut amortized =
-            SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        let mut amortized = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
         let ra = restore_storage_with(&mut amortized, DeallocCriterion::AmortizedOverSize);
-        let mut raw =
-            SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
+        let mut raw = SiteWork::new(&sys, SiteId::new(0), &placement, CostParams::default());
         let rr = restore_storage_with(&mut raw, DeallocCriterion::RawDelta);
         assert!(ra.feasible && rr.feasible);
         // Raw delta deallocates cheap-but-tiny objects first and needs

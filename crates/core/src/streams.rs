@@ -116,10 +116,7 @@ impl Streams {
     /// repository stream.
     #[inline]
     pub fn move_to_remote(&mut self, size: Bytes) {
-        debug_assert!(
-            self.local_bytes >= size.get(),
-            "local stream underflow"
-        );
+        debug_assert!(self.local_bytes >= size.get(), "local stream underflow");
         self.local_bytes -= size.get();
         self.remote_bytes += size.get();
         self.n_remote += 1;
@@ -286,10 +283,7 @@ mod tests {
     fn optional_cost_build_and_flip() {
         let p = params();
         // Two slots: (0.5, 20 KiB, local), (0.1, 10 KiB, remote).
-        let slots = vec![
-            (0.5, Bytes::kib(20), true),
-            (0.1, Bytes::kib(10), false),
-        ];
+        let slots = vec![(0.5, Bytes::kib(20), true), (0.1, Bytes::kib(10), false)];
         let mut oc = OptionalCost::build(1.0, &p, slots.into_iter());
         // 0.5*(1+2) + 0.1*(2+10) = 1.5 + 1.2 = 2.7
         assert!((oc.time() - 2.7).abs() < 1e-12);

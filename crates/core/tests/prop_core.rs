@@ -147,6 +147,50 @@ proptest! {
         }
     }
 
+    /// The dense (CSR) per-site state yields the same plan every time and
+    /// on every thread count: placement and report must be byte-identical
+    /// across repeated cold plans and pool-parallel plans.
+    #[test]
+    fn plan_is_bit_identical_across_runs_and_threads(
+        seed in 0u64..200,
+        sf in 0.05f64..1.2,
+        pf in 0.05f64..1.2,
+        threads in 1usize..5,
+    ) {
+        let sys = small_sys(seed)
+            .with_storage_fraction(sf)
+            .with_processing_fraction(pf);
+        let policy = ReplicationPolicy::new();
+        let a = policy.plan(&sys);
+        let b = policy.plan(&sys);
+        prop_assert_eq!(&a.placement, &b.placement);
+        prop_assert_eq!(&a.report, &b.report);
+        let par = policy.plan_parallel(&sys, threads);
+        prop_assert_eq!(&a.placement, &par.placement, "threads {}", threads);
+        prop_assert_eq!(&a.report, &par.report, "threads {}", threads);
+    }
+
+    /// Warm-starting from a partition computed on the *unconstrained*
+    /// base system matches a cold plan exactly: `PARTITION` reads only
+    /// rates, overheads and sizes, so capacity scaling cannot change it.
+    #[test]
+    fn warm_started_plan_matches_cold_plan(
+        seed in 0u64..200,
+        sf in 0.05f64..1.2,
+        pf in 0.05f64..1.2,
+    ) {
+        let base = small_sys(seed);
+        let initial = partition_all(&base);
+        let sys = base
+            .with_storage_fraction(sf)
+            .with_processing_fraction(pf);
+        let policy = ReplicationPolicy::new();
+        let warm = policy.plan_with_partition(&sys, &initial);
+        let cold = policy.plan(&sys);
+        prop_assert_eq!(&warm.placement, &cold.placement);
+        prop_assert_eq!(&warm.report, &cold.report);
+    }
+
     /// The full planner never *reports* feasible while violating a
     /// constraint, under joint random tightness.
     #[test]

@@ -366,10 +366,7 @@ mod tests {
         assert_eq!(cost.response, cost.local.max(cost.remote));
         assert_eq!(cost.optional, cm.optional_time(page, &part));
         let w = cost.weighted(2.0, CostParams::default());
-        assert!(
-            (w - 2.0 * (2.0 * cost.response.get() + 1.0 * cost.optional.get())).abs()
-                < 1e-12
-        );
+        assert!((w - 2.0 * (2.0 * cost.response.get() + 1.0 * cost.optional.get())).abs() < 1e-12);
     }
 
     #[test]
@@ -410,11 +407,12 @@ mod tests {
             local_optional: vec![],
         };
         let split_resp = cm.page_response(page, &split);
-        let local_resp =
-            cm.page_response(page, &PagePartition::all_local(sys.page(page)));
-        let remote_resp =
-            cm.page_response(page, &PagePartition::all_remote(sys.page(page)));
+        let local_resp = cm.page_response(page, &PagePartition::all_local(sys.page(page)));
+        let remote_resp = cm.page_response(page, &PagePartition::all_remote(sys.page(page)));
         assert!(split_resp < local_resp, "{split_resp:?} vs {local_resp:?}");
-        assert!(split_resp < remote_resp, "{split_resp:?} vs {remote_resp:?}");
+        assert!(
+            split_resp < remote_resp,
+            "{split_resp:?} vs {remote_resp:?}"
+        );
     }
 }

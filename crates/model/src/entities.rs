@@ -353,8 +353,7 @@ impl System {
     /// the Figure 2/3 sweeps.
     pub fn with_processing_fraction(&self, frac: f64) -> System {
         let mut sys = self.clone();
-        let loads: Vec<ReqPerSec> =
-            sys.sites.ids().map(|s| self.full_local_load(s)).collect();
+        let loads: Vec<ReqPerSec> = sys.sites.ids().map(|s| self.full_local_load(s)).collect();
         for ((_, site), load) in sys.sites.iter_mut().zip(loads) {
             site.capacity = load.scale(frac);
         }
@@ -384,10 +383,7 @@ impl System {
     /// `f`. Used by the workload-drift extension ("breaking news" rotates
     /// which pages are hot); structure, sizes and capacities are
     /// untouched.
-    pub fn map_frequencies(
-        &self,
-        mut f: impl FnMut(PageId, ReqPerSec) -> ReqPerSec,
-    ) -> System {
+    pub fn map_frequencies(&self, mut f: impl FnMut(PageId, ReqPerSec) -> ReqPerSec) -> System {
         let mut sys = self.clone();
         for (pid, page) in sys.pages.iter_mut() {
             page.freq = f(pid, page.freq);
@@ -415,10 +411,7 @@ impl System {
     /// (read/write extension). Structure, sizes and placement-relevant
     /// state are untouched, so plans remain comparable across update
     /// intensities.
-    pub fn map_update_rates(
-        &self,
-        mut f: impl FnMut(ObjectId, &MediaObject) -> f64,
-    ) -> System {
+    pub fn map_update_rates(&self, mut f: impl FnMut(ObjectId, &MediaObject) -> f64) -> System {
         let mut sys = self.clone();
         for (oid, obj) in sys.objects.iter_mut() {
             let rate = f(oid, obj);
@@ -642,7 +635,10 @@ mod tests {
             MediaObject::of_size(Bytes::kib(799)).class,
             SizeClass::Medium
         );
-        assert_eq!(MediaObject::of_size(Bytes::kib(800)).class, SizeClass::Large);
+        assert_eq!(
+            MediaObject::of_size(Bytes::kib(800)).class,
+            SizeClass::Large
+        );
         assert_eq!(MediaObject::of_size(Bytes::mib(4)).class, SizeClass::Large);
     }
 
@@ -809,7 +805,10 @@ mod tests {
                 opt_req_factor: 1.0,
             });
             assert!(
-                matches!(b.build().unwrap_err(), ModelError::InvalidProbability { .. }),
+                matches!(
+                    b.build().unwrap_err(),
+                    ModelError::InvalidProbability { .. }
+                ),
                 "probability {bad} should be rejected"
             );
         }

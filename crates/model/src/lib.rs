@@ -90,14 +90,12 @@ pub mod updates;
 pub use constraints::{ConstraintReport, Violation};
 pub use cost::{CostModel, CostParams, PageCost};
 pub use entities::{
-    default_site, MediaObject, OptionalRef, Repository, Site, SizeClass, System,
-    SystemBuilder, WebPage,
+    default_site, MediaObject, OptionalRef, Repository, Site, SizeClass, System, SystemBuilder,
+    WebPage,
 };
 pub use error::ModelError;
 pub use ids::{IdVec, ObjectId, PageId, SiteId};
 pub use matrix::BitMatrix;
 pub use placement::{PagePartition, Placement, PlacementDiff, StoredSet};
 pub use units::{Bytes, BytesPerSec, ReqPerSec, Secs};
-pub use updates::{
-    repo_update_load, replica_count, site_update_load, UpdateAwareReport,
-};
+pub use updates::{replica_count, repo_update_load, site_update_load, UpdateAwareReport};

@@ -197,10 +197,7 @@ impl Placement {
     /// locally stored objects at `site`.
     pub fn storage_used(&self, system: &System, site: SiteId) -> Bytes {
         let stored = self.stored_set(system, site);
-        let objects: Bytes = stored
-            .iter()
-            .map(|k| system.object_size(k))
-            .sum();
+        let objects: Bytes = stored.iter().map(|k| system.object_size(k)).sum();
         objects + system.html_bytes_of(site)
     }
 
@@ -219,9 +216,7 @@ impl Placement {
                 .map(|(o, _)| o.prob)
                 .sum();
             load += page.freq.get()
-                * (1.0
-                    + part.n_local_compulsory() as f64
-                    + page.opt_req_factor * opt_local);
+                * (1.0 + part.n_local_compulsory() as f64 + page.opt_req_factor * opt_local);
         }
         ReqPerSec(load)
     }
@@ -250,8 +245,7 @@ impl Placement {
         for &p in system.pages_of(site) {
             let page = system.page(p);
             let part = &self.partitions[p];
-            let remote_compulsory =
-                (page.n_compulsory() - part.n_local_compulsory()) as f64;
+            let remote_compulsory = (page.n_compulsory() - part.n_local_compulsory()) as f64;
             let opt_remote: f64 = page
                 .optional
                 .iter()
@@ -259,8 +253,7 @@ impl Placement {
                 .filter(|(_, &local)| !local)
                 .map(|(o, _)| o.prob)
                 .sum();
-            load += page.freq.get()
-                * (remote_compulsory + page.opt_req_factor * opt_remote);
+            load += page.freq.get() * (remote_compulsory + page.opt_req_factor * opt_remote);
         }
         ReqPerSec(load)
     }
@@ -498,9 +491,7 @@ mod tests {
         let placement = Placement::all_remote(&sys);
         // Page 0: 2.0 * (2 + 0.1) = 4.2; page 1: 1.0 * 2 = 2.0
         assert!((placement.repo_load(&sys).get() - 6.2).abs() < 1e-12);
-        assert!(
-            (placement.repo_load_from(&sys, SiteId::new(0)).get() - 6.2).abs() < 1e-12
-        );
+        assert!((placement.repo_load_from(&sys, SiteId::new(0)).get() - 6.2).abs() < 1e-12);
 
         let local = Placement::all_local(&sys);
         assert_eq!(local.repo_load(&sys), ReqPerSec(0.0));

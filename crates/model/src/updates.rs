@@ -26,12 +26,7 @@ use serde::{Deserialize, Serialize};
 /// The refresh load arriving at `site`: `Σ_{k stored at site} u_k`.
 pub fn site_update_load(system: &System, placement: &Placement, site: SiteId) -> ReqPerSec {
     let stored = placement.stored_set(system, site);
-    ReqPerSec(
-        stored
-            .iter()
-            .map(|k| system.object(k).update_rate)
-            .sum(),
-    )
+    ReqPerSec(stored.iter().map(|k| system.object(k).update_rate).sum())
 }
 
 /// The push load the repository bears: `Σ_k u_k · |sites storing k|`.
@@ -83,8 +78,7 @@ impl UpdateAwareReport {
         for site in system.sites().ids() {
             let read = placement.site_load(system, site);
             let upd = site_update_load(system, placement, site);
-            if read.get() + upd.get() > system.site(site).capacity.get() * (1.0 + EPS) + EPS
-            {
+            if read.get() + upd.get() > system.site(site).capacity.get() * (1.0 + EPS) + EPS {
                 overloaded_sites.push(site);
             }
             site_read.push(read);

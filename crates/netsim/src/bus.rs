@@ -137,7 +137,11 @@ mod tests {
     #[test]
     fn messages_arrive_after_latency() {
         let mut bus: MessageBus<&str> = MessageBus::new(Secs(0.1));
-        bus.send(Endpoint::Site(SiteId::new(0)), Endpoint::Repository, "status");
+        bus.send(
+            Endpoint::Site(SiteId::new(0)),
+            Endpoint::Repository,
+            "status",
+        );
         let env = bus.deliver_next().unwrap();
         assert_eq!(env.payload, "status");
         assert_eq!(env.sent_at, SimTime::ZERO);
@@ -160,7 +164,11 @@ mod tests {
     #[test]
     fn request_reply_takes_two_latencies() {
         let mut bus: MessageBus<&str> = MessageBus::new(Secs(0.1));
-        bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(2)), "assign");
+        bus.send(
+            Endpoint::Repository,
+            Endpoint::Site(SiteId::new(2)),
+            "assign",
+        );
         let req = bus.deliver_next().unwrap();
         assert_eq!(req.payload, "assign");
         // Reply is posted at delivery time.
@@ -184,7 +192,13 @@ mod tests {
             _ => unreachable!(),
         });
         assert_eq!(acks, 3);
-        assert_eq!(bus.stats(), BusStats { sent: 6, delivered: 6 });
+        assert_eq!(
+            bus.stats(),
+            BusStats {
+                sent: 6,
+                delivered: 6
+            }
+        );
         assert_eq!(bus.in_flight(), 0);
     }
 

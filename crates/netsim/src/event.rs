@@ -283,10 +283,7 @@ mod tests {
                 q.schedule_in(1.0, n - 1);
             }
         });
-        assert_eq!(
-            seen,
-            vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]
-        );
+        assert_eq!(seen, vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]);
         assert_eq!(end, SimTime::new(4.0));
         assert_eq!(q.processed(), 4);
     }

@@ -26,7 +26,10 @@ impl Histogram {
     /// A histogram with `n_buckets` log-spaced buckets covering
     /// `[min, max]` (both positive, min < max).
     pub fn new(min: f64, max: f64, n_buckets: usize) -> Self {
-        assert!(min > 0.0 && max > min, "invalid histogram range [{min}, {max}]");
+        assert!(
+            min > 0.0 && max > min,
+            "invalid histogram range [{min}, {max}]"
+        );
         assert!(n_buckets >= 1, "need at least one bucket");
         let log_min = min.ln();
         let log_width = (max.ln() - log_min) / n_buckets as f64;
@@ -53,8 +56,7 @@ impl Histogram {
         } else if v >= self.max {
             self.buckets.len() - 1
         } else {
-            1 + (((v.ln() - self.log_min) / self.log_width) as usize)
-                .min(self.buckets.len() - 3)
+            1 + (((v.ln() - self.log_min) / self.log_width) as usize).min(self.buckets.len() - 3)
         }
     }
 

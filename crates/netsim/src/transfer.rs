@@ -179,7 +179,7 @@ mod tests {
         assert_eq!(times.len(), 2);
         assert!((times[0].get() - 3.0).abs() < 1e-12); // 1 + 2
         assert!((times[1].get() - 6.0).abs() < 1e-12); // 1 + 2 + 3
-        // Last completion equals the stream total.
+                                                       // Last completion equals the stream total.
         assert_eq!(*times.last().unwrap(), s.total_time());
     }
 

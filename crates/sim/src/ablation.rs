@@ -8,9 +8,8 @@ use crate::par::parallel_map;
 use crate::replay::replay_all;
 use mmrepl_baselines::StaticRouter;
 use mmrepl_core::{
-    partition_all_ordered, restore_capacity, restore_storage_with, run_offload,
-    AssignmentRule, DeallocCriterion, OffloadConfig, PartitionOrder, PlannerConfig,
-    ReplicationPolicy, SiteWork,
+    partition_all_ordered, restore_capacity, restore_storage_with, run_offload, AssignmentRule,
+    DeallocCriterion, OffloadConfig, PartitionOrder, PlannerConfig, ReplicationPolicy, SiteWork,
 };
 use mmrepl_model::{CostParams, Placement, System};
 use mmrepl_workload::{generate_trace, SiteTrace, TraceConfig};
@@ -78,8 +77,8 @@ pub fn ablation_partition_order(cfg: &ExperimentConfig) -> AblationResult {
             ("document-order", PartitionOrder::DocumentOrder),
         ] {
             let placement = partition_all_ordered(&sys, order);
-            let mean = replay_all(&sys, &traces, &mut StaticRouter::new(&placement, "v"))
-                .mean_response();
+            let mean =
+                replay_all(&sys, &traces, &mut StaticRouter::new(&placement, "v")).mean_response();
             m.insert(label.to_string(), mean);
         }
         m
@@ -102,12 +101,14 @@ pub fn ablation_amortization(cfg: &ExperimentConfig) -> AblationResult {
             .with_processing_fraction(f64::INFINITY);
         let mut m = BTreeMap::new();
         for (label, criterion) in [
-            ("amortized-over-size (paper)", DeallocCriterion::AmortizedOverSize),
+            (
+                "amortized-over-size (paper)",
+                DeallocCriterion::AmortizedOverSize,
+            ),
             ("raw-delta", DeallocCriterion::RawDelta),
         ] {
             let initial = mmrepl_core::partition_all(&sys);
-            let mut rows: Vec<Option<mmrepl_model::PagePartition>> =
-                vec![None; sys.n_pages()];
+            let mut rows: Vec<Option<mmrepl_model::PagePartition>> = vec![None; sys.n_pages()];
             for site in sys.sites().ids() {
                 let mut w = SiteWork::new(&sys, site, &initial, CostParams::default());
                 restore_storage_with(&mut w, criterion);
@@ -121,8 +122,8 @@ pub fn ablation_amortization(cfg: &ExperimentConfig) -> AblationResult {
                 rows.into_iter().map(|r| r.expect("covered")).collect(),
             )
             .expect("consistent");
-            let mean = replay_all(&sys, &traces, &mut StaticRouter::new(&placement, "v"))
-                .mean_response();
+            let mean =
+                replay_all(&sys, &traces, &mut StaticRouter::new(&placement, "v")).mean_response();
             m.insert(label.to_string(), mean);
         }
         m
@@ -181,7 +182,10 @@ pub fn ablation_offload(cfg: &ExperimentConfig) -> AblationResult {
         let sys = sys.with_processing_fraction(1.3);
         let mut m = BTreeMap::new();
         for (label, rule) in [
-            ("proportional (paper)", AssignmentRule::ProportionalToHeadroom),
+            (
+                "proportional (paper)",
+                AssignmentRule::ProportionalToHeadroom,
+            ),
             ("equal-split", AssignmentRule::EqualSplit),
         ] {
             let initial = mmrepl_core::partition_all(&sys);
@@ -282,10 +286,7 @@ mod tests {
         // The greedy is a heuristic; allow slack but the paper order must
         // be competitive.
         for (k, &v) in &a1.variants {
-            assert!(
-                paper <= v * 1.05,
-                "paper order {paper} vs {k} {v}"
-            );
+            assert!(paper <= v * 1.05, "paper order {paper} vs {k} {v}");
         }
     }
 

@@ -90,16 +90,8 @@ mod tests {
     fn breakdown_sums_to_global_replay() {
         let (sys, traces) = setup(1);
         let placement = partition_all(&sys);
-        let reports = site_breakdown(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
-        let global = replay_all(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let reports = site_breakdown(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
+        let global = replay_all(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
         assert_eq!(reports.len(), sys.n_sites());
         let total_requests: u64 = reports.iter().map(|r| r.requests).sum();
         assert_eq!(total_requests, global.pages.count());
@@ -129,17 +121,10 @@ mod tests {
             }
         });
         let placement = ReplicationPolicy::new().plan(&sys).placement;
-        let reports = site_breakdown(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let reports = site_breakdown(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
         let degraded = reports[0].local_fraction;
-        let healthy: f64 = reports[1..]
-            .iter()
-            .map(|r| r.local_fraction)
-            .sum::<f64>()
-            / (reports.len() - 1) as f64;
+        let healthy: f64 =
+            reports[1..].iter().map(|r| r.local_fraction).sum::<f64>() / (reports.len() - 1) as f64;
         assert!(
             degraded < 0.2,
             "degraded site still serves {degraded:.0}% locally"
@@ -161,11 +146,7 @@ mod tests {
     fn table_renders() {
         let (sys, traces) = setup(3);
         let placement = partition_all(&sys);
-        let reports = site_breakdown(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let reports = site_breakdown(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
         let table = breakdown_table(&reports);
         assert!(table.contains("S0"));
         assert!(table.contains("local%"));

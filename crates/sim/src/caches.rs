@@ -27,37 +27,34 @@ pub fn run_lfu(sys: &mmrepl_model::System, traces: &[mmrepl_workload::SiteTrace]
 /// The cache-policy sweep: % increase over the unconstrained paper policy,
 /// per storage fraction, for `ours`, `lru`, `gds` and `lfu`.
 pub fn cache_comparison(cfg: &ExperimentConfig, fractions: &[f64]) -> FigureData {
-    let per_run: Vec<Vec<BTreeMap<String, f64>>> =
-        parallel_map(cfg.runs, cfg.threads, |run| {
-            let seed = cfg
-                .base_seed
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add(run as u64);
-            let system = mmrepl_workload::generate_system(&cfg.params, seed)
-                .expect("valid params");
-            let traces =
-                generate_trace(&system, &TraceConfig::from_params(&cfg.params), seed);
-            let relaxed = system
-                .unconstrained()
-                .with_processing_fraction(f64::INFINITY);
-            let baseline = run_ours(&relaxed, &traces);
-            let pct = |v: f64| (v / baseline - 1.0) * 100.0;
+    let per_run: Vec<Vec<BTreeMap<String, f64>>> = parallel_map(cfg.runs, cfg.threads, |run| {
+        let seed = cfg
+            .base_seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(run as u64);
+        let system = mmrepl_workload::generate_system(&cfg.params, seed).expect("valid params");
+        let traces = generate_trace(&system, &TraceConfig::from_params(&cfg.params), seed);
+        let relaxed = system
+            .unconstrained()
+            .with_processing_fraction(f64::INFINITY);
+        let baseline = run_ours(&relaxed, &traces);
+        let pct = |v: f64| (v / baseline - 1.0) * 100.0;
 
-            fractions
-                .iter()
-                .map(|&f| {
-                    let sys_f = system
-                        .with_storage_fraction(f)
-                        .with_processing_fraction(f64::INFINITY);
-                    let mut m = BTreeMap::new();
-                    m.insert("ours".into(), pct(run_ours(&sys_f, &traces)));
-                    m.insert("lru".into(), pct(run_lru(&sys_f, &traces)));
-                    m.insert("gds".into(), pct(run_gds(&sys_f, &traces)));
-                    m.insert("lfu".into(), pct(run_lfu(&sys_f, &traces)));
-                    m
-                })
-                .collect()
-        });
+        fractions
+            .iter()
+            .map(|&f| {
+                let sys_f = system
+                    .with_storage_fraction(f)
+                    .with_processing_fraction(f64::INFINITY);
+                let mut m = BTreeMap::new();
+                m.insert("ours".into(), pct(run_ours(&sys_f, &traces)));
+                m.insert("lru".into(), pct(run_lru(&sys_f, &traces)));
+                m.insert("gds".into(), pct(run_gds(&sys_f, &traces)));
+                m.insert("lfu".into(), pct(run_lfu(&sys_f, &traces)));
+                m
+            })
+            .collect()
+    });
 
     // Re-use the figure shape for output.
     let n = per_run.len() as f64;
@@ -116,10 +113,7 @@ mod tests {
         let fig = cache_comparison(&cfg, &[0.4, 1.0]);
         for name in ["ours", "lru", "gds", "lfu"] {
             let series = fig.series(name);
-            assert!(
-                series[0].1 >= series[1].1 - 2.0,
-                "{name}: {series:?}"
-            );
+            assert!(series[0].1 >= series[1].1 - 2.0, "{name}: {series:?}");
         }
     }
 

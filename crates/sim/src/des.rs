@@ -12,11 +12,11 @@
 
 use mmrepl_baselines::RequestRouter;
 use mmrepl_model::{Secs, System};
+#[cfg(debug_assertions)]
+use mmrepl_netsim::simulate_page;
 use mmrepl_netsim::{
     ConnectionProfile, EventQueue, QueueingServer, ResponseStats, SimTime, StreamPlan,
 };
-#[cfg(debug_assertions)]
-use mmrepl_netsim::simulate_page;
 use mmrepl_workload::SiteTrace;
 use serde::{Deserialize, Serialize};
 
@@ -58,7 +58,11 @@ pub fn des_replay(
             .iter()
             .map(|&p| system.page(p).freq.get())
             .sum();
-        let dt = if page_rate > 0.0 { 1.0 / page_rate } else { 1.0 };
+        let dt = if page_rate > 0.0 {
+            1.0 / page_rate
+        } else {
+            1.0
+        };
         for req_idx in 0..trace.requests.len() {
             queue.schedule(
                 SimTime::new(req_idx as f64 * dt),
@@ -169,16 +173,8 @@ mod tests {
     fn des_agrees_with_analytic_queueing_replay() {
         let (sys, traces) = setup(1);
         let placement = partition_all(&sys);
-        let des = des_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
-        let analytic = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let des = des_replay(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
+        let analytic = queueing_replay(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
         assert_eq!(des.pages.count(), analytic.pages.count());
         assert!(
             (des.mean_response() - analytic.mean_response()).abs() < 1e-9,
@@ -197,16 +193,8 @@ mod tests {
         let (sys, traces) = setup(2);
         let sys = sys.with_processing_fraction(0.2);
         let placement = mmrepl_model::Placement::all_local(&sys);
-        let des = des_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "local"),
-        );
-        let analytic = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "local"),
-        );
+        let des = des_replay(&sys, &traces, &mut StaticRouter::new(&placement, "local"));
+        let analytic = queueing_replay(&sys, &traces, &mut StaticRouter::new(&placement, "local"));
         assert!((des.mean_response() - analytic.mean_response()).abs() < 1e-9);
     }
 
@@ -215,11 +203,7 @@ mod tests {
         let (sys, traces) = setup(3);
         let placement = partition_all(&sys);
         let total: u64 = traces.iter().map(|t| t.len() as u64).sum();
-        let des = des_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let des = des_replay(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
         assert_eq!(des.events, total);
         assert!(des.makespan > 0.0);
         // The makespan is at least the last arrival plus its service.

@@ -112,19 +112,15 @@ pub fn drift_study(cfg: &ExperimentConfig, epochs: usize, rotation: f64) -> Drif
                     if epoch > 0 {
                         system = drift.apply(&system, seed.wrapping_add(epoch as u64));
                     }
-                    let traces = generate_trace(
-                        &system,
-                        &trace_cfg,
-                        seed.wrapping_add(1000 + epoch as u64),
-                    );
+                    let traces =
+                        generate_trace(&system, &trace_cfg, seed.wrapping_add(1000 + epoch as u64));
                     let stale = replay_all(
                         &system,
                         &traces,
                         &mut StaticRouter::new(&stale_plan, "stale"),
                     )
                     .mean_response();
-                    let replanned_placement =
-                        ReplicationPolicy::new().plan(&system).placement;
+                    let replanned_placement = ReplicationPolicy::new().plan(&system).placement;
                     let changed = replanned_placement.diff(&stale_plan).total() as f64;
                     let replanned = replay_all(
                         &system,
@@ -132,8 +128,7 @@ pub fn drift_study(cfg: &ExperimentConfig, epochs: usize, rotation: f64) -> Drif
                         &mut StaticRouter::new(&replanned_placement, "replanned"),
                     )
                     .mean_response();
-                    let lru_mean =
-                        replay_all(&system, &traces, &mut lru).mean_response();
+                    let lru_mean = replay_all(&system, &traces, &mut lru).mean_response();
                     let pct = |v: f64| (v / baseline - 1.0) * 100.0;
                     let mut m = BTreeMap::new();
                     m.insert("stale".to_string(), pct(stale));

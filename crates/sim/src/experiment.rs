@@ -182,8 +182,7 @@ fn run_ctx(cfg: &ExperimentConfig, run: usize) -> RunCtx {
 }
 
 fn generate_trace_system(cfg: &ExperimentConfig, seed: u64) -> System {
-    mmrepl_workload::generate_system(&cfg.params, seed)
-        .expect("workload parameters validated")
+    mmrepl_workload::generate_system(&cfg.params, seed).expect("workload parameters validated")
 }
 
 /// Relaxes only the processing capacities (Figure 1 setup: "we relaxed
@@ -196,6 +195,19 @@ fn relax_processing(sys: &System) -> System {
 /// run's trace.
 pub fn run_ours(sys: &System, traces: &[SiteTrace]) -> f64 {
     let placement = ReplicationPolicy::new().plan(sys).placement;
+    replay_all(sys, traces, &mut StaticRouter::new(&placement, "ours")).mean_response()
+}
+
+/// [`run_ours`] warm-started from a precomputed unconstrained partition.
+///
+/// The figure sweeps evaluate the policy on many capacity-scaled variants
+/// of one generated system; `PARTITION` ignores capacities, so each run
+/// computes it once and shares it across every sweep point and policy —
+/// bit-identical to the cold path (asserted by property tests).
+fn run_ours_warm(sys: &System, traces: &[SiteTrace], initial: &Placement) -> f64 {
+    let placement = ReplicationPolicy::new()
+        .plan_with_partition(sys, initial)
+        .placement;
     replay_all(sys, traces, &mut StaticRouter::new(&placement, "ours")).mean_response()
 }
 
@@ -217,60 +229,74 @@ fn pct(value: f64, baseline: f64) -> f64 {
 /// relaxed. Series: `ours`, `lru` (swept), `remote`, `local` (flat
 /// references, unconstrained).
 pub fn figure1(cfg: &ExperimentConfig, fractions: &[f64]) -> FigureData {
-    let per_run: Vec<Vec<BTreeMap<String, f64>>> =
-        parallel_map(cfg.runs, cfg.threads, |run| {
-            let ctx = run_ctx(cfg, run);
-            let relaxed = relax_processing(&ctx.system.unconstrained());
-            let baseline = run_ours(&relaxed, &ctx.traces);
+    let per_run: Vec<Vec<BTreeMap<String, f64>>> = parallel_map(cfg.runs, cfg.threads, |run| {
+        let ctx = run_ctx(cfg, run);
+        let initial = mmrepl_core::partition_all(&ctx.system);
+        let relaxed = relax_processing(&ctx.system.unconstrained());
+        let baseline = run_ours_warm(&relaxed, &ctx.traces, &initial);
 
-            let remote = pct(
-                run_static(&ctx.system, &ctx.traces, &Placement::all_remote(&ctx.system)),
-                baseline,
-            );
-            let local = pct(
-                run_static(&ctx.system, &ctx.traces, &Placement::all_local(&ctx.system)),
-                baseline,
-            );
+        let remote = pct(
+            run_static(
+                &ctx.system,
+                &ctx.traces,
+                &Placement::all_remote(&ctx.system),
+            ),
+            baseline,
+        );
+        let local = pct(
+            run_static(&ctx.system, &ctx.traces, &Placement::all_local(&ctx.system)),
+            baseline,
+        );
 
-            fractions
-                .iter()
-                .map(|&f| {
-                    let sys_f = relax_processing(&ctx.system.with_storage_fraction(f));
-                    let mut m = BTreeMap::new();
-                    m.insert("ours".into(), pct(run_ours(&sys_f, &ctx.traces), baseline));
-                    m.insert("lru".into(), pct(run_lru(&sys_f, &ctx.traces), baseline));
-                    m.insert("remote".into(), remote);
-                    m.insert("local".into(), local);
-                    m
-                })
-                .collect()
-        });
+        fractions
+            .iter()
+            .map(|&f| {
+                let sys_f = relax_processing(&ctx.system.with_storage_fraction(f));
+                let mut m = BTreeMap::new();
+                m.insert(
+                    "ours".into(),
+                    pct(run_ours_warm(&sys_f, &ctx.traces, &initial), baseline),
+                );
+                m.insert("lru".into(), pct(run_lru(&sys_f, &ctx.traces), baseline));
+                m.insert("remote".into(), remote);
+                m.insert("local".into(), local);
+                m
+            })
+            .collect()
+    });
     average_runs("figure1", "storage", fractions, per_run, cfg.runs)
 }
 
 /// Figure 2 — response time vs local processing capacity, storage at
 /// 100 %. Series: `ours` plus the flat `remote` reference it converges to.
 pub fn figure2(cfg: &ExperimentConfig, fractions: &[f64]) -> FigureData {
-    let per_run: Vec<Vec<BTreeMap<String, f64>>> =
-        parallel_map(cfg.runs, cfg.threads, |run| {
-            let ctx = run_ctx(cfg, run);
-            let relaxed = relax_processing(&ctx.system.unconstrained());
-            let baseline = run_ours(&relaxed, &ctx.traces);
-            let remote = pct(
-                run_static(&ctx.system, &ctx.traces, &Placement::all_remote(&ctx.system)),
-                baseline,
-            );
-            fractions
-                .iter()
-                .map(|&f| {
-                    let sys_f = ctx.system.with_processing_fraction(f);
-                    let mut m = BTreeMap::new();
-                    m.insert("ours".into(), pct(run_ours(&sys_f, &ctx.traces), baseline));
-                    m.insert("remote".into(), remote);
-                    m
-                })
-                .collect()
-        });
+    let per_run: Vec<Vec<BTreeMap<String, f64>>> = parallel_map(cfg.runs, cfg.threads, |run| {
+        let ctx = run_ctx(cfg, run);
+        let initial = mmrepl_core::partition_all(&ctx.system);
+        let relaxed = relax_processing(&ctx.system.unconstrained());
+        let baseline = run_ours_warm(&relaxed, &ctx.traces, &initial);
+        let remote = pct(
+            run_static(
+                &ctx.system,
+                &ctx.traces,
+                &Placement::all_remote(&ctx.system),
+            ),
+            baseline,
+        );
+        fractions
+            .iter()
+            .map(|&f| {
+                let sys_f = ctx.system.with_processing_fraction(f);
+                let mut m = BTreeMap::new();
+                m.insert(
+                    "ours".into(),
+                    pct(run_ours_warm(&sys_f, &ctx.traces, &initial), baseline),
+                );
+                m.insert("remote".into(), remote);
+                m
+            })
+            .collect()
+    });
     average_runs("figure2", "processing", fractions, per_run, cfg.runs)
 }
 
@@ -283,38 +309,33 @@ pub fn figure2(cfg: &ExperimentConfig, fractions: &[f64]) -> FigureData {
 /// the *unconstrained-repository plan* would impose at the same local
 /// capacity, forcing the off-loading negotiation to push the remainder
 /// back to the sites (when they have the headroom to take it).
-pub fn figure3(
-    cfg: &ExperimentConfig,
-    central_fracs: &[f64],
-    local_fracs: &[f64],
-) -> FigureData {
-    let per_run: Vec<Vec<BTreeMap<String, f64>>> =
-        parallel_map(cfg.runs, cfg.threads, |run| {
-            let ctx = run_ctx(cfg, run);
-            let relaxed = relax_processing(&ctx.system.unconstrained());
-            let baseline = run_ours(&relaxed, &ctx.traces);
-            local_fracs
-                .iter()
-                .map(|&lf| {
-                    let sys_lf = ctx.system.with_processing_fraction(lf);
-                    // The repository load this local-capacity level induces
-                    // when the repository itself is unconstrained.
-                    let pre = ReplicationPolicy::new().plan(&sys_lf);
-                    let induced = pre.placement.repo_load(&sys_lf).get();
-                    let mut m = BTreeMap::new();
-                    for &cf in central_fracs {
-                        let sys_f = sys_lf.with_repository_capacity(
-                            mmrepl_model::ReqPerSec(induced * cf),
-                        );
-                        m.insert(
-                            format!("central {:.0}%", cf * 100.0),
-                            pct(run_ours(&sys_f, &ctx.traces), baseline),
-                        );
-                    }
-                    m
-                })
-                .collect()
-        });
+pub fn figure3(cfg: &ExperimentConfig, central_fracs: &[f64], local_fracs: &[f64]) -> FigureData {
+    let per_run: Vec<Vec<BTreeMap<String, f64>>> = parallel_map(cfg.runs, cfg.threads, |run| {
+        let ctx = run_ctx(cfg, run);
+        let initial = mmrepl_core::partition_all(&ctx.system);
+        let relaxed = relax_processing(&ctx.system.unconstrained());
+        let baseline = run_ours_warm(&relaxed, &ctx.traces, &initial);
+        local_fracs
+            .iter()
+            .map(|&lf| {
+                let sys_lf = ctx.system.with_processing_fraction(lf);
+                // The repository load this local-capacity level induces
+                // when the repository itself is unconstrained.
+                let pre = ReplicationPolicy::new().plan_with_partition(&sys_lf, &initial);
+                let induced = pre.placement.repo_load(&sys_lf).get();
+                let mut m = BTreeMap::new();
+                for &cf in central_fracs {
+                    let sys_f =
+                        sys_lf.with_repository_capacity(mmrepl_model::ReqPerSec(induced * cf));
+                    m.insert(
+                        format!("central {:.0}%", cf * 100.0),
+                        pct(run_ours_warm(&sys_f, &ctx.traces, &initial), baseline),
+                    );
+                }
+                m
+            })
+            .collect()
+    });
     average_runs("figure3", "processing", local_fracs, per_run, cfg.runs)
 }
 
@@ -403,7 +424,10 @@ mod tests {
         let local = fig.series("local");
 
         // Remote is far worse than everything; Local worse than ours@100%.
-        assert!(remote[0].1 > local[0].1, "remote {remote:?} local {local:?}");
+        assert!(
+            remote[0].1 > local[0].1,
+            "remote {remote:?} local {local:?}"
+        );
         assert!(remote[0].1 > 100.0, "remote only +{}%", remote[0].1);
         // Ours at 100% storage is the (noisy) baseline: near zero.
         let ours_full = ours.last().unwrap().1;
@@ -433,7 +457,12 @@ mod tests {
         assert!(ours[2].1.abs() < 10.0, "{ours:?}");
         // And never worse than the Remote extreme.
         let remote = fig.series("remote")[0].1;
-        assert!(ours[0].1 <= remote + 5.0, "ours {} remote {}", ours[0].1, remote);
+        assert!(
+            ours[0].1 <= remote + 5.0,
+            "ours {} remote {}",
+            ours[0].1,
+            remote
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   (fresh workload + trace per run), every policy replayed against the
 //!   *same* per-run trace, results normalized to our policy with no
 //!   constraints — exactly the paper's methodology;
-//! * [`par`] — a small crossbeam-based fork-join helper that fans
+//! * [`par`] — fork-join over the persistent core worker pool, fanning
 //!   independent runs out across cores (runs are embarrassingly parallel;
 //!   each takes seconds at paper scale);
 //! * [`ablation`] / [`drift`] / [`caches`] / [`updates`] — the DESIGN.md
@@ -53,16 +53,15 @@ pub mod updates;
 pub use breakdown::{breakdown_table, site_breakdown, SiteReport};
 pub use caches::{cache_comparison, run_gds, run_lfu};
 pub use des::{des_replay, DesOutcome};
-pub use updates::{update_study, UpdatePoint, UpdateStudy};
 pub use drift::{drift_study, DriftEpoch, DriftStudy};
+pub use updates::{update_study, UpdatePoint, UpdateStudy};
 
 pub use ablation::{
-    ablation_amortization, ablation_greedy_gap, ablation_offload,
-    ablation_partition_order, ablation_weights, all_ablations, AblationResult,
+    ablation_amortization, ablation_greedy_gap, ablation_offload, ablation_partition_order,
+    ablation_weights, all_ablations, AblationResult,
 };
 pub use experiment::{
-    figure1, figure2, figure3, headline, ExperimentConfig, FigureData, FigurePoint,
-    Headline,
+    figure1, figure2, figure3, headline, ExperimentConfig, FigureData, FigurePoint, Headline,
 };
 pub use par::parallel_map;
 pub use queueing::{queueing_replay, QueueingOutcome};

@@ -1,85 +1,18 @@
-//! Fork-join over independent work items with crossbeam scoped threads.
+//! Fork-join over independent work items, on the core worker pool.
 //!
 //! Experiment runs are embarrassingly parallel (each owns its system,
-//! trace and statistics), so the only shared state is an atomic work
-//! counter. Results land in pre-allocated slots, keeping output order
-//! deterministic regardless of scheduling.
+//! trace and statistics), so they map directly onto
+//! [`mmrepl_core::pool::parallel_map`]: one process-wide pool of resident
+//! workers, an atomic chunk-claiming cursor, and index-ordered result
+//! slots that keep output deterministic regardless of scheduling. This
+//! module re-exports that API under the sim crate's historical path.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Applies `f` to every index in `0..n` across up to `threads` worker
-/// threads (`0` = one per available core), returning results in index
-/// order. `f` must be `Sync` because all workers share it.
-///
-/// Panics in a worker propagate after all threads finish (crossbeam scope
-/// semantics).
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = effective_threads(threads, n);
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    {
-        // Hand each worker a disjoint view of the result slots via raw
-        // chunking: we instead collect per-worker (index, value) pairs to
-        // stay in safe code.
-        let results: Vec<(usize, T)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    let next = &next;
-                    let f = &f;
-                    scope.spawn(move |_| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            local.push((i, f(i)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("scope panicked");
-        for (i, v) in results {
-            slots[i] = Some(v);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("missing result slot"))
-        .collect()
-}
-
-/// Resolves the worker count: `0` means one per available core, and never
-/// more workers than items.
-pub fn effective_threads(threads: usize, n: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    let t = if threads == 0 { hw } else { threads };
-    t.clamp(1, n.max(1))
-}
+pub use mmrepl_core::pool::{effective_threads, parallel_map};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn preserves_index_order() {
@@ -123,14 +56,14 @@ mod tests {
     fn actually_uses_multiple_threads_when_asked() {
         // Record distinct thread ids (best-effort: with 4 workers over 64
         // slow-ish items at least 2 distinct ids should appear).
-        use parking_lot::Mutex;
         use std::collections::HashSet;
+        use std::sync::Mutex;
         let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         parallel_map(64, 4, |i| {
-            ids.lock().insert(std::thread::current().id());
+            ids.lock().unwrap().insert(std::thread::current().id());
             // A little work so the pool actually spreads.
-            (0..10_000).fold(i as u64, |a, x| a.wrapping_add(x))
+            (0..100_000).fold(i as u64, |a, x| a.wrapping_add(x))
         });
-        assert!(ids.lock().len() >= 2);
+        assert!(ids.lock().unwrap().len() >= 2);
     }
 }

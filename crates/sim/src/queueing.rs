@@ -57,7 +57,11 @@ pub fn queueing_replay(
             .iter()
             .map(|&p| system.page(p).freq.get())
             .sum();
-        let dt = if page_rate > 0.0 { 1.0 / page_rate } else { 1.0 };
+        let dt = if page_rate > 0.0 {
+            1.0 / page_rate
+        } else {
+            1.0
+        };
         for (ri, _) in trace.requests.iter().enumerate() {
             arrivals.push((ri as f64 * dt, si, ri));
         }
@@ -145,16 +149,8 @@ mod tests {
         // Capacity >> offered load.
         let sys = sys.with_processing_fraction(100.0);
         let placement = partition_all(&sys);
-        let q = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
-        let plain = replay_all(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let q = queueing_replay(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
+        let plain = replay_all(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
         // Waits ~0 -> responses match the plain replay.
         assert!(q.site_waits.max().unwrap().get() < 1e-6);
         assert!(
@@ -172,16 +168,8 @@ mod tests {
         // placement anyway (deliberately infeasible).
         let sys = sys.with_processing_fraction(0.2);
         let placement = mmrepl_model::Placement::all_local(&sys);
-        let q = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "local"),
-        );
-        let plain = replay_all(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "local"),
-        );
+        let q = queueing_replay(&sys, &traces, &mut StaticRouter::new(&placement, "local"));
+        let plain = replay_all(&sys, &traces, &mut StaticRouter::new(&placement, "local"));
         // Transfer times dominate on this workload (minutes per page at
         // modem-era rates), but sustained 5x overload must still add
         // substantial queueing delay on top.
@@ -201,17 +189,9 @@ mod tests {
         let sys = sys.with_processing_fraction(0.5);
         // The planner respects the capacity; all-local does not.
         let planned = mmrepl_core::ReplicationPolicy::new().plan(&sys).placement;
-        let q_planned = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&planned, "ours"),
-        );
+        let q_planned = queueing_replay(&sys, &traces, &mut StaticRouter::new(&planned, "ours"));
         let all_local = mmrepl_model::Placement::all_local(&sys);
-        let q_local = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&all_local, "local"),
-        );
+        let q_local = queueing_replay(&sys, &traces, &mut StaticRouter::new(&all_local, "local"));
         let wait_planned = q_planned.site_waits.mean().unwrap().get();
         let wait_local = q_local.site_waits.mean().unwrap().get();
         assert!(
@@ -224,11 +204,7 @@ mod tests {
     fn repo_waits_zero_when_nothing_remote() {
         let (sys, traces) = setup(4);
         let placement = mmrepl_model::Placement::all_local(&sys);
-        let q = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "local"),
-        );
+        let q = queueing_replay(&sys, &traces, &mut StaticRouter::new(&placement, "local"));
         assert_eq!(q.repo_waits.count(), 0);
     }
 
@@ -236,16 +212,8 @@ mod tests {
     fn deterministic() {
         let (sys, traces) = setup(5);
         let placement = partition_all(&sys);
-        let a = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
-        let b = queueing_replay(
-            &sys,
-            &traces,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let a = queueing_replay(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
+        let b = queueing_replay(&sys, &traces, &mut StaticRouter::new(&placement, "ours"));
         assert_eq!(a, b);
     }
 }

@@ -164,8 +164,7 @@ mod tests {
         let params = WorkloadParams::small();
         let sys = mmrepl_workload::generate_system(&params, seed).unwrap();
         let perturbed = generate_trace(&sys, &TraceConfig::from_params(&params), seed);
-        let nominal =
-            generate_trace(&sys, &TraceConfig::nominal_from_params(&params), seed);
+        let nominal = generate_trace(&sys, &TraceConfig::nominal_from_params(&params), seed);
         (sys, perturbed, nominal)
     }
 
@@ -185,9 +184,7 @@ mod tests {
         let mut n = 0u64;
         for t in &nominal {
             for r in &t.requests {
-                total += cm
-                    .page_response(r.page, placement.partition(r.page))
-                    .get();
+                total += cm.page_response(r.page, placement.partition(r.page)).get();
                 n += 1;
             }
         }
@@ -224,16 +221,8 @@ mod tests {
         let (sys, perturbed, _) = setup(3);
         let local = Placement::all_local(&sys);
         let remote = Placement::all_remote(&sys);
-        let l = replay_all(
-            &sys,
-            &perturbed,
-            &mut StaticRouter::new(&local, "local"),
-        );
-        let r = replay_all(
-            &sys,
-            &perturbed,
-            &mut StaticRouter::new(&remote, "remote"),
-        );
+        let l = replay_all(&sys, &perturbed, &mut StaticRouter::new(&local, "local"));
+        let r = replay_all(&sys, &perturbed, &mut StaticRouter::new(&remote, "remote"));
         assert!(
             r.mean_response() > l.mean_response() * 1.5,
             "remote {} vs local {}",
@@ -252,11 +241,7 @@ mod tests {
         let remote = Placement::all_remote(&sys);
         let o = replay_all(&sys, &perturbed, &mut StaticRouter::new(&ours, "ours"));
         let l = replay_all(&sys, &perturbed, &mut StaticRouter::new(&local, "local"));
-        let r = replay_all(
-            &sys,
-            &perturbed,
-            &mut StaticRouter::new(&remote, "remote"),
-        );
+        let r = replay_all(&sys, &perturbed, &mut StaticRouter::new(&remote, "remote"));
         assert!(o.mean_response() <= l.mean_response() * 1.02);
         assert!(o.mean_response() < r.mean_response());
     }
@@ -267,11 +252,7 @@ mod tests {
         let mut lru = LruRouter::new(&sys);
         let lru_out = replay_all(&sys, &perturbed, &mut lru);
         let remote = Placement::all_remote(&sys);
-        let r = replay_all(
-            &sys,
-            &perturbed,
-            &mut StaticRouter::new(&remote, "remote"),
-        );
+        let r = replay_all(&sys, &perturbed, &mut StaticRouter::new(&remote, "remote"));
         assert!(lru.hits() > 0, "cache never hit");
         assert!(
             lru_out.mean_response() < r.mean_response(),
@@ -286,11 +267,7 @@ mod tests {
     fn optional_stats_only_for_requests_with_optionals() {
         let (sys, perturbed, _) = setup(6);
         let placement = partition_all(&sys);
-        let outcome = replay_all(
-            &sys,
-            &perturbed,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let outcome = replay_all(&sys, &perturbed, &mut StaticRouter::new(&placement, "ours"));
         let with_opt: u64 = perturbed
             .iter()
             .flat_map(|t| &t.requests)
@@ -327,16 +304,8 @@ mod tests {
     fn replay_is_deterministic() {
         let (sys, perturbed, _) = setup(8);
         let placement = partition_all(&sys);
-        let a = replay_all(
-            &sys,
-            &perturbed,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
-        let b = replay_all(
-            &sys,
-            &perturbed,
-            &mut StaticRouter::new(&placement, "ours"),
-        );
+        let a = replay_all(&sys, &perturbed, &mut StaticRouter::new(&placement, "ours"));
+        let b = replay_all(&sys, &perturbed, &mut StaticRouter::new(&placement, "ours"));
         assert_eq!(a, b);
     }
 }

@@ -59,7 +59,12 @@ impl UpdateStudy {
         let mut out = format!(
             "# update study — replication under update propagation ({} runs)\n\
              {:>10} {:>14} {:>15} {:>14} {:>16}\n",
-            self.runs, "upd/s", "aware replicas", "aware response", "aware feas.", "blind overloads"
+            self.runs,
+            "upd/s",
+            "aware replicas",
+            "aware response",
+            "aware feas.",
+            "blind overloads"
         );
         for p in &self.points {
             out.push_str(&format!(
@@ -85,8 +90,7 @@ pub fn update_study(cfg: &ExperimentConfig, mean_rates: &[f64]) -> UpdateStudy {
             .wrapping_add(run as u64);
         // One structural workload per run; update intensities are layered
         // on top so plans stay comparable across sweep points.
-        let base = mmrepl_workload::generate_system(&cfg.params, seed)
-            .expect("valid params");
+        let base = mmrepl_workload::generate_system(&cfg.params, seed).expect("valid params");
         let traces = generate_trace(&base, &TraceConfig::from_params(&cfg.params), seed);
 
         // Read-only references.
@@ -103,8 +107,7 @@ pub fn update_study(cfg: &ExperimentConfig, mean_rates: &[f64]) -> UpdateStudy {
             .iter()
             .map(|&mean| {
                 // Deterministic per-object rates: uniform in [0, 2 mean].
-                let mut rng =
-                    StdRng::seed_from_u64(seed ^ (mean * 1e6) as u64 ^ 0x5eed);
+                let mut rng = StdRng::seed_from_u64(seed ^ (mean * 1e6) as u64 ^ 0x5eed);
                 let sys = base.map_update_rates(|_, _| {
                     if mean == 0.0 {
                         0.0
@@ -133,8 +136,7 @@ pub fn update_study(cfg: &ExperimentConfig, mean_rates: &[f64]) -> UpdateStudy {
                     mean_update_rate: mean,
                     aware_replica_frac: replica_count(&sys, &aware.placement) as f64
                         / read_only_replicas as f64,
-                    aware_response_pct: (aware_response / read_only_response - 1.0)
-                        * 100.0,
+                    aware_response_pct: (aware_response / read_only_response - 1.0) * 100.0,
                     aware_feasible_frac: if aware_report.is_feasible() { 1.0 } else { 0.0 },
                     blind_overloaded_sites: blind_report.overloaded_sites.len() as f64,
                 }
@@ -147,9 +149,8 @@ pub fn update_study(cfg: &ExperimentConfig, mean_rates: &[f64]) -> UpdateStudy {
         .iter()
         .enumerate()
         .map(|(i, &mean)| {
-            let sum = |f: fn(&UpdatePoint) -> f64| {
-                per_run.iter().map(|r| f(&r[i])).sum::<f64>() / n
-            };
+            let sum =
+                |f: fn(&UpdatePoint) -> f64| per_run.iter().map(|r| f(&r[i])).sum::<f64>() / n;
             UpdatePoint {
                 mean_update_rate: mean,
                 aware_replica_frac: sum(|p| p.aware_replica_frac),

@@ -70,7 +70,7 @@ impl fmt::Display for Range {
 /// JSON has no infinity literal and Table 1's repository capacity is
 /// "Infinite".
 mod inf_f64 {
-    use serde::{Deserialize, Deserializer, Serializer};
+    use serde::{Deserializer, Serializer};
 
     pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
         if v.is_infinite() && *v > 0.0 {
@@ -81,19 +81,32 @@ mod inf_f64 {
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
-        #[derive(Deserialize)]
-        #[serde(untagged)]
-        enum Raw {
-            Num(f64),
-            Str(String),
+        struct NumOrInf;
+        impl serde::de::Visitor<'_> for NumOrInf {
+            type Value = f64;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a number or the string \"inf\"")
+            }
+            fn visit_f64<E: serde::de::Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+            fn visit_u64<E: serde::de::Error>(self, v: u64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+            fn visit_i64<E: serde::de::Error>(self, v: i64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+            fn visit_str<E: serde::de::Error>(self, s: &str) -> Result<f64, E> {
+                if s == "inf" {
+                    Ok(f64::INFINITY)
+                } else {
+                    Err(serde::de::Error::custom(format!(
+                        "unexpected capacity string {s:?}"
+                    )))
+                }
+            }
         }
-        match Raw::deserialize(d)? {
-            Raw::Num(v) => Ok(v),
-            Raw::Str(s) if s == "inf" => Ok(f64::INFINITY),
-            Raw::Str(s) => Err(serde::de::Error::custom(format!(
-                "unexpected capacity string {s:?}"
-            ))),
-        }
+        d.deserialize_any(NumOrInf)
     }
 }
 
@@ -263,9 +276,7 @@ impl WorkloadParams {
                 self.objects_per_site.hi, self.n_objects
             ));
         }
-        if self.compulsory_per_page.hi + self.optional_per_page.hi
-            > self.objects_per_site.lo
-        {
+        if self.compulsory_per_page.hi + self.optional_per_page.hi > self.objects_per_site.lo {
             return Err(format!(
                 "a page may need up to {} objects but a site catalogue may have only {}",
                 self.compulsory_per_page.hi + self.optional_per_page.hi,
@@ -291,13 +302,7 @@ impl WorkloadParams {
     /// `table1` regeneration binary.
     pub fn table1_rows(&self) -> Vec<(String, String)> {
         const KIB: f64 = 1024.0;
-        let kib = |r: &Range| {
-            format!(
-                "{:.0}K-{:.0}K",
-                r.lo / KIB,
-                r.hi / KIB
-            )
-        };
+        let kib = |r: &Range| format!("{:.0}K-{:.0}K", r.lo / KIB, r.hi / KIB);
         vec![
             (
                 "Number of Local Sites (LS)".into(),
@@ -305,7 +310,10 @@ impl WorkloadParams {
             ),
             (
                 "Number of Web Pages per LS".into(),
-                format!("{:.0}-{:.0}", self.pages_per_site.lo, self.pages_per_site.hi),
+                format!(
+                    "{:.0}-{:.0}",
+                    self.pages_per_site.lo, self.pages_per_site.hi
+                ),
             ),
             (
                 format!(
@@ -343,7 +351,10 @@ impl WorkloadParams {
                 ),
             ),
             (
-                format!("Small HTML size ({:.0}% of pages)", self.html_small.0 * 100.0),
+                format!(
+                    "Small HTML size ({:.0}% of pages)",
+                    self.html_small.0 * 100.0
+                ),
                 kib(&self.html_small.1),
             ),
             (
@@ -354,7 +365,10 @@ impl WorkloadParams {
                 kib(&self.html_medium.1),
             ),
             (
-                format!("Large HTML size ({:.0}% of pages)", self.html_large.0 * 100.0),
+                format!(
+                    "Large HTML size ({:.0}% of pages)",
+                    self.html_large.0 * 100.0
+                ),
                 kib(&self.html_large.1),
             ),
             (
@@ -398,11 +412,17 @@ impl WorkloadParams {
             ),
             (
                 "Overhead at LS".into(),
-                format!("{:.3}-{:.3} sec.", self.site_overhead.lo, self.site_overhead.hi),
+                format!(
+                    "{:.3}-{:.3} sec.",
+                    self.site_overhead.lo, self.site_overhead.hi
+                ),
             ),
             (
                 "Overhead at Repository".into(),
-                format!("{:.3}-{:.3} sec.", self.repo_overhead.lo, self.repo_overhead.hi),
+                format!(
+                    "{:.3}-{:.3} sec.",
+                    self.repo_overhead.lo, self.repo_overhead.hi
+                ),
             ),
             (
                 "Number of Page Requests per Server".into(),
@@ -504,8 +524,7 @@ mod tests {
     #[test]
     fn table1_contains_the_published_rows() {
         let rows = WorkloadParams::paper().table1_rows();
-        let as_text: Vec<String> =
-            rows.iter().map(|(k, v)| format!("{k}: {v}")).collect();
+        let as_text: Vec<String> = rows.iter().map(|(k, v)| format!("{k}: {v}")).collect();
         let joined = as_text.join("\n");
         assert!(joined.contains("Number of Local Sites (LS): 10"));
         assert!(joined.contains("400-800"));

@@ -45,11 +45,7 @@ impl DriftModel {
         }
         let mut rng = StdRng::seed_from_u64(seed ^ 0xd31f7);
         // Collect the swaps first, then rewrite in one pass.
-        let mut new_freq: Vec<f64> = system
-            .pages()
-            .values()
-            .map(|p| p.freq.get())
-            .collect();
+        let mut new_freq: Vec<f64> = system.pages().values().map(|p| p.freq.get()).collect();
         for site in system.sites().ids() {
             let swaps = self.site_swaps(system, site, &mut rng);
             for (hot, cold) in swaps {
@@ -60,12 +56,7 @@ impl DriftModel {
     }
 
     /// The (hot page, cold page) frequency swaps for one site.
-    fn site_swaps(
-        &self,
-        system: &System,
-        site: SiteId,
-        rng: &mut StdRng,
-    ) -> Vec<(PageId, PageId)> {
+    fn site_swaps(&self, system: &System, site: SiteId, rng: &mut StdRng) -> Vec<(PageId, PageId)> {
         let pages = system.pages_of(site);
         if pages.len() < 2 {
             return Vec::new();
@@ -127,11 +118,7 @@ mod tests {
         assert_eq!(drifted.n_pages(), s.n_pages());
         assert_eq!(drifted.n_objects(), s.n_objects());
         for site in s.sites().ids() {
-            let before: f64 = s
-                .pages_of(site)
-                .iter()
-                .map(|&p| s.page(p).freq.get())
-                .sum();
+            let before: f64 = s.pages_of(site).iter().map(|&p| s.page(p).freq.get()).sum();
             let after: f64 = drifted
                 .pages_of(site)
                 .iter()

@@ -25,8 +25,8 @@
 use crate::config::WorkloadParams;
 use crate::sampling::{sample_distinct, uniform_count, uniform_in};
 use mmrepl_model::{
-    Bytes, BytesPerSec, MediaObject, OptionalRef, ReqPerSec, Secs, Site, System,
-    SystemBuilder, WebPage,
+    Bytes, BytesPerSec, MediaObject, OptionalRef, ReqPerSec, Secs, Site, System, SystemBuilder,
+    WebPage,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -108,11 +108,7 @@ pub fn generate_system(params: &WorkloadParams, seed: u64) -> Result<System, Str
         );
         let catalogue: Vec<usize> = sample_distinct(&mut rng, n, catalogue_size);
 
-        let n_pages = uniform_count(
-            &mut rng,
-            params.pages_per_site.lo,
-            params.pages_per_site.hi,
-        );
+        let n_pages = uniform_count(&mut rng, params.pages_per_site.lo, params.pages_per_site.hi);
         let n_hot = ((params.hot_page_frac * n_pages as f64).round() as usize).min(n_pages);
         let n_cold = n_pages - n_hot;
         // Frequency split: hot pages share hot_traffic_frac of the site's
@@ -130,11 +126,11 @@ pub fn generate_system(params: &WorkloadParams, seed: u64) -> Result<System, Str
         };
 
         let n_opt_pages =
-            ((params.pages_with_optional_frac * n_pages as f64).round() as usize)
-                .min(n_pages);
+            ((params.pages_with_optional_frac * n_pages as f64).round() as usize).min(n_pages);
         // Which pages are hot / carry optionals: random distinct picks.
-        let hot_set: std::collections::HashSet<usize> =
-            sample_distinct(&mut rng, n_pages, n_hot).into_iter().collect();
+        let hot_set: std::collections::HashSet<usize> = sample_distinct(&mut rng, n_pages, n_hot)
+            .into_iter()
+            .collect();
         let opt_set: std::collections::HashSet<usize> =
             sample_distinct(&mut rng, n_pages, n_opt_pages)
                 .into_iter()
@@ -173,7 +169,11 @@ pub fn generate_system(params: &WorkloadParams, seed: u64) -> Result<System, Str
             builder.add_page(WebPage {
                 site,
                 html_size,
-                freq: ReqPerSec(if hot_set.contains(&p) { hot_rate } else { cold_rate }),
+                freq: ReqPerSec(if hot_set.contains(&p) {
+                    hot_rate
+                } else {
+                    cold_rate
+                }),
                 compulsory,
                 optional,
                 opt_req_factor: 1.0,
@@ -266,8 +266,7 @@ mod tests {
                 .iter()
                 .filter(|&&p| sys.page(p).n_optional() > 0)
                 .count();
-            let expected =
-                (params.pages_with_optional_frac * pages.len() as f64).round() as usize;
+            let expected = (params.pages_with_optional_frac * pages.len() as f64).round() as usize;
             assert_eq!(with_opt, expected, "site {site}");
         }
     }
@@ -278,10 +277,12 @@ mod tests {
         let sys = small_sys(4);
         for site in sys.sites().ids() {
             let pages = sys.pages_of(site);
-            let mut freqs: Vec<f64> =
-                pages.iter().map(|&p| sys.page(p).freq.get()).collect();
+            let mut freqs: Vec<f64> = pages.iter().map(|&p| sys.page(p).freq.get()).collect();
             let total: f64 = freqs.iter().sum();
-            assert!((total - params.site_page_rate).abs() < 1e-9, "site rate {total}");
+            assert!(
+                (total - params.site_page_rate).abs() < 1e-9,
+                "site rate {total}"
+            );
             freqs.sort_by(|a, b| b.partial_cmp(a).unwrap());
             let n_hot = (params.hot_page_frac * pages.len() as f64).round() as usize;
             let hot_share: f64 = freqs[..n_hot].iter().sum::<f64>() / total;

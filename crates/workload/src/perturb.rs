@@ -98,7 +98,11 @@ impl PerturbModel {
                 return Err("rate factors must be positive".into());
             }
         }
-        for band in [self.repo_rate_band, self.repo_ovhd_band, self.local_ovhd_band] {
+        for band in [
+            self.repo_rate_band,
+            self.repo_ovhd_band,
+            self.local_ovhd_band,
+        ] {
             if band.lo <= 0.0 {
                 return Err("factor bands must be positive".into());
             }
@@ -116,8 +120,7 @@ impl PerturbModel {
             .unwrap_or(1.0);
         for b in &self.local_rate_buckets {
             if pick < b.weight {
-                local_rate_factor =
-                    crate::sampling::uniform_in(rng, b.factor.lo, b.factor.hi);
+                local_rate_factor = crate::sampling::uniform_in(rng, b.factor.lo, b.factor.hi);
                 break;
             }
             pick -= b.weight;
@@ -268,7 +271,9 @@ mod tests {
         let m = PerturbModel::paper();
         let mut rng = StdRng::seed_from_u64(4);
         let n = 50_000;
-        let mean: f64 = (0..n).map(|_| m.draw(&mut rng).local_rate_factor).sum::<f64>()
+        let mean: f64 = (0..n)
+            .map(|_| m.draw(&mut rng).local_rate_factor)
+            .sum::<f64>()
             / n as f64;
         // 0.6*1.0 + 0.3*~0.417 + 0.1*~0.208 ≈ 0.746
         assert!((0.70..0.78).contains(&mean), "mean local factor {mean}");

@@ -129,8 +129,7 @@ pub fn generate_site_trace(
         let optional_slots = if page.n_optional() > 0
             && rng.random::<f64>() < config.optional_interest_prob
         {
-            let k = ((config.optional_request_frac * page.n_optional() as f64).round()
-                as usize)
+            let k = ((config.optional_request_frac * page.n_optional() as f64).round() as usize)
                 .clamp(1, page.n_optional());
             let mut slots: Vec<u32> = sample_distinct(&mut rng, page.n_optional(), k)
                 .into_iter()
@@ -209,10 +208,8 @@ mod tests {
         for t in &traces {
             // Identify the hot pages of this site by frequency.
             let pages = sys.pages_of(t.site);
-            let mut freqs: Vec<(PageId, f64)> = pages
-                .iter()
-                .map(|&p| (p, sys.page(p).freq.get()))
-                .collect();
+            let mut freqs: Vec<(PageId, f64)> =
+                pages.iter().map(|&p| (p, sys.page(p).freq.get())).collect();
             freqs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             let n_hot = (0.10 * pages.len() as f64).round() as usize;
             let hot: std::collections::HashSet<PageId> =
@@ -239,8 +236,7 @@ mod tests {
                         assert!((s as usize) < page.n_optional());
                     }
                     // Distinct slots.
-                    let set: std::collections::HashSet<_> =
-                        r.optional_slots.iter().collect();
+                    let set: std::collections::HashSet<_> = r.optional_slots.iter().collect();
                     assert_eq!(set.len(), r.optional_slots.len());
                 }
             }

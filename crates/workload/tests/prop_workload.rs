@@ -1,8 +1,8 @@
 //! Property tests for the workload generator and its samplers.
 
 use mmrepl_workload::{
-    generate_system, generate_trace, sampling, AliasTable, DriftModel, PerturbModel,
-    TraceConfig, WorkloadParams,
+    generate_system, generate_trace, sampling, AliasTable, DriftModel, PerturbModel, TraceConfig,
+    WorkloadParams,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -44,7 +44,10 @@ fn main() {
         let lru = replay_all(&sys_f, &traces, &mut LruRouter::new(&sys_f)).mean_response();
         let ours_pct = (ours / baseline - 1.0) * 100.0;
         let lru_pct = (lru / baseline - 1.0) * 100.0;
-        println!("{:>6.0}%   {ours_pct:>5.1}%   {lru_pct:>5.1}%", frac * 100.0);
+        println!(
+            "{:>6.0}%   {ours_pct:>5.1}%   {lru_pct:>5.1}%",
+            frac * 100.0
+        );
         ours_at.push((frac, ours_pct));
         lru_full = lru_pct;
     }

@@ -35,11 +35,7 @@ fn main() {
 
     let planned = ReplicationPolicy::new().plan(&system).placement;
     println!("per-site results, partition-aware policy:");
-    let ours = site_breakdown(
-        &system,
-        &traces,
-        &mut StaticRouter::new(&planned, "ours"),
-    );
+    let ours = site_breakdown(&system, &traces, &mut StaticRouter::new(&planned, "ours"));
     print!("{}", breakdown_table(&ours));
 
     println!("\nper-site results, all-local policy (one global knob):");

@@ -7,8 +7,7 @@
 //! ```
 
 use mmrepl::core::{
-    partition_all, restore_capacity, restore_storage, run_offload, OffloadConfig,
-    SiteWork,
+    partition_all, restore_capacity, restore_storage, run_offload, OffloadConfig, SiteWork,
 };
 use mmrepl::prelude::*;
 

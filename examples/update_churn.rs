@@ -22,15 +22,9 @@ fn main() {
     // Read-only references.
     let read_only = ReplicationPolicy::new().plan(&base).placement;
     let ro_replicas = replica_count(&base, &read_only);
-    let ro_response = replay_all(
-        &base,
-        &traces,
-        &mut StaticRouter::new(&read_only, "ro"),
-    )
-    .mean_response();
-    println!(
-        "read-only workload: {ro_replicas} replicas, mean response {ro_response:.1} s\n"
-    );
+    let ro_response =
+        replay_all(&base, &traces, &mut StaticRouter::new(&read_only, "ro")).mean_response();
+    println!("read-only workload: {ro_replicas} replicas, mean response {ro_response:.1} s\n");
     println!("  upd/s   replicas   response     aware ok?  blind overloads");
 
     for mean in [0.0f64, 0.1, 0.5, 2.0, 10.0] {

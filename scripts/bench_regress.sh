@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Planner performance regression gate.
+#
+# Re-runs the perfsuite into a scratch file and compares every timing
+# against the committed BENCH_PLANNER.json baseline. Fails if any metric
+# regressed by more than the threshold (default 15%; override with
+# THRESHOLD_PCT). Faster-than-baseline results are reported but pass.
+#
+#   scripts/bench_regress.sh            # full suite (paper + 10x scale)
+#   scripts/bench_regress.sh --quick    # smoke scale only (no comparison
+#                                       # against the committed scales)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT="${THRESHOLD_PCT:-15}"
+BASELINE="BENCH_PLANNER.json"
+FRESH="$(mktemp -t bench_planner.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "error: no committed $BASELINE baseline; run:" >&2
+    echo "  cargo run --release -p mmrepl-bench --bin perfsuite" >&2
+    exit 2
+fi
+
+cargo run --release --offline -p mmrepl-bench --bin perfsuite -- \
+    --out "$FRESH" "$@"
+
+python3 - "$BASELINE" "$FRESH" "$THRESHOLD_PCT" <<'EOF'
+import json, sys
+
+base_path, fresh_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base = json.load(open(base_path))
+fresh = json.load(open(fresh_path))
+
+failures = []
+compared = 0
+for scale, fresh_t in sorted(fresh["scales"].items()):
+    base_t = base["scales"].get(scale)
+    if base_t is None:
+        print(f"  {scale}: not in baseline, skipping")
+        continue
+    for metric, new in sorted(fresh_t.items()):
+        old = base_t.get(metric)
+        if metric.startswith("n_") or not isinstance(old, float):
+            continue
+        compared += 1
+        # Guard against ~0s metrics where ratios are all noise.
+        if old < 1e-4 and new < 1e-4:
+            print(f"  {scale}.{metric}: {old:.6f}s -> {new:.6f}s (sub-0.1ms, skipped)")
+            continue
+        pct = (new / old - 1.0) * 100.0
+        verdict = "ok"
+        if pct > threshold:
+            verdict = "REGRESSED"
+            failures.append(f"{scale}.{metric}: {old:.4f}s -> {new:.4f}s ({pct:+.1f}%)")
+        print(f"  {scale}.{metric}: {old:.4f}s -> {new:.4f}s ({pct:+.1f}%) {verdict}")
+
+if compared == 0:
+    print("no comparable metrics (quick run vs full baseline?)")
+if failures:
+    print(f"\nFAIL: {len(failures)} metric(s) regressed more than {threshold:.0f}%:")
+    for f in failures:
+        print(f"  {f}")
+    sys.exit(1)
+print(f"\nOK: no metric regressed more than {threshold:.0f}%")
+EOF

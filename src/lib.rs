@@ -60,23 +60,21 @@ pub use mmrepl_workload as workload;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use mmrepl_baselines::{
-        local_policy, remote_policy, GdsRouter, LfuRouter, LruRouter, RequestRouter,
-        StaticRouter,
+        local_policy, remote_policy, GdsRouter, LfuRouter, LruRouter, RequestRouter, StaticRouter,
     };
     pub use mmrepl_core::{
         partition_all, partition_page, OffloadConfig, PlannerConfig, ReplicationPolicy,
     };
     pub use mmrepl_model::{
-        Bytes, BytesPerSec, ConstraintReport, CostModel, CostParams, MediaObject,
-        ObjectId, OptionalRef, PageId, PagePartition, Placement, ReqPerSec, Secs, Site,
-        SiteId, System, SystemBuilder, WebPage,
+        Bytes, BytesPerSec, ConstraintReport, CostModel, CostParams, MediaObject, ObjectId,
+        OptionalRef, PageId, PagePartition, Placement, ReqPerSec, Secs, Site, SiteId, System,
+        SystemBuilder, WebPage,
     };
     pub use mmrepl_sim::{
-        cache_comparison, drift_study, figure1, figure2, figure3, headline,
-        queueing_replay, replay_all, ExperimentConfig,
+        cache_comparison, drift_study, figure1, figure2, figure3, headline, queueing_replay,
+        replay_all, ExperimentConfig,
     };
     pub use mmrepl_workload::{
-        generate_system, generate_trace, DriftModel, PerturbModel, TraceConfig,
-        WorkloadParams,
+        generate_system, generate_trace, DriftModel, PerturbModel, TraceConfig, WorkloadParams,
     };
 }

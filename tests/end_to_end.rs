@@ -22,7 +22,11 @@ fn full_pipeline_under_all_three_constraints() {
 
     // Replay under perturbation and confirm sane statistics.
     let traces = generate_trace(&sys, &TraceConfig::from_params(&WorkloadParams::small()), 1);
-    let out = replay_all(&sys, &traces, &mut StaticRouter::new(&outcome.placement, "ours"));
+    let out = replay_all(
+        &sys,
+        &traces,
+        &mut StaticRouter::new(&outcome.placement, "ours"),
+    );
     let total: usize = traces.iter().map(|t| t.len()).sum();
     assert_eq!(out.pages.count() as usize, total);
     assert!(out.mean_response() > 0.0);
@@ -52,8 +56,7 @@ fn paired_replay_ranks_policies_like_the_paper() {
     let traces = generate_trace(&sys, &TraceConfig::from_params(&params), 3);
 
     let planned = ReplicationPolicy::new().plan(&sys).placement;
-    let ours = replay_all(&sys, &traces, &mut StaticRouter::new(&planned, "ours"))
-        .mean_response();
+    let ours = replay_all(&sys, &traces, &mut StaticRouter::new(&planned, "ours")).mean_response();
     let local = replay_all(
         &sys,
         &traces,

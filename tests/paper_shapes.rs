@@ -96,10 +96,7 @@ fn ablations_preserve_paper_choices() {
     assert!(paper <= a1.variants["increasing-size"] * 1.05);
     // A2: amortization no worse than raw delta.
     let a2 = by_name("A2");
-    assert!(
-        a2.variants["amortized-over-size (paper)"]
-            <= a2.variants["raw-delta"] * 1.05
-    );
+    assert!(a2.variants["amortized-over-size (paper)"] <= a2.variants["raw-delta"] * 1.05);
     // A5: greedy stays near the exhaustive optimum.
     let a5 = by_name("A5");
     assert!(a5.variants["greedy mean gap"] < 5.0);

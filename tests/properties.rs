@@ -10,10 +10,10 @@ use proptest::prelude::*;
 /// and pages — with valid rates and references by construction.
 fn arb_system() -> impl Strategy<Value = System> {
     (
-        1usize..=3,                   // sites
-        4usize..=20,                  // objects
-        1usize..=6,                   // pages per site
-        0u64..u64::MAX,               // seed for value jitter
+        1usize..=3,     // sites
+        4usize..=20,    // objects
+        1usize..=6,     // pages per site
+        0u64..u64::MAX, // seed for value jitter
     )
         .prop_map(|(n_sites, n_objects, pages_per_site, seed)| {
             let mut builder = SystemBuilder::new();
@@ -30,23 +30,15 @@ fn arb_system() -> impl Strategy<Value = System> {
                     builder.add_site(Site {
                         storage: Bytes::mib(64 + (next() % 64)),
                         capacity: ReqPerSec(50.0 + (next() % 200) as f64),
-                        local_rate: BytesPerSec::kib_per_sec(
-                            3.0 + (next() % 70) as f64 / 10.0,
-                        ),
-                        repo_rate: BytesPerSec::kib_per_sec(
-                            0.3 + (next() % 17) as f64 / 10.0,
-                        ),
+                        local_rate: BytesPerSec::kib_per_sec(3.0 + (next() % 70) as f64 / 10.0),
+                        repo_rate: BytesPerSec::kib_per_sec(0.3 + (next() % 17) as f64 / 10.0),
                         local_ovhd: Secs(1.275 + (next() % 500) as f64 / 1000.0),
                         repo_ovhd: Secs(1.975 + (next() % 500) as f64 / 1000.0),
                     })
                 })
                 .collect();
             let objects: Vec<ObjectId> = (0..n_objects)
-                .map(|_| {
-                    builder.add_object(MediaObject::of_size(Bytes::kib(
-                        40 + next() % 4000,
-                    )))
-                })
+                .map(|_| builder.add_object(MediaObject::of_size(Bytes::kib(40 + next() % 4000))))
                 .collect();
             for &site in &sites {
                 for _ in 0..pages_per_site {

@@ -1,0 +1,137 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`,
+//! `Bencher::iter`, `criterion_group!`, `criterion_main!` — with a plain
+//! `std::time::Instant` harness: a warm-up pass sizes the batch, then each
+//! sample times a batch and the median per-iteration time is reported.
+//! There is no statistical regression analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs `f` as a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{name}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; call [`Bencher::iter`] with the payload.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median seconds per iteration, filled by `iter`.
+    reported: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, choosing an iteration count from a short warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find how many iterations fit ~10ms, minimum 1.
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(50));
+        let per_sample = ((Duration::from_millis(10).as_nanos() / once.as_nanos().max(1)) as usize)
+            .clamp(1, 1000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.reported = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_bench(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        reported: None,
+    };
+    f(&mut b);
+    match b.reported {
+        Some(secs) => println!("bench {name:<48} {}", format_time(secs)),
+        None => println!("bench {name:<48} (no measurement)"),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s/iter")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms/iter", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us/iter", secs * 1e6)
+    } else {
+        format!("{:.1} ns/iter", secs * 1e9)
+    }
+}
+
+/// Groups bench functions under a name, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

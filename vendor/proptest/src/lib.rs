@@ -1,0 +1,229 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the macro and strategy surface this workspace's property tests
+//! use — `proptest!`, `prop_assert*`, `prop_assume!`, `any::<T>()`,
+//! integer/float range strategies, tuple strategies, `prop_map`, and
+//! `prop::collection::{vec, btree_set}` — on top of the vendored
+//! deterministic `rand`. Differences from upstream: no shrinking (a
+//! failing case reports its inputs via `Debug` instead) and a fixed
+//! per-test seed derived from the test name, so failures reproduce
+//! exactly across runs.
+
+use rand::rngs::StdRng;
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+    pub use crate::strategy::{btree_set, vec};
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+    /// Upstream re-exports the crate as `prop` so tests can say
+    /// `prop::collection::vec(...)`.
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs one generated case body; used by the expansion of [`proptest!`].
+#[doc(hidden)]
+pub fn __run_case(
+    name: &str,
+    case: u32,
+    inputs: &str,
+    result: Result<(), test_runner::TestCaseError>,
+) {
+    match result {
+        Ok(()) => {}
+        Err(test_runner::TestCaseError::Reject(_)) => {}
+        Err(test_runner::TestCaseError::Fail(msg)) => {
+            panic!("proptest `{name}` failed at case {case}: {msg}\ninputs: {inputs}")
+        }
+    }
+}
+
+/// Deterministic per-test RNG: the seed is a hash of the test's name, so
+/// every run (and every machine) generates the same cases.
+#[doc(hidden)]
+pub fn __test_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}
+
+#[doc(hidden)]
+pub fn __gen<S: strategy::Strategy>(strat: &S, rng: &mut StdRng) -> S::Value {
+    strat.generate(rng)
+}
+
+/// Declares property tests. Accepts the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0u64..10, v in prop::collection::vec(any::<bool>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::__test_rng(__name);
+            $(let $arg = $crate::__strat_holder(|| $strat);)+
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::__gen(&$arg.1, &mut __rng);)+
+                // Rendered up front: the body may consume the inputs.
+                let __inputs = format!("{:#?}", ($(&$arg,)+));
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                $crate::__run_case(__name, __case, &__inputs, __result);
+            }
+        }
+        $crate::__proptest_each! { ($cfg) $($rest)* }
+    };
+}
+
+/// Builds a strategy once outside the case loop while keeping the macro
+/// hygiene simple (the closure also keeps `$strat` from borrowing loop
+/// locals).
+#[doc(hidden)]
+pub fn __strat_holder<S: strategy::Strategy, F: FnOnce() -> S>(f: F) -> ((), S) {
+    ((), f())
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            let __msg = format!($($fmt)+);
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{__msg}\n  left: {:?}\n right: {:?}", __l, __r),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Discards the current case (does not count as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in 0.25f64..0.75, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+            let _ = b;
+        }
+
+        #[test]
+        fn collections_respect_size(
+            v in prop::collection::vec(0usize..5, 2..9),
+            s in prop::collection::btree_set(0u32..100, 0..10),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(s.len() < 10);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn mapped_tuples_compose(pair in (0usize..4, any::<bool>()).prop_map(|(i, b)| (i * 2, b))) {
+            prop_assert!(pair.0 % 2 == 0 && pair.0 < 8);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let strat = crate::strategy::any::<u64>();
+        let a: Vec<u64> = {
+            let mut rng = crate::__test_rng("fixed");
+            (0..8).map(|_| crate::__gen(&strat, &mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = crate::__test_rng("fixed");
+            (0..8).map(|_| crate::__gen(&strat, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

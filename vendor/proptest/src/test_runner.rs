@@ -1,0 +1,33 @@
+//! Test-runner types shared by the macros.
+
+/// Per-block configuration; set with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the vendored runner trades a few cases
+        // for test-suite latency since it cannot parallelize shrinking.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is skipped, not failed.
+    Reject(&'static str),
+    /// A `prop_assert*!` failed — the whole test fails.
+    Fail(String),
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of `rand` it actually uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] helpers `random`,
+//! `random_range` and `random_bool`. The generator is xoshiro256++ seeded
+//! through SplitMix64 — statistically solid and deterministic per seed,
+//! which is all the workload generator and the tests rely on. The stream
+//! is **not** byte-compatible with upstream `rand`'s `StdRng` (ChaCha12);
+//! no committed artifact depends on the upstream stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator core: the uniform `u64` source everything
+/// else is derived from.
+pub trait RngCore {
+    /// The next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` via SplitMix64 expansion, the
+    /// same construction upstream uses for this entry point.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling helpers, mirroring `rand::Rng` (0.9 names).
+pub trait Rng: RngCore {
+    /// A uniform sample of a [`Standard`]-distributed value.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from a range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Types sampleable uniformly over their natural domain (`rng.random()`).
+pub trait StandardUniform {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardUniform for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// `[0, 1)` from a uniform word: 53 mantissa bits.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges usable with [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform integer in `[0, bound)` by Lemire's method (unbiased).
+#[inline]
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // 128-bit multiply-shift with rejection of the biased zone.
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (bound as u128);
+    let mut lo = m as u64;
+    if lo < bound {
+        let threshold = bound.wrapping_neg() % bound;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (bound as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + bounded_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + bounded_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_ranges!(usize, u64, u32, u16, u8);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng.next_u64());
+        // Guard the half-open contract against rounding up to `end`.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Deterministic per seed and fast; not the upstream ChaCha12 stream
+    /// (see the crate docs).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // A pathological all-zero seed would freeze xoshiro.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E3779B97F4A7C15,
+                    0xBF58476D1CE4E5B9,
+                    0x94D049BB133111EB,
+                    1,
+                ];
+            }
+            StdRng { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as upstream.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let i = rng.random_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let j = rng.random_range(5u64..=5);
+            assert_eq!(j, 5);
+            let x = rng.random_range(-2.0f64..=3.0);
+            assert!((-2.0..=3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket {c}");
+        }
+    }
+}

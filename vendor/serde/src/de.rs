@@ -1,0 +1,228 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+
+/// A data structure constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// An error with a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// The input had the wrong shape.
+    fn invalid_type(unexpected: &str, expected: &str) -> Self {
+        Self::custom(format_args!(
+            "invalid type: {unexpected}, expected {expected}"
+        ))
+    }
+}
+
+/// A self-describing format frontend.
+///
+/// The vendored formats are all self-describing (JSON), so the trait is
+/// collapsed to `deserialize_any` plus an `Option` hook — exactly the
+/// entry points the codebase's manual impls and the derive call.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Drives `visitor` with whatever the input contains.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Option support: `visit_none` on null, `visit_some(self)` otherwise.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// What a [`Deserializer`] feeds values through.
+///
+/// Every method has a rejecting default so impls only write the shapes
+/// they accept.
+pub trait Visitor<'de>: Sized {
+    /// The produced type.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// A boolean.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!(
+            "unexpected bool {v}, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// A signed integer.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!(
+            "unexpected integer {v}, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// An unsigned integer.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!(
+            "unexpected integer {v}, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// A float.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!(
+            "unexpected number {v}, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// A borrowed string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!(
+            "unexpected string {v:?}, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// An owned string; defers to [`Visitor::visit_str`].
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// A unit / null.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!(
+            "unexpected null, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// An absent `Option`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!(
+            "unexpected none, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// A present `Option`, carrying its own deserializer.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::custom(format_args!(
+            "unexpected some, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// A sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(A::Error::custom(format_args!(
+            "unexpected sequence, expected {}",
+            Expected(&self)
+        )))
+    }
+
+    /// A map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(A::Error::custom(format_args!(
+            "unexpected map, expected {}",
+            Expected(&self)
+        )))
+    }
+}
+
+/// Adapter rendering a visitor's [`Visitor::expecting`] through `Display`.
+struct Expected<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> Display for Expected<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+/// Streaming access to a sequence's elements.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// The next element, or `None` at the end.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+    /// Remaining length when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Streaming access to a map's entries. Keys are strings in every
+/// vendored format, so the key side is monomorphic.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// The next key, or `None` at the end.
+    fn next_key(&mut self) -> Result<Option<String>, Self::Error>;
+
+    /// The value of the key just returned.
+    fn next_value<T: Deserialize<'de>>(&mut self) -> Result<T, Self::Error>;
+
+    /// Remaining length when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Accepts and discards any value (unknown struct fields).
+pub struct IgnoredAny;
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = IgnoredAny;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("anything")
+            }
+            fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+                Ok(IgnoredAny)
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<IgnoredAny, A::Error> {
+                while seq.next_element::<IgnoredAny>()?.is_some() {}
+                Ok(IgnoredAny)
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<IgnoredAny, A::Error> {
+                while map.next_key()?.is_some() {
+                    map.next_value::<IgnoredAny>()?;
+                }
+                Ok(IgnoredAny)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}

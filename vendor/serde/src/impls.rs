@@ -1,0 +1,443 @@
+//! `Serialize`/`Deserialize` impls for the std types the workspace uses.
+
+use crate::de::{self, Deserialize, Deserializer, MapAccess, SeqAccess, Visitor};
+use crate::ser::{Serialize, SerializeMap, SerializeSeq, Serializer};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::marker::PhantomData;
+
+// --- numbers, bool, unit --------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "an unsigned integer")
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("{v} out of range")))
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("{v} out of range")))
+                    }
+                }
+                d.deserialize_any(V)
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $t;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a signed integer")
+                    }
+                    fn visit_i64<E: de::Error>(self, v: i64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("{v} out of range")))
+                    }
+                    fn visit_u64<E: de::Error>(self, v: u64) -> Result<$t, E> {
+                        <$t>::try_from(v)
+                            .map_err(|_| E::custom(format_args!("{v} out of range")))
+                    }
+                }
+                d.deserialize_any(V)
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = f64;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a number")
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+            fn visit_i64<E: de::Error>(self, v: i64) -> Result<f64, E> {
+                Ok(v as f64)
+            }
+        }
+        d.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a boolean")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_any(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("null")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        d.deserialize_any(V)
+    }
+}
+
+// --- strings --------------------------------------------------------------
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: de::Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: de::Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        d.deserialize_any(V)
+    }
+}
+
+// --- references and boxes -------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+// --- Option ---------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+            fn visit_none<E: de::Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+        }
+        d.deserialize_option(V(PhantomData))
+    }
+}
+
+// --- sequences ------------------------------------------------------------
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_any(V(PhantomData))
+    }
+}
+
+// --- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let mut seq = s.serialize_seq(Some(count!($($t)+)))?;
+                $(seq.serialize_element(&self.$n)?;)+
+                seq.end()
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                struct V<$($t),+>(PhantomData<($($t,)+)>);
+                impl<'de, $($t: Deserialize<'de>),+> Visitor<'de> for V<$($t),+> {
+                    type Value = ($($t,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of length {}", count!($($t)+))
+                    }
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        let out = ($(
+                            seq.next_element::<$t>()?.ok_or_else(|| {
+                                de::Error::custom("tuple ended early")
+                            })?,
+                        )+);
+                        // Drive the access to its end marker: the vendored
+                        // JSON reader only consumes `]` via a `None` element.
+                        if seq.next_element::<crate::de::IgnoredAny>()?.is_some() {
+                            return Err(de::Error::custom("tuple has extra elements"));
+                        }
+                        Ok(out)
+                    }
+                }
+                d.deserialize_any(V(PhantomData))
+            }
+        }
+    )+};
+}
+
+macro_rules! count {
+    () => (0usize);
+    ($head:ident $($tail:ident)*) => (1usize + count!($($tail)*));
+}
+
+tuple_impls! {
+    (0 T0)
+    (0 T0, 1 T1)
+    (0 T0, 1 T1, 2 T2)
+    (0 T0, 1 T1, 2 T2, 3 T3)
+    (0 T0, 1 T1, 2 T2, 3 T3, 4 T4)
+    (0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5)
+}
+
+// --- maps -----------------------------------------------------------------
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = s.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = s.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct Vis<V>(PhantomData<V>);
+        impl<'de, V: Deserialize<'de>> Visitor<'de> for Vis<V> {
+            type Value = BTreeMap<String, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some(key) = map.next_key()? {
+                    let value = map.next_value()?;
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_any(Vis(PhantomData))
+    }
+}
+
+impl<'de, V: Deserialize<'de>, H: std::hash::BuildHasher + Default> Deserialize<'de>
+    for HashMap<String, V, H>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct Vis<V, H>(PhantomData<(V, H)>);
+        impl<'de, V: Deserialize<'de>, H: std::hash::BuildHasher + Default> Visitor<'de> for Vis<V, H> {
+            type Value = HashMap<String, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = HashMap::default();
+                while let Some(key) = map.next_key()? {
+                    let value = map.next_value()?;
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        d.deserialize_any(Vis(PhantomData))
+    }
+}
+
+// --- PhantomData ----------------------------------------------------------
+
+impl<T: ?Sized> Serialize for PhantomData<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_unit()
+    }
+}
+
+impl<'de, T: ?Sized> Deserialize<'de> for PhantomData<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V<T: ?Sized>(PhantomData<T>);
+        impl<'de, T: ?Sized> Visitor<'de> for V<T> {
+            type Value = PhantomData<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("null")
+            }
+            fn visit_unit<E: de::Error>(self) -> Result<Self::Value, E> {
+                Ok(PhantomData)
+            }
+        }
+        d.deserialize_any(V(PhantomData))
+    }
+}

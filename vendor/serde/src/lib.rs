@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`: the trait surface this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a compact serde look-alike. It keeps the same module layout
+//! (`ser::`/`de::`), the same trait names and the same derive attribute
+//! dialect (`transparent`, `skip`, `default`, `default = "path"`,
+//! `with = "module"`) for the shapes the codebase actually derives:
+//! named-field structs, tuple newtypes, and externally-tagged enums with
+//! unit, newtype and struct variants. JSON realization lives in the
+//! sibling vendored `serde_json`.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

@@ -1,0 +1,850 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote`: the input is parsed with a small recursive tokenizer and
+//! the impls are generated as source strings. Supported shapes are exactly
+//! the ones this workspace derives:
+//!
+//! - named-field structs (optionally generic over plain type parameters)
+//! - tuple structs (one field = newtype/transparent, more = sequence)
+//! - externally-tagged enums with unit, newtype and struct variants
+//!
+//! Supported attributes: container `#[serde(transparent)]`; field
+//! `#[serde(skip)]`, `#[serde(default)]`, `#[serde(default = "path")]`,
+//! `#[serde(with = "module")]`. Anything else is a compile error rather
+//! than a silent misencode.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+// --- parsed representation -------------------------------------------------
+
+struct Container {
+    name: String,
+    /// Plain type-parameter idents (`I`, `T`); bounds are not supported.
+    generics: Vec<String>,
+    transparent: bool,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(Vec<String>),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    skip: bool,
+    default: Option<DefaultKind>,
+    with: Option<String>,
+}
+
+enum DefaultKind {
+    Trait,
+    Path(String),
+}
+
+enum VariantShape {
+    Unit,
+    /// Payload: the inner type (kept for error reporting / future use).
+    #[allow(dead_code)]
+    Newtype(String),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+// --- entry points ----------------------------------------------------------
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+struct SerdeAttrs {
+    words: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl SerdeAttrs {
+    fn has(&self, word: &str) -> bool {
+        self.words.iter().any(|w| w == word)
+    }
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Consumes leading attributes, returning the merged `#[serde(...)]`
+/// contents and discarding everything else (docs, `#[default]`, ...).
+fn take_attrs(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs {
+        words: Vec::new(),
+        pairs: Vec::new(),
+    };
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        let Some(TokenTree::Group(group)) = tokens.next() else {
+            panic!("serde_derive: `#` not followed by an attribute group");
+        };
+        let mut inner = group.stream().into_iter();
+        let is_serde =
+            matches!(inner.next(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        let mut arg_tokens = args.stream().into_iter().peekable();
+        while let Some(tok) = arg_tokens.next() {
+            let TokenTree::Ident(key) = tok else {
+                panic!("serde_derive: unsupported serde attribute syntax near `{tok}`");
+            };
+            let key = key.to_string();
+            match arg_tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    arg_tokens.next();
+                    let Some(TokenTree::Literal(lit)) = arg_tokens.next() else {
+                        panic!("serde_derive: `{key} = ...` expects a string literal");
+                    };
+                    let raw = lit.to_string();
+                    let value = raw.trim_matches('"').to_string();
+                    attrs.pairs.push((key, value));
+                }
+                _ => attrs.words.push(key),
+            }
+            if matches!(arg_tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                arg_tokens.next();
+            }
+        }
+    }
+    attrs
+}
+
+/// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut tokens = input.into_iter().peekable();
+    let container_attrs = take_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+
+    let mut generics = Vec::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' || p.as_char() == '\'' => {
+                    panic!(
+                        "serde_derive: generic bounds and lifetimes are not supported on `{name}`"
+                    )
+                }
+                Some(TokenTree::Ident(i)) if depth == 1 => generics.push(i.to_string()),
+                Some(_) => {}
+                None => panic!("serde_derive: unterminated generics on `{name}`"),
+            }
+        }
+    }
+
+    let data = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(parse_tuple_fields(g.stream())))
+            }
+            other => panic!("serde_derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    };
+
+    if container_attrs.has("untagged") {
+        panic!("serde_derive: `#[serde(untagged)]` is not supported by the vendored derive");
+    }
+
+    Container {
+        name,
+        generics,
+        transparent: container_attrs.has("transparent"),
+        data,
+    }
+}
+
+/// Reads one type, stopping at a top-level `,`. Handles nested `<...>` and
+/// `->` (whose `>` must not close an angle bracket).
+fn parse_type(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> String {
+    let mut ty = String::new();
+    let mut depth = 0usize;
+    loop {
+        match tokens.peek() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '-' && p.spacing() == Spacing::Joint => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Punct(p2)) if p2.as_char() == '>' => ty.push_str(" -> "),
+                    other => panic!("serde_derive: unexpected token after `-` in type: {other:?}"),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                ty.push('<');
+                tokens.next();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth = depth
+                    .checked_sub(1)
+                    .unwrap_or_else(|| panic!("serde_derive: unbalanced `>` in type `{ty}`"));
+                ty.push('>');
+                tokens.next();
+            }
+            Some(_) => {
+                let tok = tokens.next().unwrap();
+                if !ty.is_empty() && !ty.ends_with('<') {
+                    ty.push(' ');
+                }
+                ty.push_str(&tok.to_string());
+            }
+        }
+    }
+    ty
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let attrs = take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("serde_derive: expected field name");
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        let ty = parse_type(&mut tokens);
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        let default = if let Some(path) = attrs.get("default") {
+            Some(DefaultKind::Path(path.to_string()))
+        } else if attrs.has("default") {
+            Some(DefaultKind::Trait)
+        } else {
+            None
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            ty,
+            skip: attrs.has("skip"),
+            default,
+            with: attrs.get("with").map(str::to_string),
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut types = Vec::new();
+    while tokens.peek().is_some() {
+        let attrs = take_attrs(&mut tokens);
+        if attrs.has("skip") || attrs.get("with").is_some() {
+            panic!("serde_derive: field attributes on tuple fields are not supported");
+        }
+        skip_visibility(&mut tokens);
+        types.push(parse_type(&mut tokens));
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+    }
+    types
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        let _attrs = take_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            panic!("serde_derive: expected variant name");
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                tokens.next();
+                let types = parse_tuple_fields(inner);
+                if types.len() != 1 {
+                    panic!("serde_derive: only newtype tuple variants are supported (`{name}`)");
+                }
+                VariantShape::Newtype(types.into_iter().next().unwrap())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                tokens.next();
+                VariantShape::Struct(parse_named_fields(inner))
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+// --- shared codegen helpers ------------------------------------------------
+
+fn impl_header_ser(c: &Container) -> (String, String) {
+    if c.generics.is_empty() {
+        (String::new(), c.name.clone())
+    } else {
+        let bounded: Vec<String> = c
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::Serialize"))
+            .collect();
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{}<{}>", c.name, c.generics.join(", ")),
+        )
+    }
+}
+
+fn impl_header_de(c: &Container) -> (String, String) {
+    if c.generics.is_empty() {
+        ("<'de>".to_string(), c.name.clone())
+    } else {
+        let bounded: Vec<String> = c
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::Deserialize<'de>"))
+            .collect();
+        (
+            format!("<'de, {}>", bounded.join(", ")),
+            format!("{}<{}>", c.name, c.generics.join(", ")),
+        )
+    }
+}
+
+fn active_fields(fields: &[Field]) -> Vec<&Field> {
+    fields.iter().filter(|f| !f.skip).collect()
+}
+
+// --- Serialize codegen -----------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let (impl_generics, ty) = impl_header_ser(c);
+    let body = match &c.data {
+        Data::Struct(Fields::Named(fields)) => gen_ser_named(c, fields),
+        Data::Struct(Fields::Tuple(types)) => gen_ser_tuple(c, types),
+        Data::Enum(variants) => gen_ser_enum(c, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(non_snake_case, clippy::all)]\n\
+         const _: () = {{\n\
+           impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+               {body}\n\
+             }}\n\
+           }}\n\
+         }};\n"
+    )
+}
+
+fn gen_ser_named(c: &Container, fields: &[Field]) -> String {
+    let active = active_fields(fields);
+    if c.transparent {
+        assert!(
+            active.len() == 1,
+            "serde_derive: `transparent` requires exactly one unskipped field on `{}`",
+            c.name
+        );
+        let f = active[0];
+        return format!(
+            "::serde::Serialize::serialize(&self.{}, __serializer)",
+            f.name
+        );
+    }
+    let mut out = format!(
+        "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{}\", {}usize)?;\n",
+        c.name,
+        active.len()
+    );
+    for f in &active {
+        if let Some(with) = &f.with {
+            out.push_str(&format!(
+                "{{\n\
+                   #[allow(non_camel_case_types)]\n\
+                   struct __SerdeWith_{n}<'__a>(&'__a {ty});\n\
+                   impl<'__a> ::serde::Serialize for __SerdeWith_{n}<'__a> {{\n\
+                     fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+                         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                       {with}::serialize(self.0, __s)\n\
+                     }}\n\
+                   }}\n\
+                   ::serde::ser::SerializeStruct::serialize_field(\
+                       &mut __st, \"{n}\", &__SerdeWith_{n}(&self.{n}))?;\n\
+                 }}\n",
+                n = f.name,
+                ty = f.ty,
+            ));
+        } else {
+            out.push_str(&format!(
+                "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{n}\", &self.{n})?;\n",
+                n = f.name
+            ));
+        }
+    }
+    out.push_str("::serde::ser::SerializeStruct::end(__st)");
+    out
+}
+
+fn gen_ser_tuple(c: &Container, types: &[String]) -> String {
+    // One-field tuple structs serialize as the bare inner value (newtype
+    // semantics, which `#[serde(transparent)]` also requests).
+    if types.len() == 1 {
+        return "::serde::Serialize::serialize(&self.0, __serializer)".to_string();
+    }
+    assert!(
+        !c.transparent,
+        "serde_derive: `transparent` on multi-field tuple struct `{}`",
+        c.name
+    );
+    let mut out = format!(
+        "let mut __seq = ::serde::Serializer::serialize_seq(__serializer, \
+             ::core::option::Option::Some({}usize))?;\n",
+        types.len()
+    );
+    for i in 0..types.len() {
+        out.push_str(&format!(
+            "::serde::ser::SerializeSeq::serialize_element(&mut __seq, &self.{i})?;\n"
+        ));
+    }
+    out.push_str("::serde::ser::SerializeSeq::end(__seq)");
+    out
+}
+
+fn gen_ser_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+            )),
+            VariantShape::Newtype(_) => arms.push_str(&format!(
+                "{name}::{vname}(__v0) => ::serde::Serializer::serialize_newtype_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", __v0),\n"
+            )),
+            VariantShape::Struct(fields) => {
+                let active = active_fields(fields);
+                let bindings: Vec<String> = active.iter().map(|f| f.name.clone()).collect();
+                let mut arm = format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                       let mut __sv = ::serde::Serializer::serialize_struct_variant(\
+                           __serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                    bindings.join(", "),
+                    active.len()
+                );
+                for f in &active {
+                    assert!(
+                        f.with.is_none(),
+                        "serde_derive: `with` on enum struct-variant fields is not supported"
+                    );
+                    arm.push_str(&format!(
+                        "::serde::ser::SerializeStruct::serialize_field(\
+                             &mut __sv, \"{n}\", {n})?;\n",
+                        n = f.name
+                    ));
+                }
+                arm.push_str("::serde::ser::SerializeStruct::end(__sv)\n}\n");
+                arms.push_str(&arm);
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// --- Deserialize codegen ---------------------------------------------------
+
+fn gen_deserialize(c: &Container) -> String {
+    let (impl_generics, ty) = impl_header_de(c);
+    let body = match &c.data {
+        Data::Struct(Fields::Named(fields)) => gen_de_named(c, fields),
+        Data::Struct(Fields::Tuple(types)) => gen_de_tuple(c, types),
+        Data::Enum(variants) => gen_de_enum(c, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(non_snake_case, clippy::all)]\n\
+         const _: () = {{\n\
+           impl{impl_generics} ::serde::Deserialize<'de> for {ty} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+               {body}\n\
+             }}\n\
+           }}\n\
+         }};\n"
+    )
+}
+
+/// Generates the body of a `visit_map` that fills every active field of
+/// `fields` into `Option` locals and finishes with `constructor`.
+///
+/// `constructor` receives expressions `__v_<field>` already unwrapped.
+fn gen_de_fill_fields(type_label: &str, fields: &[Field], constructor: &str) -> String {
+    let active = active_fields(fields);
+    let mut out = String::new();
+    for f in &active {
+        out.push_str(&format!(
+            "let mut __v_{}: ::core::option::Option<{}> = ::core::option::Option::None;\n",
+            f.name, f.ty
+        ));
+    }
+    out.push_str("while let ::core::option::Option::Some(__key) = __map.next_key()? {\n");
+    out.push_str("match __key.as_str() {\n");
+    for f in &active {
+        if let Some(with) = &f.with {
+            out.push_str(&format!(
+                "\"{n}\" => {{\n\
+                   #[allow(non_camel_case_types)]\n\
+                   struct __DeWith_{n}({ty});\n\
+                   impl<'__de> ::serde::de::Deserialize<'__de> for __DeWith_{n} {{\n\
+                     fn deserialize<__D2: ::serde::de::Deserializer<'__de>>(__d: __D2) \
+                         -> ::core::result::Result<Self, __D2::Error> {{\n\
+                       {with}::deserialize(__d).map(__DeWith_{n})\n\
+                     }}\n\
+                   }}\n\
+                   __v_{n} = ::core::option::Option::Some(\
+                       __map.next_value::<__DeWith_{n}>()?.0);\n\
+                 }}\n",
+                n = f.name,
+                ty = f.ty,
+            ));
+        } else {
+            out.push_str(&format!(
+                "\"{n}\" => {{ __v_{n} = ::core::option::Option::Some(__map.next_value()?); }}\n",
+                n = f.name
+            ));
+        }
+    }
+    out.push_str("_ => { __map.next_value::<::serde::de::IgnoredAny>()?; }\n}\n}\n");
+    for f in &active {
+        let fallback = match &f.default {
+            Some(DefaultKind::Trait) => "::core::default::Default::default()".to_string(),
+            Some(DefaultKind::Path(path)) => format!("{path}()"),
+            None => format!(
+                "return ::core::result::Result::Err(\
+                     <__A::Error as ::serde::de::Error>::missing_field(\"{}\"))",
+                f.name
+            ),
+        };
+        out.push_str(&format!(
+            "let __v_{n} = match __v_{n} {{\n\
+               ::core::option::Option::Some(__v) => __v,\n\
+               ::core::option::Option::None => {fallback},\n\
+             }};\n",
+            n = f.name
+        ));
+    }
+    let _ = type_label;
+    out.push_str(constructor);
+    out
+}
+
+fn named_constructor(path: &str, fields: &[Field]) -> String {
+    let mut parts = Vec::new();
+    for f in fields {
+        if f.skip {
+            parts.push(format!("{}: ::core::default::Default::default()", f.name));
+        } else {
+            parts.push(format!("{n}: __v_{n}", n = f.name));
+        }
+    }
+    format!(
+        "::core::result::Result::Ok({path} {{ {} }})",
+        parts.join(", ")
+    )
+}
+
+fn gen_de_named(c: &Container, fields: &[Field]) -> String {
+    let active = active_fields(fields);
+    if c.transparent {
+        assert!(
+            active.len() == 1,
+            "serde_derive: `transparent` requires exactly one unskipped field on `{}`",
+            c.name
+        );
+        let f = active[0];
+        let skipped: Vec<String> = fields
+            .iter()
+            .filter(|f| f.skip)
+            .map(|f| format!("{}: ::core::default::Default::default()", f.name))
+            .collect();
+        let rest = if skipped.is_empty() {
+            String::new()
+        } else {
+            format!(", {}", skipped.join(", "))
+        };
+        return format!(
+            "::core::result::Result::Ok(Self {{ {n}: ::serde::Deserialize::deserialize(__deserializer)?{rest} }})",
+            n = f.name
+        );
+    }
+
+    let name = &c.name;
+    let (visitor_decl, visitor_expr, visitor_impl_generics, visitor_ty) = visitor_parts(c);
+    let fill = gen_de_fill_fields(name, fields, &named_constructor("Self::Value", fields));
+    format!(
+        "{visitor_decl}\n\
+         impl{visitor_impl_generics} ::serde::de::Visitor<'de> for {visitor_ty} {{\n\
+           type Value = {self_ty};\n\
+           fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+             __f.write_str(\"struct {name}\")\n\
+           }}\n\
+           fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+               -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             {fill}\n\
+           }}\n\
+         }}\n\
+         ::serde::Deserializer::deserialize_any(__deserializer, {visitor_expr})",
+        self_ty = impl_header_de(c).1,
+    )
+}
+
+/// Visitor declaration/instantiation that carries the container's generics
+/// through `PhantomData` when present.
+fn visitor_parts(c: &Container) -> (String, String, String, String) {
+    if c.generics.is_empty() {
+        (
+            "struct __Visitor;".to_string(),
+            "__Visitor".to_string(),
+            "<'de>".to_string(),
+            "__Visitor".to_string(),
+        )
+    } else {
+        let params = c.generics.join(", ");
+        let bounded: Vec<String> = c
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::Deserialize<'de>"))
+            .collect();
+        (
+            format!("struct __Visitor<{params}>(::core::marker::PhantomData<({params})>);"),
+            "__Visitor(::core::marker::PhantomData)".to_string(),
+            format!("<'de, {}>", bounded.join(", ")),
+            format!("__Visitor<{params}>"),
+        )
+    }
+}
+
+fn gen_de_tuple(c: &Container, types: &[String]) -> String {
+    if types.len() == 1 {
+        return "::serde::Deserialize::deserialize(__deserializer).map(Self)".to_string();
+    }
+    let name = &c.name;
+    let mut elems = String::new();
+    for (i, _ty) in types.iter().enumerate() {
+        elems.push_str(&format!(
+            "match __seq.next_element()? {{\n\
+               ::core::option::Option::Some(__v) => __v,\n\
+               ::core::option::Option::None => return ::core::result::Result::Err(\
+                   <__A::Error as ::serde::de::Error>::custom(\
+                       \"tuple struct {name} needs element {i}\")),\n\
+             }},\n"
+        ));
+    }
+    format!(
+        "struct __Visitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+           type Value = {name};\n\
+           fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+             __f.write_str(\"tuple struct {name}\")\n\
+           }}\n\
+           fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+               -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             ::core::result::Result::Ok({name}(\n{elems}))\n\
+           }}\n\
+         }}\n\
+         ::serde::Deserializer::deserialize_any(__deserializer, __Visitor)"
+    )
+}
+
+fn gen_de_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+
+    let mut str_arms = String::new();
+    for v in variants {
+        if matches!(v.shape, VariantShape::Unit) {
+            str_arms.push_str(&format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n",
+                vn = v.name
+            ));
+        }
+    }
+
+    let mut helper_items = String::new();
+    let mut map_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                // A unit variant can also appear as `{"Variant": null}`.
+                map_arms.push_str(&format!(
+                    "\"{vn}\" => {{ __map.next_value::<()>()?; ::core::result::Result::Ok({name}::{vn}) }}\n"
+                ));
+            }
+            VariantShape::Newtype(_) => {
+                map_arms.push_str(&format!(
+                    "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(__map.next_value()?)),\n"
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                // The variant body arrives as a nested map; deserialize it
+                // through a hidden mirror struct.
+                let helper = format!("__{name}{vn}");
+                let field_decls: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}: {}", f.name, f.ty))
+                    .collect();
+                let fill =
+                    gen_de_fill_fields(&helper, fields, &named_constructor("Self::Value", fields));
+                helper_items.push_str(&format!(
+                    "#[allow(non_camel_case_types)]\n\
+                     struct {helper} {{ {decls} }}\n\
+                     impl<'de> ::serde::Deserialize<'de> for {helper} {{\n\
+                       fn deserialize<__D2: ::serde::Deserializer<'de>>(__d2: __D2) \
+                           -> ::core::result::Result<Self, __D2::Error> {{\n\
+                         struct __HVisitor;\n\
+                         impl<'de> ::serde::de::Visitor<'de> for __HVisitor {{\n\
+                           type Value = {helper};\n\
+                           fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) \
+                               -> ::core::fmt::Result {{\n\
+                             __f.write_str(\"variant {name}::{vn}\")\n\
+                           }}\n\
+                           fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+                               -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                             {fill}\n\
+                           }}\n\
+                         }}\n\
+                         ::serde::Deserializer::deserialize_any(__d2, __HVisitor)\n\
+                       }}\n\
+                     }}\n",
+                    decls = field_decls.join(", "),
+                ));
+                let moves: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{n}: __h.{n}", n = f.name))
+                    .collect();
+                map_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                       let __h: {helper} = __map.next_value()?;\n\
+                       ::core::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                     }}\n",
+                    moves.join(", "),
+                ));
+            }
+        }
+    }
+
+    format!(
+        "{helper_items}\n\
+         struct __Visitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+           type Value = {name};\n\
+           fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+             __f.write_str(\"enum {name}\")\n\
+           }}\n\
+           fn visit_str<__E: ::serde::de::Error>(self, __v: &str) \
+               -> ::core::result::Result<Self::Value, __E> {{\n\
+             match __v {{\n\
+               {str_arms}\
+               _ => ::core::result::Result::Err(::serde::de::Error::custom(\
+                   ::core::format_args!(\"unknown variant `{{}}` of {name}\", __v))),\n\
+             }}\n\
+           }}\n\
+           fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+               -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+             let __key = match __map.next_key()? {{\n\
+               ::core::option::Option::Some(__k) => __k,\n\
+               ::core::option::Option::None => return ::core::result::Result::Err(\
+                   <__A::Error as ::serde::de::Error>::custom(\
+                       \"expected a variant key for enum {name}\")),\n\
+             }};\n\
+             match __key.as_str() {{\n\
+               {map_arms}\
+               _ => ::core::result::Result::Err(<__A::Error as ::serde::de::Error>::custom(\
+                   ::core::format_args!(\"unknown variant `{{}}` of {name}\", __key))),\n\
+             }}\n\
+           }}\n\
+         }}\n\
+         ::serde::Deserializer::deserialize_any(__deserializer, __Visitor)"
+    )
+}

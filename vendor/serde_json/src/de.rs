@@ -1,0 +1,337 @@
+//! Streaming JSON deserializer (recursive descent, zero-copy where easy).
+
+use crate::error::Error;
+use serde::de::{Deserialize, MapAccess, SeqAccess, Visitor};
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &'de str) -> crate::Result<T> {
+    let mut de = Deserializer {
+        input: s.as_bytes(),
+        pos: 0,
+    };
+    let value = T::deserialize(&mut de)?;
+    de.skip_ws();
+    if de.pos != de.input.len() {
+        return Err(de.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Deserializer<'de> {
+    input: &'de [u8],
+    pos: usize,
+}
+
+impl<'de> Deserializer<'de> {
+    fn err(&self, msg: impl std::fmt::Display) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(got) => {
+                Err(self.err(format!("expected `{}`, found `{}`", b as char, got as char)))
+            }
+            None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
+        }
+    }
+
+    fn consume_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    /// Parses a JSON string, assuming the opening quote is at `pos`.
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.input.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.input.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.consume_keyword("\\u")?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Re-attach the rest of a multi-byte UTF-8 scalar.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    let chunk = self
+                        .input
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let chunk = self
+            .input
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// The byte span of the number starting at `pos`.
+    fn number_span(&self) -> usize {
+        let mut end = self.pos;
+        while let Some(&b) = self.input.get(end) {
+            if matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                end += 1;
+            } else {
+                break;
+            }
+        }
+        end
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+impl<'de> serde::Deserializer<'de> for &mut Deserializer<'de> {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                self.consume_keyword("null")?;
+                visitor.visit_unit()
+            }
+            Some(b't') => {
+                self.consume_keyword("true")?;
+                visitor.visit_bool(true)
+            }
+            Some(b'f') => {
+                self.consume_keyword("false")?;
+                visitor.visit_bool(false)
+            }
+            Some(b'"') => {
+                let s = self.parse_string()?;
+                visitor.visit_string(s)
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let value = visitor.visit_seq(SeqReader {
+                    de: self,
+                    first: true,
+                })?;
+                Ok(value)
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let value = visitor.visit_map(MapReader {
+                    de: self,
+                    first: true,
+                })?;
+                Ok(value)
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let end = self.number_span();
+                let text = std::str::from_utf8(&self.input[self.pos..end])
+                    .map_err(|_| self.err("invalid number"))?;
+                let is_float = text.contains(['.', 'e', 'E']);
+                let result = if is_float {
+                    let v: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+                    self.pos = end;
+                    visitor.visit_f64(v)
+                } else if text.starts_with('-') {
+                    let v: i64 = text.parse().map_err(|_| self.err("invalid number"))?;
+                    self.pos = end;
+                    visitor.visit_i64(v)
+                } else {
+                    let v: u64 = text.parse().map_err(|_| self.err("invalid number"))?;
+                    self.pos = end;
+                    visitor.visit_u64(v)
+                };
+                result
+            }
+            Some(b) => Err(self.err(format!("unexpected character `{}`", b as char))),
+        }
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        if self.peek() == Some(b'n') {
+            self.consume_keyword("null")?;
+            visitor.visit_none()
+        } else {
+            visitor.visit_some(self)
+        }
+    }
+}
+
+struct SeqReader<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    first: bool,
+}
+
+impl<'de> SeqAccess<'de> for SeqReader<'_, 'de> {
+    type Error = Error;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Error> {
+        if self.de.peek() == Some(b']') {
+            self.de.pos += 1;
+            return Ok(None);
+        }
+        if !self.first {
+            self.de.expect(b',')?;
+        }
+        self.first = false;
+        T::deserialize(&mut *self.de).map(Some)
+    }
+}
+
+struct MapReader<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    first: bool,
+}
+
+impl<'de> MapAccess<'de> for MapReader<'_, 'de> {
+    type Error = Error;
+
+    fn next_key(&mut self) -> Result<Option<String>, Error> {
+        if self.de.peek() == Some(b'}') {
+            self.de.pos += 1;
+            return Ok(None);
+        }
+        if !self.first {
+            self.de.expect(b',')?;
+        }
+        self.first = false;
+        self.de.skip_ws();
+        let key = self.de.parse_string()?;
+        self.de.expect(b':')?;
+        Ok(Some(key))
+    }
+
+    fn next_value<T: Deserialize<'de>>(&mut self) -> Result<T, Error> {
+        T::deserialize(&mut *self.de)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{to_string, to_string_pretty};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&"q\"x").unwrap(), "\"q\\\"x\"");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<Vec<u64>> = from_str("[[1, 2], [], [3]]").unwrap();
+        assert_eq!(v, vec![vec![1, 2], vec![], vec![3]]);
+        let m: BTreeMap<String, f64> = from_str("{\"a\": 1, \"b\": 2.5}").unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["b"], 2.5);
+        assert_eq!(to_string(&m).unwrap(), "{\"a\":1.0,\"b\":2.5}");
+        let t: (u64, bool) = from_str("[3, false]").unwrap();
+        assert_eq!(t, (3, false));
+        let none: Option<u64> = from_str("null").unwrap();
+        assert_eq!(none, None);
+        let some: Option<u64> = from_str("9").unwrap();
+        assert_eq!(some, Some(9));
+    }
+
+    #[test]
+    fn pretty_layout() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![1u64, 2]);
+        assert_eq!(
+            to_string_pretty(&m).unwrap(),
+            "{\n  \"k\": [\n    1,\n    2\n  ]\n}"
+        );
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<Vec<u64>>("[1,").is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Streaming JSON serialization and deserialization against the vendored
+//! `serde` data model — no intermediate `Value` tree. Supports exactly the
+//! workspace's entry points: [`to_string`], [`to_string_pretty`] and
+//! [`from_str`]. Output matches upstream `serde_json` conventions
+//! (integral floats print as `1.0`, non-finite floats as `null`, pretty
+//! output indents by two spaces).
+
+mod de;
+mod error;
+mod ser;
+
+pub use de::from_str;
+pub use error::Error;
+pub use ser::{to_string, to_string_pretty};
+
+/// `Result` alias matching upstream's.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,339 @@
+//! Streaming JSON serializer.
+
+use crate::error::Error;
+use serde::ser::{SerializeMap, SerializeSeq, SerializeStruct};
+use serde::Serialize;
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> crate::Result<String> {
+    let mut out = String::new();
+    value.serialize(Serializer {
+        out: &mut out,
+        pretty: false,
+        indent: 0,
+    })?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> crate::Result<String> {
+    let mut out = String::new();
+    value.serialize(Serializer {
+        out: &mut out,
+        pretty: true,
+        indent: 0,
+    })?;
+    Ok(out)
+}
+
+struct Serializer<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    indent: usize,
+}
+
+fn write_escaped(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    // Match upstream: floats always carry a fractional part or exponent.
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn pad(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+impl<'a> Serializer<'a> {
+    fn scalar(self, text: &str) -> Result<(), Error> {
+        self.out.push_str(text);
+        Ok(())
+    }
+}
+
+/// Shared builder for sequences, maps, structs and struct variants.
+pub struct Compound<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    /// Indent level of the elements (container's level + 1).
+    indent: usize,
+    any: bool,
+    close: char,
+    /// Extra `}` on `end()` — set for struct variants, whose builder also
+    /// owns the wrapping `{"Variant": ...}` object.
+    close_outer: bool,
+}
+
+impl<'a> Compound<'a> {
+    fn begin(
+        ser: Serializer<'a>,
+        open: char,
+        close: char,
+        close_outer: bool,
+    ) -> Result<Compound<'a>, Error> {
+        ser.out.push(open);
+        Ok(Compound {
+            indent: ser.indent + 1,
+            out: ser.out,
+            pretty: ser.pretty,
+            any: false,
+            close,
+            close_outer,
+        })
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.out.push(',');
+        }
+        self.any = true;
+        if self.pretty {
+            self.out.push('\n');
+            pad(self.out, self.indent);
+        }
+    }
+
+    fn value_serializer(&mut self) -> Serializer<'_> {
+        Serializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+        }
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.pretty && self.any {
+            self.out.push('\n');
+            pad(self.out, self.indent - 1);
+        }
+        self.out.push(self.close);
+        if self.close_outer {
+            if self.pretty {
+                self.out.push('\n');
+                pad(self.out, self.indent.saturating_sub(2));
+            }
+            self.out.push('}');
+        }
+        Ok(())
+    }
+
+    fn entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        self.sep();
+        let mut key_text = String::new();
+        key.serialize(Serializer {
+            out: &mut key_text,
+            pretty: false,
+            indent: 0,
+        })?;
+        if key_text.starts_with('"') {
+            self.out.push_str(&key_text);
+        } else {
+            write_escaped(self.out, &key_text);
+        }
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(self.value_serializer())
+    }
+}
+
+impl<'a> serde::Serializer for Serializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.scalar(if v { "true" } else { "false" })
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.scalar(&v.to_string())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.scalar(&v.to_string())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.scalar("null")
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.scalar("null")
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        Compound::begin(self, '[', ']', false)
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        Compound::begin(self, '{', '}', false)
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        Compound::begin(self, '{', '}', false)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        write_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        let inner_indent = self.indent + 1;
+        if self.pretty {
+            self.out.push('\n');
+            pad(self.out, inner_indent);
+        }
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(Serializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: inner_indent,
+        })?;
+        if self.pretty {
+            self.out.push('\n');
+            pad(self.out, inner_indent - 1);
+        }
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        let inner_indent = self.indent + 1;
+        if self.pretty {
+            self.out.push('\n');
+            pad(self.out, inner_indent);
+        }
+        write_escaped(self.out, variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        let inner = Serializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: inner_indent,
+        };
+        Compound::begin(inner, '{', '}', true)
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.sep();
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        self.entry(key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.entry(key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
