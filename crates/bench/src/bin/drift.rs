@@ -4,15 +4,20 @@
 //!
 //! ```text
 //! cargo run --release -p mmrepl-bench --bin drift
-//! cargo run -p mmrepl-bench --bin drift -- --quick
+//! cargo run -p mmrepl-bench --bin drift -- --quick --epochs 6 --rotation 0.8
 //! ```
 
 use mmrepl_bench::BinArgs;
 use mmrepl_sim::drift_study;
 
 fn main() -> std::io::Result<()> {
-    let args = BinArgs::from_env();
-    let study = drift_study(&args.config, 4, 0.5);
+    let args = BinArgs::from_env_with_extras(&["epochs", "rotation"]);
+    let epochs = args.extra_or("epochs", 4usize).unwrap_or_else(die).max(1);
+    let rotation = args.extra_or("rotation", 0.5f64).unwrap_or_else(die);
+    if !(0.0..=1.0).contains(&rotation) {
+        die::<f64>(format!("--rotation must be in [0, 1], got {rotation}"));
+    }
+    let study = drift_study(&args.config, epochs, rotation);
     let table = study.to_table();
     print!("{table}");
     std::fs::create_dir_all(&args.out_dir)?;
@@ -22,4 +27,9 @@ fn main() -> std::io::Result<()> {
         serde_json::to_string_pretty(&study).expect("study serializes"),
     )?;
     Ok(())
+}
+
+fn die<T>(msg: String) -> T {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }

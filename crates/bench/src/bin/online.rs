@@ -1,0 +1,51 @@
+//! Runs the E-X5 online-controller study: the closed estimate → detect →
+//! delta-replan → migrate loop of `mmrepl-online` against the stale plan,
+//! per-epoch full replanning and LRU on identical drift traces.
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin online
+//! cargo run -p mmrepl-bench --bin online -- --quick --epochs 2 \
+//!     --rotation 0.8 --windows 4 --budget 0.25
+//! ```
+//!
+//! `--budget` is the migration-byte budget per replan as a fraction of
+//! aggregate site storage (0 = unlimited).
+
+use mmrepl_bench::BinArgs;
+use mmrepl_sim::{online_study, study_online_config};
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env_with_extras(&["epochs", "rotation", "windows", "budget"]);
+    let epochs = args.extra_or("epochs", 3usize).unwrap_or_else(die).max(1);
+    let rotation = args.extra_or("rotation", 0.5f64).unwrap_or_else(die);
+    let windows = args.extra_or("windows", 4usize).unwrap_or_else(die).max(1);
+    let budget = args.extra_or("budget", 0.25f64).unwrap_or_else(die);
+    if !(0.0..=1.0).contains(&rotation) {
+        die::<f64>(format!("--rotation must be in [0, 1], got {rotation}"));
+    }
+    if !(0.0..=1.0).contains(&budget) {
+        die::<f64>(format!("--budget must be in [0, 1], got {budget}"));
+    }
+    let study = online_study(
+        &args.config,
+        epochs,
+        rotation,
+        windows,
+        budget,
+        &study_online_config(),
+    );
+    let table = study.to_table();
+    print!("{table}");
+    std::fs::create_dir_all(&args.out_dir)?;
+    std::fs::write(args.out_dir.join("online.txt"), &table)?;
+    std::fs::write(
+        args.out_dir.join("online.json"),
+        serde_json::to_string_pretty(&study).expect("study serializes"),
+    )?;
+    Ok(())
+}
+
+fn die<T>(msg: String) -> T {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

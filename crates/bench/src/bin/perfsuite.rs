@@ -15,9 +15,10 @@
 //! ```
 
 use mmrepl_core::{partition_all, restore_capacity, restore_storage, ReplicationPolicy, SiteWork};
-use mmrepl_model::CostParams;
+use mmrepl_model::{CostParams, Secs, SiteId};
+use mmrepl_online::{ChurnBudget, DeltaPlanner, EstimatorConfig, RateEstimator};
 use mmrepl_sim::{figure1, ExperimentConfig};
-use mmrepl_workload::{generate_system, WorkloadParams};
+use mmrepl_workload::{generate_system, generate_trace, DriftModel, TraceConfig, WorkloadParams};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -52,6 +53,13 @@ struct ScaleTimings {
     /// One end-to-end Figure 1 cell: workload + trace generation, every
     /// policy planned and replayed at a single storage fraction.
     fig1_cell_s: f64,
+    /// Streaming rate-estimator ingest of one full trace (every site)
+    /// plus the per-site window closes.
+    estimator_ingest_s: f64,
+    /// Single-dirty-site incremental replan on drifted estimates, warm-
+    /// started from the cached partition — the latency the controller
+    /// pays per localized drift reaction (the cold plan is `plan_s`).
+    delta_replan_s: f64,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -130,6 +138,59 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
         std::hint::black_box(figure1(&cfg, &[0.6]));
     });
 
+    // Online control-plane hot paths. Ingest: one full trace through the
+    // streaming estimator (fresh estimator per iteration, built off the
+    // clock). Delta replan: one dirty site, on drifted estimates, warm-
+    // started from the cached PARTITION — the latency a controller pays
+    // per localized reaction, to be read against the cold `plan_s`.
+    let drifted = DriftModel::new(0.5).apply(&system, seed.wrapping_add(1));
+    let traces = generate_trace(&drifted, &TraceConfig::from_params(params), seed);
+    let durations: Vec<Secs> = traces
+        .iter()
+        .map(|t| {
+            let total: f64 = system
+                .pages_of(t.site)
+                .iter()
+                .map(|&p| system.page(p).freq.get())
+                .sum();
+            Secs(t.len() as f64 / total)
+        })
+        .collect();
+    // One full-trace pass is only milliseconds; repeat it within each
+    // timed iteration (same estimator — EWMA state evolves, per-request
+    // cost doesn't) so the median reads steady-state streaming cost
+    // instead of allocation jitter.
+    const INGEST_REPS: u32 = 8;
+    let mut ingest_times = Vec::with_capacity(iters);
+    let mut est = RateEstimator::new(&system, EstimatorConfig::default());
+    for _ in 0..iters {
+        let mut fresh = RateEstimator::new(&system, EstimatorConfig::default());
+        let t = Instant::now();
+        for _ in 0..INGEST_REPS {
+            for tr in &traces {
+                fresh.ingest(&tr.requests);
+            }
+            for (tr, &d) in traces.iter().zip(&durations) {
+                fresh.close_site_window(&system, tr.site, d);
+            }
+        }
+        ingest_times.push(t.elapsed().as_secs_f64() / f64::from(INGEST_REPS));
+        est = fresh;
+    }
+    let estimator_ingest_s = median(ingest_times);
+
+    let est_sys = est.estimated_system(&system);
+    let dirty: Vec<SiteId> = system.sites().ids().take(1).collect();
+    let pristine = DeltaPlanner::new(&system, ReplicationPolicy::new());
+    let mut delta_times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let mut planner = pristine.clone();
+        let t = Instant::now();
+        std::hint::black_box(planner.replan(&est_sys, &dirty, ChurnBudget::unlimited()));
+        delta_times.push(t.elapsed().as_secs_f64());
+    }
+    let delta_replan_s = median(delta_times);
+
     let t = ScaleTimings {
         n_sites: params.n_sites,
         n_objects: params.n_objects,
@@ -138,11 +199,19 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
         restore_storage_s,
         restore_capacity_s,
         fig1_cell_s,
+        estimator_ingest_s,
+        delta_replan_s,
     };
     println!(
         "{label:>6}: plan {:.4}s  plan(unconstrained) {:.4}s  storage {:.4}s  \
-         capacity {:.4}s  fig1 cell {:.3}s",
-        t.plan_s, t.plan_unconstrained_s, t.restore_storage_s, t.restore_capacity_s, t.fig1_cell_s
+         capacity {:.4}s  fig1 cell {:.3}s  est ingest {:.4}s  delta replan {:.4}s",
+        t.plan_s,
+        t.plan_unconstrained_s,
+        t.restore_storage_s,
+        t.restore_capacity_s,
+        t.fig1_cell_s,
+        t.estimator_ingest_s,
+        t.delta_replan_s
     );
     t
 }

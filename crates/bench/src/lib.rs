@@ -12,6 +12,7 @@
 //!   (default `results/`).
 
 use mmrepl_sim::{ExperimentConfig, FigureData};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// Parsed command-line options.
@@ -21,15 +22,29 @@ pub struct BinArgs {
     pub config: ExperimentConfig,
     /// Output directory.
     pub out_dir: PathBuf,
+    /// Values of bin-specific flags registered via
+    /// [`BinArgs::parse_with_extras`], keyed without the `--` prefix.
+    pub extras: HashMap<String, String>,
 }
 
 impl BinArgs {
     /// Parses `std::env::args`-style arguments.
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        Self::parse_with_extras(args, &[])
+    }
+
+    /// Parses the shared flags plus a bin-specific set of extra
+    /// `--name value` flags (names without the `--` prefix); their values
+    /// land in [`BinArgs::extras`].
+    pub fn parse_with_extras(
+        args: impl Iterator<Item = String>,
+        extra_flags: &[&str],
+    ) -> Result<Self, String> {
         let mut quick = false;
         let mut runs: Option<usize> = None;
         let mut seed: Option<u64> = None;
         let mut out_dir = PathBuf::from("results");
+        let mut extras = HashMap::new();
         let mut it = args.peekable();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -46,9 +61,22 @@ impl BinArgs {
                     out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
                 }
                 "--help" | "-h" => {
-                    return Err("usage: [--quick] [--runs N] [--seed S] [--out DIR]".to_string())
+                    let mut usage =
+                        "usage: [--quick] [--runs N] [--seed S] [--out DIR]".to_string();
+                    for f in extra_flags {
+                        usage.push_str(&format!(" [--{f} V]"));
+                    }
+                    return Err(usage);
                 }
-                other => return Err(format!("unknown argument {other:?}")),
+                other => match other.strip_prefix("--") {
+                    Some(name) if extra_flags.contains(&name) => {
+                        let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                        if extras.insert(name.to_string(), v).is_some() {
+                            return Err(format!("duplicate option --{name}"));
+                        }
+                    }
+                    _ => return Err(format!("unknown argument {other:?}")),
+                },
             }
         }
         let mut config = if quick {
@@ -62,13 +90,33 @@ impl BinArgs {
         if let Some(s) = seed {
             config.base_seed = s;
         }
-        Ok(BinArgs { config, out_dir })
+        Ok(BinArgs {
+            config,
+            out_dir,
+            extras,
+        })
+    }
+
+    /// An extra flag's value parsed as `T`, or `default` when absent.
+    pub fn extra_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.extras.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
     }
 
     /// Parses the process arguments, exiting with the usage string on
     /// error.
     pub fn from_env() -> Self {
-        match Self::parse(std::env::args().skip(1)) {
+        Self::from_env_with_extras(&[])
+    }
+
+    /// Like [`BinArgs::from_env`] but registering bin-specific flags.
+    pub fn from_env_with_extras(extra_flags: &[&str]) -> Self {
+        match Self::parse_with_extras(std::env::args().skip(1), extra_flags) {
             Ok(a) => a,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -142,6 +190,32 @@ mod tests {
     fn zero_runs_clamped_to_one() {
         let a = parse(&["--runs", "0"]).unwrap();
         assert_eq!(a.config.runs, 1);
+    }
+
+    #[test]
+    fn extra_flags_are_collected_and_typed() {
+        let a = BinArgs::parse_with_extras(
+            ["--quick", "--epochs", "6", "--rotation", "0.8"]
+                .iter()
+                .map(|s| s.to_string()),
+            &["epochs", "rotation"],
+        )
+        .unwrap();
+        assert_eq!(a.extra_or("epochs", 4usize).unwrap(), 6);
+        assert_eq!(a.extra_or("rotation", 0.5f64).unwrap(), 0.8);
+        // Absent flag falls back to the default.
+        assert_eq!(a.extra_or("windows", 4usize).unwrap(), 4);
+        // Unregistered flags still rejected; malformed values surface.
+        assert!(
+            BinArgs::parse_with_extras(["--epochs", "6"].iter().map(|s| s.to_string()), &[])
+                .is_err()
+        );
+        let bad = BinArgs::parse_with_extras(
+            ["--epochs", "x"].iter().map(|s| s.to_string()),
+            &["epochs"],
+        )
+        .unwrap();
+        assert!(bad.extra_or("epochs", 4usize).is_err());
     }
 
     #[test]

@@ -27,6 +27,13 @@ commands:
   sweep      --figure 1|2|3 [--runs N] [--seed S] [--paper] [--out FILE]
              Regenerate one of the paper's figures (quick scale unless
              --paper) and write it as JSON.
+  online     [--epochs N] [--rotation F] [--windows N] [--budget F]
+             [--runs N] [--seed S] [--paper] [--out FILE]
+             Run the E-X5 online-controller study: stale plan vs per-epoch
+             full replan vs the streaming estimate/detect/delta-replan
+             controller vs LRU, on identical drift traces. --budget is the
+             migration-byte budget per replan as a fraction of aggregate
+             site storage (0 = unlimited).
 
 Fractions F scale the derived 100% points (full storage demand /
 all-local load / all-remote load), exactly like the paper's sweeps.";
@@ -104,6 +111,26 @@ pub enum Command {
         runs: usize,
         /// Base seed.
         seed: u64,
+        /// Full Table 1 scale instead of the quick workload.
+        paper: bool,
+        /// Output JSON path.
+        out: PathBuf,
+    },
+    /// `mmrepl online`.
+    Online {
+        /// Drift epochs after the planning epoch.
+        epochs: usize,
+        /// Hot-set rotation per epoch.
+        rotation: f64,
+        /// Estimation windows per epoch.
+        windows: usize,
+        /// Churn budget per replan as a fraction of aggregate site
+        /// storage (`0` = unlimited).
+        budget: f64,
+        /// Runs to average.
+        runs: usize,
+        /// Base seed (`None` = the experiment config's default).
+        seed: Option<u64>,
         /// Full Table 1 scale instead of the quick workload.
         paper: bool,
         /// Output JSON path.
@@ -199,6 +226,36 @@ impl Command {
                     out: take("out")
                         .map(PathBuf::from)
                         .unwrap_or_else(|| PathBuf::from("figure.json")),
+                })
+            }
+            "online" => {
+                let rotation = take_f64("rotation")?.unwrap_or(0.5);
+                if !(0.0..=1.0).contains(&rotation) {
+                    return Err(format!("--rotation must be in [0, 1], got {rotation}"));
+                }
+                let budget = take_f64("budget")?.unwrap_or(0.25);
+                if !(0.0..=1.0).contains(&budget) {
+                    return Err(format!("--budget must be in [0, 1], got {budget}"));
+                }
+                let take_usize = |key: &str, default: usize| -> Result<usize, String> {
+                    Ok(take(key)
+                        .map(|v| v.parse::<usize>().map_err(|e| format!("--{key}: {e}")))
+                        .transpose()?
+                        .unwrap_or(default))
+                };
+                Ok(Command::Online {
+                    epochs: take_usize("epochs", 3)?.max(1),
+                    rotation,
+                    windows: take_usize("windows", 4)?.max(1),
+                    budget,
+                    runs: take_usize("runs", 3)?.max(1),
+                    seed: take("seed")
+                        .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+                        .transpose()?,
+                    paper: take("paper").is_some(),
+                    out: take("out")
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("online.json")),
                 })
             }
             "compare" => Ok(Command::Compare {
@@ -368,6 +425,46 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn online_parses_and_validates() {
+        let cmd = parse(&[
+            "online",
+            "--epochs",
+            "2",
+            "--rotation",
+            "0.8",
+            "--windows",
+            "6",
+            "--budget",
+            "0.1",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Online {
+                epochs: 2,
+                rotation: 0.8,
+                windows: 6,
+                budget: 0.1,
+                runs: 3,
+                seed: None,
+                paper: false,
+                out: PathBuf::from("online.json"),
+            }
+        );
+        // Defaults.
+        assert!(matches!(
+            parse(&["online"]).unwrap(),
+            Command::Online {
+                epochs: 3,
+                windows: 4,
+                ..
+            }
+        ));
+        assert!(parse(&["online", "--rotation", "1.5"]).is_err());
+        assert!(parse(&["online", "--budget", "-0.1"]).is_err());
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             paper,
             out,
         } => sweep(figure, runs, seed, paper, &out),
+        Command::Online {
+            epochs,
+            rotation,
+            windows,
+            budget,
+            runs,
+            seed,
+            paper,
+            out,
+        } => online(epochs, rotation, windows, budget, runs, seed, paper, &out),
     }
 }
 
@@ -357,6 +367,44 @@ fn sweep(figure: u8, runs: usize, seed: u64, paper: bool, out: &Path) -> Result<
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
+fn online(
+    epochs: usize,
+    rotation: f64,
+    windows: usize,
+    budget: f64,
+    runs: usize,
+    seed: Option<u64>,
+    paper: bool,
+    out: &Path,
+) -> Result<(), CliError> {
+    let mut cfg = if paper {
+        mmrepl_sim::ExperimentConfig::paper()
+    } else {
+        mmrepl_sim::ExperimentConfig::quick()
+    };
+    cfg.runs = runs;
+    if let Some(s) = seed {
+        cfg.base_seed = s;
+    }
+    let study = mmrepl_sim::online_study(
+        &cfg,
+        epochs,
+        rotation,
+        windows,
+        budget,
+        &mmrepl_sim::study_online_config(),
+    );
+    print!("{}", study.to_table());
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&study).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +538,26 @@ mod tests {
         let fig: mmrepl_sim::FigureData = serde_json::from_str(&text).unwrap();
         assert_eq!(fig.name, "figure2");
         assert!(!fig.points.is_empty());
+    }
+
+    #[test]
+    fn online_writes_study_json() {
+        let out = tmp("online-study.json");
+        run(Command::Online {
+            epochs: 1,
+            rotation: 0.5,
+            windows: 2,
+            budget: 0.25,
+            runs: 1,
+            seed: Some(7),
+            paper: false,
+            out: out.clone(),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let study: mmrepl_sim::OnlineStudy = serde_json::from_str(&text).unwrap();
+        assert_eq!(study.epochs.len(), 2);
+        assert!(study.epochs[1].series.contains_key("online"));
     }
 
     #[test]

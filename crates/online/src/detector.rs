@@ -1,0 +1,268 @@
+//! Drift detection with hysteresis — when is a live plan stale *enough*?
+//!
+//! Section 4.1 concedes offline plans go stale but offers only "re-run
+//! during off-peak hours". Replanning on every wiggle would thrash the
+//! placement (and pay migration bandwidth for noise), so the detector
+//! fires only when the divergence between the **estimated** rates and the
+//! rates the live plan was **built for** crosses a threshold, then
+//! disarms: a cooldown suppresses back-to-back replans, and a Schmitt-
+//! trigger re-arm level keeps a divergence hovering at the threshold from
+//! re-firing until it either collapses (replan worked) or climbs again.
+
+use serde::{Deserialize, Serialize};
+
+/// Detector tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Relative L1 divergence that triggers a replan.
+    pub threshold: f64,
+    /// Windows to hold after a trigger, regardless of divergence.
+    pub cooldown: u32,
+    /// Re-arm level as a fraction of `threshold` (hysteresis): after a
+    /// trigger the detector stays disarmed until divergence falls to
+    /// `threshold * rearm` or below. `1.0` disables hysteresis.
+    pub rearm: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            threshold: 0.15,
+            cooldown: 1,
+            rearm: 0.5,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A hair-trigger configuration: replan whenever estimated and
+    /// planned-for rates differ at all (no cooldown, no hysteresis).
+    /// Used by the equivalence tests and as the "always adapt" extreme.
+    pub fn hair_trigger() -> Self {
+        DetectorConfig {
+            threshold: 0.0,
+            cooldown: 0,
+            rearm: 1.0,
+        }
+    }
+}
+
+/// Why the detector held fire this window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HoldReason {
+    /// Divergence below the trigger threshold.
+    BelowThreshold,
+    /// Inside the post-trigger cooldown.
+    Cooldown,
+    /// Above threshold but disarmed (hysteresis): divergence has not
+    /// dipped to the re-arm level since the last trigger.
+    Disarmed,
+}
+
+/// Per-window verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DriftDecision {
+    /// Replan now.
+    Replan {
+        /// The divergence that tripped the detector.
+        divergence: f64,
+    },
+    /// Keep the live plan.
+    Hold {
+        /// The observed divergence.
+        divergence: f64,
+        /// Why no replan fired.
+        reason: HoldReason,
+    },
+}
+
+impl DriftDecision {
+    /// Whether this decision triggers a replan.
+    pub fn is_replan(&self) -> bool {
+        matches!(self, DriftDecision::Replan { .. })
+    }
+}
+
+/// The drift detector state machine (one per site).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftDetector {
+    config: DetectorConfig,
+    cooldown_left: u32,
+    armed: bool,
+    triggers: u64,
+}
+
+impl DriftDetector {
+    /// A fresh, armed detector.
+    pub fn new(config: DetectorConfig) -> Self {
+        assert!(config.threshold >= 0.0, "negative threshold");
+        assert!(
+            (0.0..=1.0).contains(&config.rearm),
+            "rearm {} outside [0, 1]",
+            config.rearm
+        );
+        DriftDetector {
+            config,
+            cooldown_left: 0,
+            armed: true,
+            triggers: 0,
+        }
+    }
+
+    /// Feeds one window's divergence; decides whether to replan.
+    pub fn observe(&mut self, divergence: f64) -> DriftDecision {
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            // Cooldown windows still re-arm once divergence has settled.
+            if divergence <= self.config.threshold * self.config.rearm {
+                self.armed = true;
+            }
+            return DriftDecision::Hold {
+                divergence,
+                reason: HoldReason::Cooldown,
+            };
+        }
+        if !self.armed {
+            if divergence <= self.config.threshold * self.config.rearm {
+                self.armed = true;
+            } else {
+                return DriftDecision::Hold {
+                    divergence,
+                    reason: HoldReason::Disarmed,
+                };
+            }
+        }
+        if divergence > self.config.threshold {
+            self.triggers += 1;
+            self.cooldown_left = self.config.cooldown;
+            // Hysteresis: stay disarmed until divergence settles to the
+            // re-arm level (rearm = 1.0 re-arms immediately next window).
+            self.armed = self.config.rearm >= 1.0;
+            DriftDecision::Replan { divergence }
+        } else {
+            DriftDecision::Hold {
+                divergence,
+                reason: HoldReason::BelowThreshold,
+            }
+        }
+    }
+
+    /// Total replans triggered.
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+}
+
+/// Relative L1 divergence between the planned-for and estimated rates of
+/// one site's pages: `Σ|planned − estimated| / Σ planned`. Zero when they
+/// agree; `1.0` roughly means "the whole traffic volume moved".
+pub fn rate_divergence(planned: &[f64], estimated: &[f64]) -> f64 {
+    assert_eq!(
+        planned.len(),
+        estimated.len(),
+        "rate vectors differ in length"
+    );
+    let total: f64 = planned.iter().sum();
+    if total <= f64::EPSILON {
+        return if estimated.iter().any(|&e| e > f64::EPSILON) {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+    }
+    let l1: f64 = planned
+        .iter()
+        .zip(estimated)
+        .map(|(p, e)| (p - e).abs())
+        .sum();
+    l1 / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_is_zero_on_agreement_and_scales() {
+        assert_eq!(rate_divergence(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        // Swap the rates of a hot and a cold page: |3-1| + |1-3| = 4 over 4.
+        assert!((rate_divergence(&[3.0, 1.0], &[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(rate_divergence(&[0.0], &[0.0]), 0.0);
+        assert_eq!(rate_divergence(&[0.0], &[1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn fires_above_threshold_only() {
+        let mut d = DriftDetector::new(DetectorConfig {
+            threshold: 0.2,
+            cooldown: 0,
+            rearm: 1.0,
+        });
+        assert!(!d.observe(0.1).is_replan());
+        assert!(d.observe(0.3).is_replan());
+        assert_eq!(d.triggers(), 1);
+        // rearm = 1.0: immediately armed again.
+        assert!(d.observe(0.3).is_replan());
+    }
+
+    #[test]
+    fn cooldown_suppresses_consecutive_replans() {
+        let mut d = DriftDetector::new(DetectorConfig {
+            threshold: 0.2,
+            cooldown: 2,
+            rearm: 1.0,
+        });
+        assert!(d.observe(0.5).is_replan());
+        assert_eq!(
+            d.observe(0.5),
+            DriftDecision::Hold {
+                divergence: 0.5,
+                reason: HoldReason::Cooldown
+            }
+        );
+        assert_eq!(
+            d.observe(0.5),
+            DriftDecision::Hold {
+                divergence: 0.5,
+                reason: HoldReason::Cooldown
+            }
+        );
+        assert!(d.observe(0.5).is_replan());
+    }
+
+    #[test]
+    fn hysteresis_requires_settling_before_refire() {
+        let mut d = DriftDetector::new(DetectorConfig {
+            threshold: 0.2,
+            cooldown: 0,
+            rearm: 0.5,
+        });
+        assert!(d.observe(0.25).is_replan());
+        // Hovering just above threshold: disarmed, no thrash.
+        assert_eq!(
+            d.observe(0.25),
+            DriftDecision::Hold {
+                divergence: 0.25,
+                reason: HoldReason::Disarmed
+            }
+        );
+        // Settles below threshold * rearm = 0.1: re-arms…
+        assert!(!d.observe(0.05).is_replan());
+        // …so the next excursion fires again.
+        assert!(d.observe(0.3).is_replan());
+        assert_eq!(d.triggers(), 2);
+    }
+
+    #[test]
+    fn hair_trigger_replans_on_any_divergence() {
+        let mut d = DriftDetector::new(DetectorConfig::hair_trigger());
+        assert!(!d.observe(0.0).is_replan());
+        assert!(d.observe(1e-9).is_replan());
+        assert!(d.observe(1e-9).is_replan());
+    }
+}

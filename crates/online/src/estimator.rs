@@ -1,0 +1,199 @@
+//! Streaming per-(site, page) request-rate estimation.
+//!
+//! The planner consumes the Table 1 frequency matrix `f(W_j)`; offline it
+//! comes from "past access patterns" (Section 4.1). Online we rebuild it
+//! live from the request stream: each page keeps a sliding-window counter,
+//! and at every window close the windowed rate `count / duration` folds
+//! into an exponentially weighted moving average. Counting is
+//! order-insensitive within a window (a property test pins this), and on
+//! a stationary trace the EWMA converges geometrically to the generator's
+//! true rates.
+//!
+//! Windows close **per site**: sites serve different aggregate rates, so
+//! the same number of requests spans different wall-clock durations.
+
+use mmrepl_model::{PageId, ReqPerSec, Secs, SiteId, System};
+use mmrepl_workload::SiteTrace;
+use serde::{Deserialize, Serialize};
+
+/// Estimator tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// EWMA weight of the newest window, in `(0, 1]`. `1.0` trusts the
+    /// latest window alone (fast, noisy); small values smooth harder but
+    /// track drift slower.
+    pub ewma_alpha: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig { ewma_alpha: 0.7 }
+    }
+}
+
+/// Live frequency matrix: one EWMA rate estimate per page, fed by
+/// per-window request counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RateEstimator {
+    alpha: f64,
+    /// Current rate estimate per page (req/s), seeded from the rates the
+    /// initial plan was built against so the estimator starts agreeing
+    /// with the planner instead of at zero.
+    rates: Vec<f64>,
+    /// Requests observed in the currently open window, per page.
+    counts: Vec<u64>,
+    /// Windows closed per site (diagnostics).
+    windows: Vec<u64>,
+}
+
+impl RateEstimator {
+    /// An estimator primed with `system`'s current (planned-for) rates.
+    pub fn new(system: &System, config: EstimatorConfig) -> Self {
+        assert!(
+            config.ewma_alpha > 0.0 && config.ewma_alpha <= 1.0,
+            "ewma_alpha {} outside (0, 1]",
+            config.ewma_alpha
+        );
+        RateEstimator {
+            alpha: config.ewma_alpha,
+            rates: system.pages().values().map(|p| p.freq.get()).collect(),
+            counts: vec![0; system.n_pages()],
+            windows: vec![0; system.n_sites()],
+        }
+    }
+
+    /// Records one page request in the open window.
+    #[inline]
+    pub fn observe(&mut self, page: PageId) {
+        self.counts[page.index()] += 1;
+    }
+
+    /// Records every request of a trace (or trace window) in the open
+    /// window. Pure counting — ingest order does not matter.
+    pub fn ingest(&mut self, requests: &[mmrepl_workload::Request]) {
+        for r in requests {
+            self.observe(r.page);
+        }
+    }
+
+    /// Records whole site traces (convenience over [`RateEstimator::ingest`]).
+    pub fn ingest_traces(&mut self, traces: &[SiteTrace]) {
+        for t in traces {
+            self.ingest(&t.requests);
+        }
+    }
+
+    /// Closes `site`'s open window, which spanned `duration` of virtual
+    /// time: every page of the site folds `count / duration` into its
+    /// EWMA and resets its counter.
+    pub fn close_site_window(&mut self, system: &System, site: SiteId, duration: Secs) {
+        assert!(duration.get() > 0.0, "window duration must be positive");
+        for &p in system.pages_of(site) {
+            let i = p.index();
+            let windowed = self.counts[i] as f64 / duration.get();
+            self.rates[i] = self.alpha * windowed + (1.0 - self.alpha) * self.rates[i];
+            self.counts[i] = 0;
+        }
+        self.windows[site.index()] += 1;
+    }
+
+    /// The current rate estimate for `page`.
+    #[inline]
+    pub fn rate(&self, page: PageId) -> f64 {
+        self.rates[page.index()]
+    }
+
+    /// All current rate estimates, page-id order.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Windows closed so far for `site`.
+    pub fn windows_closed(&self, site: SiteId) -> u64 {
+        self.windows[site.index()]
+    }
+
+    /// Materializes the live frequency matrix as a [`System`] the planner
+    /// can consume in place of the static Table 1 rates: `base`'s
+    /// structure and capacities with every page frequency replaced by its
+    /// estimate.
+    pub fn estimated_system(&self, base: &System) -> System {
+        base.map_frequencies(|pid, _| ReqPerSec(self.rates[pid.index()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmrepl_workload::{generate_system, generate_trace, TraceConfig, WorkloadParams};
+
+    fn setup() -> (System, Vec<SiteTrace>) {
+        let params = WorkloadParams::small();
+        let sys = generate_system(&params, 5).unwrap();
+        let traces = generate_trace(&sys, &TraceConfig::from_params(&params), 5);
+        (sys, traces)
+    }
+
+    #[test]
+    fn primed_with_planned_rates() {
+        let (sys, _) = setup();
+        let est = RateEstimator::new(&sys, EstimatorConfig::default());
+        for (pid, page) in sys.pages().iter() {
+            assert_eq!(est.rate(pid), page.freq.get());
+        }
+        assert_eq!(est.estimated_system(&sys), sys);
+    }
+
+    #[test]
+    fn window_close_moves_rates_toward_observed() {
+        let (sys, traces) = setup();
+        let mut est = RateEstimator::new(&sys, EstimatorConfig { ewma_alpha: 1.0 });
+        est.ingest_traces(&traces);
+        let site = traces[0].site;
+        let total: f64 = sys
+            .pages_of(site)
+            .iter()
+            .map(|&p| sys.page(p).freq.get())
+            .sum();
+        let duration = Secs(traces[0].len() as f64 / total);
+        est.close_site_window(&sys, site, duration);
+        assert_eq!(est.windows_closed(site), 1);
+        // alpha = 1: estimate equals the windowed count exactly.
+        let some_page = sys.pages_of(site)[0];
+        let count = traces[0]
+            .requests
+            .iter()
+            .filter(|r| r.page == some_page)
+            .count() as f64;
+        assert!((est.rate(some_page) - count / duration.get()).abs() < 1e-9);
+        // Other sites' pages untouched (their windows are still open).
+        let other = traces[1].site;
+        for &p in sys.pages_of(other) {
+            assert_eq!(est.rate(p), sys.page(p).freq.get());
+        }
+    }
+
+    #[test]
+    fn estimated_system_preserves_structure() {
+        let (sys, traces) = setup();
+        let mut est = RateEstimator::new(&sys, EstimatorConfig::default());
+        est.ingest_traces(&traces);
+        for t in &traces {
+            est.close_site_window(&sys, t.site, Secs(10.0));
+        }
+        let est_sys = est.estimated_system(&sys);
+        assert_eq!(est_sys.n_pages(), sys.n_pages());
+        assert_eq!(est_sys.n_objects(), sys.n_objects());
+        for (pid, page) in sys.pages().iter() {
+            assert_eq!(est_sys.page(pid).compulsory, page.compulsory);
+            assert_eq!(est_sys.page(pid).freq.get(), est.rate(pid));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ewma_alpha")]
+    fn rejects_zero_alpha() {
+        let (sys, _) = setup();
+        let _ = RateEstimator::new(&sys, EstimatorConfig { ewma_alpha: 0.0 });
+    }
+}

@@ -22,6 +22,10 @@
 //! * [`ablation`] / [`drift`] / [`caches`] / [`updates`] — the DESIGN.md
 //!   A1-A5 ablations and the extension studies: "breaking news"
 //!   replanning, cache-policy comparison, update propagation;
+//! * [`online`] — E-X5: the closed-loop `mmrepl-online` controller
+//!   (streaming estimation, drift detection, churn-bounded incremental
+//!   replanning, bandwidth-charged migration) against the stale plan,
+//!   per-epoch full replanning and LRU on identical drift traces;
 //! * [`des`] — an event-driven replay twin that must agree exactly with
 //!   the analytic queueing replay;
 //! * [`breakdown`] — per-site result reporting (regional asymmetry).
@@ -45,6 +49,7 @@ pub mod caches;
 pub mod des;
 pub mod drift;
 pub mod experiment;
+pub mod online;
 pub mod par;
 pub mod queueing;
 pub mod replay;
@@ -54,6 +59,7 @@ pub use breakdown::{breakdown_table, site_breakdown, SiteReport};
 pub use caches::{cache_comparison, run_gds, run_lfu};
 pub use des::{des_replay, DesOutcome};
 pub use drift::{drift_study, DriftEpoch, DriftStudy};
+pub use online::{online_study, study_online_config, OnlineEpoch, OnlineStudy};
 pub use updates::{update_study, UpdatePoint, UpdateStudy};
 
 pub use ablation::{

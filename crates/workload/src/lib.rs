@@ -54,4 +54,6 @@ pub use drift::DriftModel;
 pub use generator::generate_system;
 pub use perturb::{PerturbModel, RequestConditions};
 pub use sampling::AliasTable;
-pub use trace::{generate_site_trace, generate_trace, Request, SiteTrace, TraceConfig};
+pub use trace::{
+    events_of, generate_site_trace, generate_trace, Request, SiteTrace, TraceConfig, TraceEvent,
+};

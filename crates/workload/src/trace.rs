@@ -10,7 +10,7 @@
 use crate::config::WorkloadParams;
 use crate::perturb::{PerturbModel, RequestConditions};
 use crate::sampling::{sample_distinct, AliasTable};
-use mmrepl_model::{PageId, SiteId, System};
+use mmrepl_model::{PageId, Secs, SiteId, System};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,21 @@ pub struct SiteTrace {
     pub requests: Vec<Request>,
 }
 
+/// One trace request annotated with a virtual arrival time — the event
+/// feed the online control plane consumes. Requests are spread uniformly
+/// over the interval they were sampled for (the generator draws i.i.d.
+/// from the stationary page-frequency distribution, so uniform spacing is
+/// the maximum-entropy arrival embedding consistent with the trace).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent<'a> {
+    /// Virtual arrival time within the interval, in `[0, duration)`.
+    pub t: Secs,
+    /// Index of the request within the (sliced) trace.
+    pub index: usize,
+    /// The request itself.
+    pub request: &'a Request,
+}
+
 impl SiteTrace {
     /// Number of requests in the trace.
     pub fn len(&self) -> usize {
@@ -46,6 +61,47 @@ impl SiteTrace {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// Streams the trace as timestamped [`TraceEvent`]s, embedding the
+    /// requests uniformly over `duration` (request `r` of `n` arrives at
+    /// `(r + ½) · duration / n`).
+    pub fn events(&self, duration: Secs) -> impl Iterator<Item = TraceEvent<'_>> {
+        events_of(&self.requests, duration)
+    }
+
+    /// Splits the trace into `n` contiguous windows of near-equal length
+    /// (earlier windows take the remainder), for window-by-window online
+    /// replay. Returns exactly `n` slices, some possibly empty.
+    pub fn windows(&self, n: usize) -> Vec<&[Request]> {
+        assert!(n > 0, "at least one window");
+        let len = self.requests.len();
+        let base = len / n;
+        let extra = len % n;
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        for w in 0..n {
+            let size = base + usize::from(w < extra);
+            out.push(&self.requests[start..start + size]);
+            start += size;
+        }
+        debug_assert_eq!(start, len);
+        out
+    }
+}
+
+/// Timestamped event feed over any request slice (a whole trace or one
+/// window of it) — see [`SiteTrace::events`].
+pub fn events_of(requests: &[Request], duration: Secs) -> impl Iterator<Item = TraceEvent<'_>> {
+    let n = requests.len().max(1) as f64;
+    let dt = duration.get() / n;
+    requests
+        .iter()
+        .enumerate()
+        .map(move |(index, request)| TraceEvent {
+            t: Secs((index as f64 + 0.5) * dt),
+            index,
+            request,
+        })
 }
 
 /// Knobs for trace generation, extracted from [`WorkloadParams`].
@@ -288,6 +344,39 @@ mod tests {
             for r in &t.requests {
                 assert_eq!(r.conditions, RequestConditions::nominal());
             }
+        }
+    }
+
+    #[test]
+    fn events_are_uniformly_spaced_and_ordered() {
+        let (sys, cfg) = setup();
+        let trace = &generate_trace(&sys, &cfg, 12)[0];
+        let events: Vec<_> = trace.events(Secs(100.0)).collect();
+        assert_eq!(events.len(), trace.len());
+        let dt = 100.0 / trace.len() as f64;
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.index, i);
+            assert!((e.t.get() - (i as f64 + 0.5) * dt).abs() < 1e-9);
+            assert!(e.t.get() < 100.0);
+            assert_eq!(e.request, &trace.requests[i]);
+        }
+    }
+
+    #[test]
+    fn windows_partition_the_trace() {
+        let (sys, cfg) = setup();
+        let trace = &generate_trace(&sys, &cfg, 13)[0];
+        for n in [1, 3, 7] {
+            let windows = trace.windows(n);
+            assert_eq!(windows.len(), n);
+            let total: usize = windows.iter().map(|w| w.len()).sum();
+            assert_eq!(total, trace.len());
+            // Windows are contiguous and sizes differ by at most one.
+            let rebuilt: Vec<Request> = windows.iter().flat_map(|w| w.iter().cloned()).collect();
+            assert_eq!(rebuilt, trace.requests);
+            let min = windows.iter().map(|w| w.len()).min().unwrap();
+            let max = windows.iter().map(|w| w.len()).max().unwrap();
+            assert!(max - min <= 1);
         }
     }
 

@@ -10,7 +10,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, -D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo build --examples"
+cargo build --workspace --examples --offline
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q --offline
+
+echo "==> online bin smoke run (quick scale)"
+SMOKE_OUT="$(mktemp -d -t mmrepl_online_smoke.XXXXXX)"
+trap 'rm -rf "$SMOKE_OUT"' EXIT
+cargo run --offline -p mmrepl-bench --bin online -- \
+    --quick --runs 1 --epochs 1 --windows 2 --out "$SMOKE_OUT" >/dev/null
+test -s "$SMOKE_OUT/online.json" && test -s "$SMOKE_OUT/online.txt"
 
 echo "OK"

@@ -27,6 +27,9 @@
 //! * [`core`] — the paper's algorithms: `PARTITION`, the storage and
 //!   capacity restorations and the `OFF_LOADING_REPOSITORY` negotiation;
 //! * [`baselines`] — Remote, Local and the ideal LRU cache;
+//! * [`online`] — the online control plane: streaming rate estimation,
+//!   drift detection, churn-bounded incremental replanning and
+//!   bandwidth-charged migration;
 //! * [`sim`] — trace replay and the Figure 1/2/3 experiment harness.
 //!
 //! ## Quickstart
@@ -54,6 +57,7 @@ pub use mmrepl_baselines as baselines;
 pub use mmrepl_core as core;
 pub use mmrepl_model as model;
 pub use mmrepl_netsim as netsim;
+pub use mmrepl_online as online;
 pub use mmrepl_sim as sim;
 pub use mmrepl_workload as workload;
 
@@ -70,9 +74,10 @@ pub mod prelude {
         OptionalRef, PageId, PagePartition, Placement, ReqPerSec, Secs, Site, SiteId, System,
         SystemBuilder, WebPage,
     };
+    pub use mmrepl_online::{OnlineConfig, OnlineController};
     pub use mmrepl_sim::{
-        cache_comparison, drift_study, figure1, figure2, figure3, headline, queueing_replay,
-        replay_all, ExperimentConfig,
+        cache_comparison, drift_study, figure1, figure2, figure3, headline, online_study,
+        queueing_replay, replay_all, ExperimentConfig,
     };
     pub use mmrepl_workload::{
         generate_system, generate_trace, DriftModel, PerturbModel, TraceConfig, WorkloadParams,
