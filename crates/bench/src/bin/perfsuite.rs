@@ -30,6 +30,11 @@ struct BenchDoc {
     suite: String,
     iters: usize,
     note: String,
+    /// Whether the invariant-audit hooks were compiled into this run.
+    /// Tracked baselines must be measured with auditing compiled out;
+    /// `scripts/bench_regress.sh` fails if this is ever true.
+    #[serde(default)]
+    audit_hooks: bool,
     scales: BTreeMap<String, ScaleTimings>,
 }
 
@@ -265,6 +270,7 @@ fn main() -> std::io::Result<()> {
         suite: "perfsuite".into(),
         iters,
         note: "median seconds per operation; see crates/bench/src/bin/perfsuite.rs".into(),
+        audit_hooks: cfg!(feature = "audit"),
         scales,
     };
     let mut body = serde_json::to_string_pretty(&doc).expect("baseline serializes");

@@ -34,6 +34,13 @@ commands:
              controller vs LRU, on identical drift traces. --budget is the
              migration-byte budget per replan as a fraction of aggregate
              site storage (0 = unlimited).
+  audit      [--seeds N] [--start S] [--inject]
+             Run the three differential oracles (dense planner vs naive
+             reference, unbounded delta-replan vs cold plan, DES replay
+             vs the Eq. 5 analytic prediction) over N deterministic
+             seeds; failures are minimized and printed. --inject instead
+             corrupts a site's incremental bookkeeping on purpose and
+             shows the invariant auditor's divergence report.
 
 Fractions F scale the derived 100% points (full storage demand /
 all-local load / all-remote load), exactly like the paper's sweeps.";
@@ -135,6 +142,16 @@ pub enum Command {
         paper: bool,
         /// Output JSON path.
         out: PathBuf,
+    },
+    /// `mmrepl audit`.
+    Audit {
+        /// Seeds to sweep.
+        seeds: u64,
+        /// First seed.
+        start: u64,
+        /// Demonstrate the auditor on an injected bookkeeping bug
+        /// instead of fuzzing.
+        inject: bool,
     },
     /// `mmrepl evaluate`.
     Evaluate {
@@ -258,6 +275,11 @@ impl Command {
                         .unwrap_or_else(|| PathBuf::from("online.json")),
                 })
             }
+            "audit" => Ok(Command::Audit {
+                seeds: take_u64("seeds", 16)?.max(1),
+                start: take_u64("start", 0)?,
+                inject: take("inject").is_some(),
+            }),
             "compare" => Ok(Command::Compare {
                 system: require_path("system")?,
                 seed: take_u64("seed", 0)?,
@@ -293,7 +315,7 @@ impl Command {
 }
 
 /// Options that are bare flags (no value).
-const BOOL_FLAGS: &[&str] = &["paper"];
+const BOOL_FLAGS: &[&str] = &["paper", "inject"];
 
 /// Parses `--key value` pairs (and bare boolean flags), rejecting dangling
 /// or duplicate keys.
@@ -465,6 +487,31 @@ mod tests {
         ));
         assert!(parse(&["online", "--rotation", "1.5"]).is_err());
         assert!(parse(&["online", "--budget", "-0.1"]).is_err());
+    }
+
+    #[test]
+    fn audit_parses_and_defaults() {
+        assert_eq!(
+            parse(&["audit"]).unwrap(),
+            Command::Audit {
+                seeds: 16,
+                start: 0,
+                inject: false,
+            }
+        );
+        assert_eq!(
+            parse(&["audit", "--seeds", "64", "--start", "100", "--inject"]).unwrap(),
+            Command::Audit {
+                seeds: 64,
+                start: 100,
+                inject: true,
+            }
+        );
+        // --seeds 0 is clamped to 1 so the sweep always runs something.
+        assert!(matches!(
+            parse(&["audit", "--seeds", "0"]).unwrap(),
+            Command::Audit { seeds: 1, .. }
+        ));
     }
 
     #[test]

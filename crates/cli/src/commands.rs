@@ -2,7 +2,9 @@
 
 use crate::args::{Command, PolicyName, Scale};
 use mmrepl_baselines::{GdsRouter, LfuRouter, LruRouter, StaticRouter};
-use mmrepl_core::{PlannerConfig, ReplicationPolicy};
+use mmrepl_core::{
+    audit_site, partition_all, AuditStage, PlannerConfig, ReplicationPolicy, SiteWork,
+};
 use mmrepl_model::{Bytes, ConstraintReport, CostParams, Placement, System};
 use mmrepl_sim::replay_all;
 use mmrepl_workload::{generate_system, generate_trace, TraceConfig, WorkloadParams};
@@ -63,6 +65,59 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             paper,
             out,
         } => online(epochs, rotation, windows, budget, runs, seed, paper, &out),
+        Command::Audit {
+            seeds,
+            start,
+            inject,
+        } => audit(seeds, start, inject),
+    }
+}
+
+fn audit(seeds: u64, start: u64, inject: bool) -> Result<(), CliError> {
+    if inject {
+        return audit_inject();
+    }
+    let report = mmrepl_sim::fuzz(start, seeds);
+    println!(
+        "audit: {}/{} oracle cases passed over seeds {start}..{}",
+        report.passed,
+        report.cases,
+        start.saturating_add(seeds)
+    );
+    if report.is_clean() {
+        return Ok(());
+    }
+    for f in &report.failures {
+        println!("FAIL [{}] seed {}: {}", f.oracle, f.seed, f.detail);
+        if let Some(min) = &f.minimized {
+            println!("  {min}");
+        }
+    }
+    Err(format!("{} oracle case(s) diverged", report.failures.len()))
+}
+
+/// Demonstrates the invariant auditor: corrupts one site's incremental
+/// load accumulator on purpose and prints the divergence report the
+/// auditor produces. Fails if the corruption goes undetected.
+fn audit_inject() -> Result<(), CliError> {
+    let system = generate_system(&WorkloadParams::small(), 0).map_err(|e| e.to_string())?;
+    let initial = partition_all(&system);
+    let site = system
+        .sites()
+        .ids()
+        .next()
+        .expect("generated systems have at least one site");
+    let mut work = SiteWork::new(&system, site, &initial, CostParams::default());
+    audit_site(&work, AuditStage::Validate)
+        .map_err(|d| format!("pristine state failed its own audit:\n{d}"))?;
+    println!("pristine {site}: audit clean; injecting +0.25 req/s into the load accumulator");
+    work.debug_corrupt_load(0.25);
+    match audit_site(&work, AuditStage::Validate) {
+        Err(divergence) => {
+            println!("caught:\n{divergence}");
+            Ok(())
+        }
+        Ok(()) => Err("injected corruption was NOT detected by the auditor".into()),
     }
 }
 
@@ -558,6 +613,22 @@ mod tests {
         let study: mmrepl_sim::OnlineStudy = serde_json::from_str(&text).unwrap();
         assert_eq!(study.epochs.len(), 2);
         assert!(study.epochs[1].series.contains_key("online"));
+    }
+
+    #[test]
+    fn audit_sweep_and_injection_demo() {
+        run(Command::Audit {
+            seeds: 1,
+            start: 0,
+            inject: false,
+        })
+        .unwrap();
+        run(Command::Audit {
+            seeds: 1,
+            start: 0,
+            inject: true,
+        })
+        .unwrap();
     }
 
     #[test]

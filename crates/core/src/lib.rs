@@ -49,6 +49,7 @@
 //! assert!(ConstraintReport::check(&system, &outcome.placement).is_feasible());
 //! ```
 
+pub mod audit;
 pub mod capacity;
 pub mod lazyheap;
 pub mod offload;
@@ -59,10 +60,15 @@ pub mod state;
 pub mod storage;
 pub mod streams;
 
+pub use audit::{
+    assert_consistent, audit_site, audits_performed, check_repo_constraint, check_site_constraints,
+    AuditStage, Divergence,
+};
 pub use capacity::{restore_capacity, CapacityReport};
 pub use lazyheap::LazyMinHeap;
 pub use offload::{
-    absorb_workload, run_offload, AssignmentRule, OffloadConfig, OffloadOutcome, OffloadReport,
+    absorb_workload, run_offload, AssignmentRule, OffloadConfig, OffloadError, OffloadOutcome,
+    OffloadReport,
 };
 pub use partition::{
     optimal_partition, partition_all, partition_all_ordered, partition_page,

@@ -39,6 +39,25 @@ pub enum PartitionOrder {
     DocumentOrder,
 }
 
+/// Largest byte count `f64` can hold exactly: every integer up to `2^53`
+/// is representable.
+const MAX_EXACT_F64_BYTES: u64 = 1 << 53;
+
+/// Exact `u64 → f64` byte conversion. The greedy's stream comparisons
+/// assume sizes convert without rounding; a size beyond `2^53` would
+/// silently lose precision and corrupt the placement, so it is rejected
+/// loudly instead (9 PiB — far beyond any modelled object or page).
+///
+/// # Panics
+/// Panics if `bytes > 2^53`.
+pub(crate) fn exact_size_f64(bytes: u64) -> f64 {
+    assert!(
+        bytes <= MAX_EXACT_F64_BYTES,
+        "size {bytes} B exceeds 2^53 and cannot be represented exactly as f64"
+    );
+    bytes as f64
+}
+
 /// Runs `PARTITION` for one page, returning its row of the `X`/`X'`
 /// matrices.
 pub fn partition_page(system: &System, page: PageId) -> PagePartition {
@@ -61,7 +80,10 @@ pub fn partition_page_ordered(
         .compulsory
         .iter()
         .enumerate()
-        .map(|(slot, &k)| (system.object_size(k).get(), slot as u32))
+        .map(|(slot, &k)| {
+            let slot = u32::try_from(slot).expect("more than u32::MAX compulsory slots");
+            (system.object_size(k).get(), slot)
+        })
         .collect();
     match visit {
         PartitionOrder::DecreasingSize => {
@@ -71,12 +93,12 @@ pub fn partition_page_ordered(
         PartitionOrder::DocumentOrder => {}
     }
 
-    let mut local = params.local_ovhd + p.html_size.get() as f64 / params.local_rate;
+    let mut local = params.local_ovhd + exact_size_f64(p.html_size.get()) / params.local_rate;
     let mut remote = params.repo_ovhd;
     let mut local_compulsory = vec![false; p.n_compulsory()];
 
     for &(size, slot) in &order {
-        let size = size as f64;
+        let size = exact_size_f64(size);
         let slot = slot as usize;
         let local_cost = size / params.local_rate;
         let remote_cost = size / params.repo_rate;
@@ -129,9 +151,9 @@ pub fn optimal_partition(system: &System, page: PageId) -> PagePartition {
     let sizes: Vec<f64> = p
         .compulsory
         .iter()
-        .map(|&k| system.object_size(k).get() as f64)
+        .map(|&k| exact_size_f64(system.object_size(k).get()))
         .collect();
-    let html_time = params.local_ovhd + p.html_size.get() as f64 / params.local_rate;
+    let html_time = params.local_ovhd + exact_size_f64(p.html_size.get()) / params.local_rate;
 
     let mut best_mask = 0u32;
     let mut best_time = f64::INFINITY;
@@ -462,5 +484,21 @@ mod tests {
         let part = partition_page(&sys, PageId::new(0));
         assert!(part.local_compulsory.is_empty());
         assert_eq!(part.local_optional.len(), 1);
+    }
+
+    #[test]
+    fn exact_size_f64_is_exact_up_to_the_boundary() {
+        // Every integer up to 2^53 round-trips through f64 unchanged.
+        for bytes in [0, 1, (1u64 << 53) - 1, 1u64 << 53] {
+            let as_float = exact_size_f64(bytes);
+            assert_eq!(as_float as u64, bytes, "{bytes} did not round-trip");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2^53")]
+    fn exact_size_f64_rejects_unrepresentable_sizes() {
+        // 2^53 + 1 is the first integer f64 cannot represent.
+        let _ = exact_size_f64((1u64 << 53) + 1);
     }
 }

@@ -117,8 +117,14 @@ impl ReplicationPolicy {
                 self.config.cost,
                 self.config.include_update_load,
             );
+            #[cfg(feature = "audit")]
+            crate::audit::assert_consistent(&w, crate::audit::AuditStage::Partition);
             let st = restore_storage(&mut w);
+            #[cfg(feature = "audit")]
+            crate::audit::assert_consistent(&w, crate::audit::AuditStage::StorageRestore);
             let cap = restore_capacity(&mut w);
+            #[cfg(feature = "audit")]
+            crate::audit::assert_consistent(&w, crate::audit::AuditStage::CapacityRestore);
             (w, st, cap)
         };
 

@@ -372,9 +372,12 @@ impl<'a> SiteWork<'a> {
         self.sys.site(self.site).capacity.get()
     }
 
-    /// Processing headroom, `P(S_i)` in the status message.
+    /// Processing headroom, `P(S_i)` in the status message. Charged
+    /// against the full Eq. 8 LHS — including the store's refresh load
+    /// when update accounting is on, so off-loading never advertises
+    /// headroom the update traffic already consumes.
     pub fn headroom(&self) -> f64 {
-        (self.capacity() - self.load).max(0.0)
+        (self.capacity() - self.load()).max(0.0)
     }
 
     /// The repository load this site's pages generate, `P(S_i, R)` — plus
@@ -702,90 +705,25 @@ impl<'a> SiteWork<'a> {
     }
 
     /// Expensive from-scratch recomputation of every derived quantity,
-    /// panicking on divergence. Test-only guard against bookkeeping drift.
+    /// panicking on divergence. Delegates to [`crate::audit::audit_site`],
+    /// which also covers mark counts and exact storage accounting.
     pub fn validate_consistency(&self) {
-        let mut load = 0.0;
-        let mut stored = StoredSet::empty(self.sys.n_objects());
-        let mut stored_bytes_marked = 0u64;
-        for (idx, &pid) in self.pages.iter().enumerate() {
-            let page = self.sys.page(pid);
-            let part = &self.parts[idx];
-            let mut s = Streams::all_local_base(page.html_size);
-            for (slot, &k) in page.compulsory.iter().enumerate() {
-                let size = self.sys.object_size(k);
-                if part.local_compulsory[slot] {
-                    s.local_bytes += size.get();
-                    assert!(self.store.contains(k), "local mark on unstored {k}");
-                    if stored.insert(k) {
-                        stored_bytes_marked += size.get();
-                    }
-                } else {
-                    s.remote_bytes += size.get();
-                    s.n_remote += 1;
-                }
-            }
-            assert_eq!(s, self.streams[idx], "streams drift on page {pid}");
-            let mut opt_local = 0.0;
-            for (slot, o) in page.optional.iter().enumerate() {
-                if part.local_optional[slot] {
-                    assert!(
-                        self.store.contains(o.object),
-                        "optional local mark on unstored {}",
-                        o.object
-                    );
-                    if stored.insert(o.object) {
-                        stored_bytes_marked += self.sys.object_size(o.object).get();
-                    }
-                    opt_local += o.prob;
-                }
-            }
-            load += self.freq[idx]
-                * (1.0 + part.n_local_compulsory() as f64 + page.opt_req_factor * opt_local);
+        crate::audit::assert_consistent(self, crate::audit::AuditStage::Validate);
+    }
 
-            let oc = OptionalCost::build(
-                page.opt_req_factor,
-                &self.params,
-                page.optional.iter().enumerate().map(|(slot, o)| {
-                    (
-                        o.prob,
-                        self.sys.object_size(o.object),
-                        part.local_optional[slot],
-                    )
-                }),
-            );
-            assert!(
-                (oc.time() - self.opt_cost[idx].time()).abs() < 1e-6,
-                "optional cost drift on page {pid}: {} vs {}",
-                oc.time(),
-                self.opt_cost[idx].time()
-            );
-        }
-        assert!(
-            (load - self.load).abs() < 1e-6,
-            "load drift: recomputed {load} vs tracked {}",
-            self.load
-        );
-        if self.count_updates {
-            let upd: f64 = self
-                .store
-                .iter()
-                .map(|k| self.sys.object(k).update_rate)
-                .sum();
-            assert!(
-                (upd - self.update_load).abs() < 1e-6,
-                "update load drift: recomputed {upd} vs tracked {}",
-                self.update_load
-            );
-        } else {
-            assert_eq!(self.update_load, 0.0);
-        }
-        // The store may contain allocated-but-unmarked objects (mid
-        // off-loading), but marked bytes can never exceed tracked bytes.
-        assert!(
-            stored_bytes_marked <= self.stored_bytes,
-            "store bytes drift: marked {stored_bytes_marked} > tracked {}",
-            self.stored_bytes
-        );
+    /// Test/demo hook: corrupts the tracked serving load by `delta`
+    /// without touching the partitions, so the auditor has a divergence
+    /// to find. Never called by the planning pipeline.
+    #[doc(hidden)]
+    pub fn debug_corrupt_load(&mut self, delta: f64) {
+        self.load += delta;
+    }
+
+    /// Test/demo hook: corrupts the tracked stored-byte count by `delta`
+    /// bytes. Never called by the planning pipeline.
+    #[doc(hidden)]
+    pub fn debug_corrupt_stored_bytes(&mut self, delta: u64) {
+        self.stored_bytes += delta;
     }
 }
 
@@ -983,6 +921,28 @@ mod tests {
             (idx, w2_slot)
         });
         w.set_compulsory(idx, slot, true);
+    }
+
+    #[test]
+    fn headroom_charges_update_load() {
+        let (sys, i) = make_work(11);
+        let sys = sys.map_update_rates(|_, _| 0.5);
+        let placement = partition_all(&sys);
+        let site = SiteId::new(i as u32);
+        let w =
+            SiteWork::with_update_accounting(&sys, site, &placement, CostParams::default(), true);
+        assert!(w.update_load() > 0.0);
+        // Headroom must be measured against the full Eq. 8 LHS (serving
+        // plus refresh load), not just the serving term — otherwise
+        // off-loading hands out capacity the update traffic already uses.
+        let expected = (w.capacity() - w.load()).max(0.0);
+        assert!(
+            (w.headroom() - expected).abs() < 1e-9,
+            "headroom {} vs capacity {} - load {}",
+            w.headroom(),
+            w.capacity(),
+            w.load()
+        );
     }
 
     #[test]

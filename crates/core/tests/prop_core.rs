@@ -4,8 +4,8 @@
 //! deliver what they claim for arbitrary constraint tightness.
 
 use mmrepl_core::{
-    partition_all, restore_capacity, restore_storage, run_offload, OffloadConfig,
-    ReplicationPolicy, SiteWork,
+    audit_site, check_repo_constraint, check_site_constraints, partition_all, restore_capacity,
+    restore_storage, run_offload, AuditStage, OffloadConfig, ReplicationPolicy, SiteWork,
 };
 use mmrepl_model::{ConstraintReport, CostParams, SiteId};
 use mmrepl_workload::{generate_system, WorkloadParams};
@@ -208,5 +208,71 @@ proptest! {
         let check = ConstraintReport::check(&sys, &outcome.placement);
         prop_assert_eq!(outcome.report.feasible, check.is_feasible(),
             "report {} vs check {:?}", outcome.report.feasible, check.violations);
+    }
+
+    /// Capacity restoration never leaves Eq. 8 (or, summed over sites,
+    /// Eq. 9's per-site contributions) violated when it claims success,
+    /// and never corrupts the bookkeeping either way — checked through
+    /// the invariant auditor rather than ad-hoc assertions.
+    #[test]
+    fn capacity_restore_never_leaves_eq8_violated(
+        seed in 0u64..400,
+        sf in 0.05f64..1.2,
+        pf in 0.01f64..1.2,
+    ) {
+        let sys = small_sys(seed)
+            .with_storage_fraction(sf)
+            .with_processing_fraction(pf);
+        let placement = partition_all(&sys);
+        let mut works: Vec<SiteWork<'_>> = sys
+            .sites()
+            .ids()
+            .map(|s| SiteWork::new(&sys, s, &placement, CostParams::default()))
+            .collect();
+        for w in &mut works {
+            restore_storage(w);
+            let report = restore_capacity(w);
+            if let Err(d) = audit_site(w, AuditStage::CapacityRestore) {
+                prop_assert!(false, "bookkeeping diverged: {}", d);
+            }
+            if report.feasible {
+                if let Err(d) = check_site_constraints(w, AuditStage::CapacityRestore) {
+                    prop_assert!(false, "Eq. 8/10 violated: {}", d);
+                }
+            }
+        }
+        // Eq. 9 with the repository capacity set to exactly the residual
+        // load must hold trivially — the checker itself must agree.
+        let residual: f64 = works.iter().map(|w| w.repo_load()).sum();
+        prop_assert!(check_repo_constraint(&works, residual, AuditStage::CapacityRestore).is_ok());
+    }
+
+    /// Storage restoration never leaves Eq. 10 violated when it claims
+    /// success, and the dense bookkeeping survives the dealloc /
+    /// repartition / orphan-drop churn — checked through the auditor.
+    #[test]
+    fn storage_restore_never_leaves_eq10_violated(
+        seed in 0u64..400,
+        frac in 0.01f64..1.2,
+    ) {
+        let sys = small_sys(seed)
+            .with_storage_fraction(frac)
+            .with_processing_fraction(f64::INFINITY);
+        let placement = partition_all(&sys);
+        for site in sys.sites().ids() {
+            let mut w = SiteWork::new(&sys, site, &placement, CostParams::default());
+            let report = restore_storage(&mut w);
+            if let Err(d) = audit_site(&w, AuditStage::StorageRestore) {
+                prop_assert!(false, "bookkeeping diverged: {}", d);
+            }
+            if report.feasible {
+                prop_assert!(w.storage_used() <= w.storage_capacity());
+                // The auditor's constraint check must concur (its Eq. 8
+                // arm is vacuous here — processing is unconstrained).
+                if let Err(d) = check_site_constraints(&w, AuditStage::StorageRestore) {
+                    prop_assert!(false, "Eq. 10 violated: {}", d);
+                }
+            }
+        }
     }
 }

@@ -279,6 +279,8 @@ impl DeltaPlanner {
                 );
                 restore_storage(&mut w);
                 restore_capacity(&mut w);
+                #[cfg(feature = "audit")]
+                mmrepl_core::assert_consistent(&w, mmrepl_core::AuditStage::DeltaReplan);
                 w
             })
             .collect();
@@ -291,6 +293,10 @@ impl DeltaPlanner {
             .sum();
         let eff_capacity = (est.repository().capacity.get() - clean_repo_load).max(0.0);
         run_offload(&mut works, eff_capacity, &cfg.offload);
+        #[cfg(feature = "audit")]
+        for w in &works {
+            mmrepl_core::assert_consistent(w, mmrepl_core::AuditStage::DeltaReplan);
+        }
 
         let mut rows: Vec<Option<PagePartition>> = vec![None; est.n_pages()];
         for w in works {

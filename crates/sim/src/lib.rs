@@ -47,6 +47,7 @@ pub mod ablation;
 pub mod breakdown;
 pub mod caches;
 pub mod des;
+pub mod differential;
 pub mod drift;
 pub mod experiment;
 pub mod online;
@@ -58,6 +59,10 @@ pub mod updates;
 pub use breakdown::{breakdown_table, site_breakdown, SiteReport};
 pub use caches::{cache_comparison, run_gds, run_lfu};
 pub use des::{des_replay, DesOutcome};
+pub use differential::{
+    check_dense_vs_reference, fuzz, minimize_counterexample, oracle_delta_vs_cold,
+    oracle_dense_vs_reference, oracle_des_vs_analytic, reference_plan, FuzzFailure, FuzzReport,
+};
 pub use drift::{drift_study, DriftEpoch, DriftStudy};
 pub use online::{online_study, study_online_config, OnlineEpoch, OnlineStudy};
 pub use updates::{update_study, UpdatePoint, UpdateStudy};

@@ -26,6 +26,17 @@ fi
 cargo run --release --offline -p mmrepl-bench --bin perfsuite -- \
     --out "$FRESH" "$@"
 
+# Baselines must be measured with the invariant auditor compiled out —
+# perfsuite stamps the feature state into the document.
+python3 - "$FRESH" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if doc.get("audit_hooks", False):
+    print("error: perfsuite was built with --features audit; "
+          "perf baselines must be measured with auditing compiled out", file=sys.stderr)
+    sys.exit(1)
+EOF
+
 python3 - "$BASELINE" "$FRESH" "$THRESHOLD_PCT" <<'EOF'
 import json, sys
 

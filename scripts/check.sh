@@ -16,6 +16,13 @@ cargo build --workspace --examples --offline
 echo "==> cargo test (workspace)"
 cargo test --workspace -q --offline
 
+echo "==> cargo test with invariant-audit hooks compiled in"
+cargo test -q --offline --features audit \
+    -p mmrepl-core -p mmrepl-online -p mmrepl-sim
+
+echo "==> differential-oracle fuzz smoke (deterministic seeds)"
+cargo run --offline -p mmrepl-bench --bin fuzz -- --seeds 4
+
 echo "==> online bin smoke run (quick scale)"
 SMOKE_OUT="$(mktemp -d -t mmrepl_online_smoke.XXXXXX)"
 trap 'rm -rf "$SMOKE_OUT"' EXIT
