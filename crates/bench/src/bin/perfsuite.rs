@@ -65,6 +65,12 @@ struct ScaleTimings {
     /// started from the cached partition — the latency the controller
     /// pays per localized drift reaction (the cold plan is `plan_s`).
     delta_replan_s: f64,
+    /// Disabled-tracer cost of one full plan as a fraction of `plan_s`:
+    /// the number of obs calls a traced plan records, times the measured
+    /// per-call cost when tracing is off (a single relaxed atomic load).
+    /// `scripts/bench_regress.sh` fails if this exceeds 2%.
+    #[serde(default)]
+    obs_overhead: f64,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -101,6 +107,22 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
     let plan_unconstrained_s = time_median(iters, || {
         std::hint::black_box(policy.plan(&unconstrained));
     });
+
+    // Observability cost model: how many obs calls one traced plan makes
+    // (counted by the recorder itself), priced at the measured disabled-
+    // path cost per call, as a fraction of the untraced plan time.
+    mmrepl_obs::reset();
+    mmrepl_obs::set_enabled(true);
+    policy.plan(&system);
+    mmrepl_obs::set_enabled(false);
+    let obs_ops = mmrepl_obs::take().ops();
+    const NOOP_CALLS: u64 = 10_000_000;
+    let t = Instant::now();
+    for i in 0..NOOP_CALLS {
+        mmrepl_obs::add("bench.noop", std::hint::black_box(i));
+    }
+    let per_op_disabled_s = t.elapsed().as_secs_f64() / NOOP_CALLS as f64;
+    let obs_overhead = obs_ops as f64 * per_op_disabled_s / plan_s;
 
     // Time the restorations without the state builds: rebuild the
     // per-site state fresh each iteration, clock only the restoration
@@ -206,17 +228,20 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
         fig1_cell_s,
         estimator_ingest_s,
         delta_replan_s,
+        obs_overhead,
     };
     println!(
         "{label:>6}: plan {:.4}s  plan(unconstrained) {:.4}s  storage {:.4}s  \
-         capacity {:.4}s  fig1 cell {:.3}s  est ingest {:.4}s  delta replan {:.4}s",
+         capacity {:.4}s  fig1 cell {:.3}s  est ingest {:.4}s  delta replan {:.4}s  \
+         obs overhead {:.4}%",
         t.plan_s,
         t.plan_unconstrained_s,
         t.restore_storage_s,
         t.restore_capacity_s,
         t.fig1_cell_s,
         t.estimator_ingest_s,
-        t.delta_replan_s
+        t.delta_replan_s,
+        t.obs_overhead * 100.0
     );
     t
 }

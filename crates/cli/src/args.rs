@@ -14,7 +14,7 @@ commands:
   inspect    --system FILE
              Print a summary of a system: sites, pages, demands, loads.
   plan       --system FILE [--storage F] [--processing F] [--central F]
-             [--alpha1 A] [--alpha2 B] [--out FILE]
+             [--alpha1 A] [--alpha2 B] [--out FILE] [--trace-out FILE]
              Run the replication policy; print the stage report and write
              the placement as JSON.
   evaluate   --system FILE (--placement FILE | --policy ours|remote|local|lru)
@@ -25,25 +25,37 @@ commands:
              Replay every policy (ours, lru, gds, lfu, local, remote) on
              the same trace and print a comparison table.
   sweep      --figure 1|2|3 [--runs N] [--seed S] [--paper] [--out FILE]
+             [--trace-out FILE]
              Regenerate one of the paper's figures (quick scale unless
              --paper) and write it as JSON.
   online     [--epochs N] [--rotation F] [--windows N] [--budget F]
-             [--runs N] [--seed S] [--paper] [--out FILE]
+             [--runs N] [--seed S] [--paper] [--out FILE] [--trace-out FILE]
              Run the E-X5 online-controller study: stale plan vs per-epoch
              full replan vs the streaming estimate/detect/delta-replan
              controller vs LRU, on identical drift traces. --budget is the
              migration-byte budget per replan as a fraction of aggregate
              site storage (0 = unlimited).
-  audit      [--seeds N] [--start S] [--inject]
+  audit      [--seeds N] [--start S] [--inject] [--trace-out FILE]
              Run the three differential oracles (dense planner vs naive
              reference, unbounded delta-replan vs cold plan, DES replay
              vs the Eq. 5 analytic prediction) over N deterministic
              seeds; failures are minimized and printed. --inject instead
              corrupts a site's incremental bookkeeping on purpose and
              shows the invariant auditor's divergence report.
+  trace      [--system FILE] [--seed N] [--storage F] [--processing F]
+             [--out FILE]
+             Plan a system (loaded from --system, or generated small-scale
+             from --seed) and replay its perturbed trace through the
+             discrete-event simulator with structured tracing enabled;
+             print the per-stage breakdown table and write the full trace
+             (spans, counters, histograms, decision provenance, events)
+             as JSON Lines to --out (default trace.jsonl).
 
 Fractions F scale the derived 100% points (full storage demand /
-all-local load / all-remote load), exactly like the paper's sweeps.";
+all-local load / all-remote load), exactly like the paper's sweeps.
+
+--trace-out FILE enables the same structured tracer around the planner /
+experiment run and writes its trace as JSON Lines to FILE.";
 
 /// Workload scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,6 +110,8 @@ pub enum Command {
         alpha: (f64, f64),
         /// Output path (default `placement.json`).
         out: PathBuf,
+        /// Structured-trace JSONL path (`None` = tracing stays off).
+        trace_out: Option<PathBuf>,
     },
     /// `mmrepl compare`.
     Compare {
@@ -122,6 +136,8 @@ pub enum Command {
         paper: bool,
         /// Output JSON path.
         out: PathBuf,
+        /// Structured-trace JSONL path (`None` = tracing stays off).
+        trace_out: Option<PathBuf>,
     },
     /// `mmrepl online`.
     Online {
@@ -142,6 +158,8 @@ pub enum Command {
         paper: bool,
         /// Output JSON path.
         out: PathBuf,
+        /// Structured-trace JSONL path (`None` = tracing stays off).
+        trace_out: Option<PathBuf>,
     },
     /// `mmrepl audit`.
     Audit {
@@ -152,6 +170,22 @@ pub enum Command {
         /// Demonstrate the auditor on an injected bookkeeping bug
         /// instead of fuzzing.
         inject: bool,
+        /// Structured-trace JSONL path (`None` = tracing stays off).
+        trace_out: Option<PathBuf>,
+    },
+    /// `mmrepl trace`.
+    Trace {
+        /// System JSON path (`None` = generate a small system from
+        /// `seed`).
+        system: Option<PathBuf>,
+        /// Seed for generation and the replayed request trace.
+        seed: u64,
+        /// Storage fraction override.
+        storage: Option<f64>,
+        /// Processing fraction override.
+        processing: Option<f64>,
+        /// Trace JSONL output path (default `trace.jsonl`).
+        out: PathBuf,
     },
     /// `mmrepl evaluate`.
     Evaluate {
@@ -222,6 +256,7 @@ impl Command {
                 out: take("out")
                     .map(PathBuf::from)
                     .unwrap_or_else(|| PathBuf::from("placement.json")),
+                trace_out: take("trace-out").map(PathBuf::from),
             }),
             "sweep" => {
                 let figure: u8 = take("figure")
@@ -243,6 +278,7 @@ impl Command {
                     out: take("out")
                         .map(PathBuf::from)
                         .unwrap_or_else(|| PathBuf::from("figure.json")),
+                    trace_out: take("trace-out").map(PathBuf::from),
                 })
             }
             "online" => {
@@ -273,12 +309,23 @@ impl Command {
                     out: take("out")
                         .map(PathBuf::from)
                         .unwrap_or_else(|| PathBuf::from("online.json")),
+                    trace_out: take("trace-out").map(PathBuf::from),
                 })
             }
             "audit" => Ok(Command::Audit {
                 seeds: take_u64("seeds", 16)?.max(1),
                 start: take_u64("start", 0)?,
                 inject: take("inject").is_some(),
+                trace_out: take("trace-out").map(PathBuf::from),
+            }),
+            "trace" => Ok(Command::Trace {
+                system: take("system").map(PathBuf::from),
+                seed: take_u64("seed", 0)?,
+                storage: take_f64("storage")?,
+                processing: take_f64("processing")?,
+                out: take("out")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("trace.jsonl")),
             }),
             "compare" => Ok(Command::Compare {
                 system: require_path("system")?,
@@ -432,6 +479,7 @@ mod tests {
                 seed: 0,
                 paper: true,
                 out: PathBuf::from("figure.json"),
+                trace_out: None,
             }
         );
         assert!(parse(&["sweep", "--figure", "4"]).is_err());
@@ -474,6 +522,7 @@ mod tests {
                 seed: None,
                 paper: false,
                 out: PathBuf::from("online.json"),
+                trace_out: None,
             }
         );
         // Defaults.
@@ -497,6 +546,7 @@ mod tests {
                 seeds: 16,
                 start: 0,
                 inject: false,
+                trace_out: None,
             }
         );
         assert_eq!(
@@ -505,6 +555,7 @@ mod tests {
                 seeds: 64,
                 start: 100,
                 inject: true,
+                trace_out: None,
             }
         );
         // --seeds 0 is clamped to 1 so the sweep always runs something.
@@ -512,6 +563,58 @@ mod tests {
             parse(&["audit", "--seeds", "0"]).unwrap(),
             Command::Audit { seeds: 1, .. }
         ));
+    }
+
+    #[test]
+    fn trace_parses_and_defaults() {
+        assert_eq!(
+            parse(&["trace"]).unwrap(),
+            Command::Trace {
+                system: None,
+                seed: 0,
+                storage: None,
+                processing: None,
+                out: PathBuf::from("trace.jsonl"),
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "trace",
+                "--system",
+                "s.json",
+                "--seed",
+                "7",
+                "--storage",
+                "0.5",
+                "--out",
+                "t.jsonl",
+            ])
+            .unwrap(),
+            Command::Trace {
+                system: Some(PathBuf::from("s.json")),
+                seed: 7,
+                storage: Some(0.5),
+                processing: None,
+                out: PathBuf::from("t.jsonl"),
+            }
+        );
+    }
+
+    #[test]
+    fn trace_out_rides_along_on_plan_and_audit() {
+        match parse(&["plan", "--system", "s.json", "--trace-out", "t.jsonl"]).unwrap() {
+            Command::Plan { trace_out, .. } => {
+                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&["audit", "--inject", "--trace-out", "t.jsonl"]).unwrap() {
+            Command::Audit { trace_out, .. } => {
+                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&["plan", "--system", "s.json", "--trace-out"]).is_err());
     }
 
     #[test]

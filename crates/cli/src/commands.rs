@@ -26,7 +26,16 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             central,
             alpha,
             out,
-        } => plan(&system, storage, processing, central, alpha, &out),
+            trace_out,
+        } => plan(
+            &system,
+            storage,
+            processing,
+            central,
+            alpha,
+            &out,
+            trace_out.as_deref(),
+        ),
         Command::Evaluate {
             system,
             placement,
@@ -54,7 +63,8 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             seed,
             paper,
             out,
-        } => sweep(figure, runs, seed, paper, &out),
+            trace_out,
+        } => sweep(figure, runs, seed, paper, &out, trace_out.as_deref()),
         Command::Online {
             epochs,
             rotation,
@@ -64,20 +74,91 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             seed,
             paper,
             out,
-        } => online(epochs, rotation, windows, budget, runs, seed, paper, &out),
+            trace_out,
+        } => online(
+            epochs,
+            rotation,
+            windows,
+            budget,
+            runs,
+            seed,
+            paper,
+            &out,
+            trace_out.as_deref(),
+        ),
         Command::Audit {
             seeds,
             start,
             inject,
-        } => audit(seeds, start, inject),
+            trace_out,
+        } => audit(seeds, start, inject, trace_out.as_deref()),
+        Command::Trace {
+            system,
+            seed,
+            storage,
+            processing,
+            out,
+        } => trace(system.as_deref(), seed, storage, processing, &out),
     }
 }
 
-fn audit(seeds: u64, start: u64, inject: bool) -> Result<(), CliError> {
+/// Runs `f` with the structured tracer enabled, writes the drained trace
+/// as JSON Lines to `out`, and prints the per-stage breakdown table.
+/// With `out == None` the tracer stays off and `f` runs untouched — the
+/// disabled-path cost is a single relaxed atomic load per call site.
+fn with_trace<T>(out: Option<&Path>, f: impl FnOnce() -> T) -> Result<T, CliError> {
+    let Some(path) = out else { return Ok(f()) };
+    mmrepl_obs::reset();
+    mmrepl_obs::set_enabled(true);
+    let value = f();
+    mmrepl_obs::set_enabled(false);
+    let rec = mmrepl_obs::take();
+    mmrepl_obs::write_jsonl(&rec, path).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    print!("{}", mmrepl_obs::stage_table(&rec));
+    println!("wrote trace {}", path.display());
+    Ok(value)
+}
+
+/// `mmrepl trace`: plan + DES replay of one system under the tracer.
+fn trace(
+    system: Option<&Path>,
+    seed: u64,
+    storage: Option<f64>,
+    processing: Option<f64>,
+    out: &Path,
+) -> Result<(), CliError> {
+    let sys = match system {
+        Some(p) => load_system(p)?,
+        None => generate_system(&WorkloadParams::small(), seed)?,
+    };
+    let sys = apply_fractions(sys, storage, processing, None);
+    let params = if sys.n_sites() >= 10 {
+        WorkloadParams::paper()
+    } else {
+        WorkloadParams::small()
+    };
+    let traces = generate_trace(&sys, &TraceConfig::from_params(&params), seed);
+    let des = with_trace(Some(out), || {
+        let planned = ReplicationPolicy::new().plan(&sys).placement;
+        let mut router = StaticRouter::new(&planned, "ours");
+        mmrepl_sim::des_replay(&sys, &traces, &mut router)
+    })?;
+    println!(
+        "plan + DES replay: {} requests, mean response {:.2} s, makespan {:.1} s",
+        des.pages.count(),
+        des.mean_response(),
+        des.makespan
+    );
+    Ok(())
+}
+
+fn audit(seeds: u64, start: u64, inject: bool, trace_out: Option<&Path>) -> Result<(), CliError> {
     if inject {
-        return audit_inject();
+        // Divergences construct through one choke point that also emits
+        // an obs event, so --trace-out captures the auditor's report.
+        return with_trace(trace_out, audit_inject)?;
     }
-    let report = mmrepl_sim::fuzz(start, seeds);
+    let report = with_trace(trace_out, || mmrepl_sim::fuzz(start, seeds))?;
     println!(
         "audit: {}/{} oracle cases passed over seeds {start}..{}",
         report.passed,
@@ -207,6 +288,7 @@ fn inspect(path: &Path) -> Result<(), CliError> {
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn plan(
     path: &Path,
     storage: Option<f64>,
@@ -214,6 +296,7 @@ fn plan(
     central: Option<f64>,
     alpha: (f64, f64),
     out: &Path,
+    trace_out: Option<&Path>,
 ) -> Result<(), CliError> {
     let system = apply_fractions(load_system(path)?, storage, processing, central);
     let policy = ReplicationPolicy::with_config(PlannerConfig {
@@ -223,7 +306,7 @@ fn plan(
         },
         ..PlannerConfig::default()
     });
-    let outcome = policy.plan(&system);
+    let outcome = with_trace(trace_out, || policy.plan(&system))?;
     let r = &outcome.report;
     println!(
         "plan: feasible={} objective D={:.2}",
@@ -398,7 +481,14 @@ fn compare(
     Ok(())
 }
 
-fn sweep(figure: u8, runs: usize, seed: u64, paper: bool, out: &Path) -> Result<(), CliError> {
+fn sweep(
+    figure: u8,
+    runs: usize,
+    seed: u64,
+    paper: bool,
+    out: &Path,
+    trace_out: Option<&Path>,
+) -> Result<(), CliError> {
     let mut cfg = if paper {
         mmrepl_sim::ExperimentConfig::paper()
     } else {
@@ -406,12 +496,12 @@ fn sweep(figure: u8, runs: usize, seed: u64, paper: bool, out: &Path) -> Result<
     };
     cfg.runs = runs;
     cfg.base_seed = seed;
-    let fig = match figure {
+    let fig = with_trace(trace_out, || match figure {
         1 => mmrepl_sim::figure1(&cfg, &[0.2, 0.4, 0.6, 0.65, 0.8, 1.0]),
         2 => mmrepl_sim::figure2(&cfg, &[0.2, 0.4, 0.6, 0.8, 1.0]),
         3 => mmrepl_sim::figure3(&cfg, &[0.9, 0.7, 0.5], &[0.6, 0.8, 1.0]),
         _ => unreachable!("parser validated the figure number"),
-    };
+    })?;
     print!("{}", fig.to_table());
     std::fs::write(
         out,
@@ -432,6 +522,7 @@ fn online(
     seed: Option<u64>,
     paper: bool,
     out: &Path,
+    trace_out: Option<&Path>,
 ) -> Result<(), CliError> {
     let mut cfg = if paper {
         mmrepl_sim::ExperimentConfig::paper()
@@ -442,14 +533,16 @@ fn online(
     if let Some(s) = seed {
         cfg.base_seed = s;
     }
-    let study = mmrepl_sim::online_study(
-        &cfg,
-        epochs,
-        rotation,
-        windows,
-        budget,
-        &mmrepl_sim::study_online_config(),
-    );
+    let study = with_trace(trace_out, || {
+        mmrepl_sim::online_study(
+            &cfg,
+            epochs,
+            rotation,
+            windows,
+            budget,
+            &mmrepl_sim::study_online_config(),
+        )
+    })?;
     print!("{}", study.to_table());
     std::fs::write(
         out,
@@ -497,6 +590,7 @@ mod tests {
             central: None,
             alpha: (2.0, 1.0),
             out: place_path.clone(),
+            trace_out: None,
         })
         .unwrap();
         assert!(place_path.exists());
@@ -564,6 +658,7 @@ mod tests {
             central: None,
             alpha: (2.0, 1.0),
             out: place_a.clone(),
+            trace_out: None,
         })
         .unwrap();
         let err = run(Command::Evaluate {
@@ -587,6 +682,7 @@ mod tests {
             seed: 4,
             paper: false,
             out: out.clone(),
+            trace_out: None,
         })
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -607,6 +703,7 @@ mod tests {
             seed: Some(7),
             paper: false,
             out: out.clone(),
+            trace_out: None,
         })
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -621,14 +718,104 @@ mod tests {
             seeds: 1,
             start: 0,
             inject: false,
+            trace_out: None,
         })
         .unwrap();
         run(Command::Audit {
             seeds: 1,
             start: 0,
             inject: true,
+            trace_out: None,
         })
         .unwrap();
+    }
+
+    // The obs enabled flag and sink are process-wide; tests that turn
+    // the tracer on serialise here so they don't bleed into each other.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn plan_trace_out_writes_parseable_jsonl() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sys_path = tmp("trace-plan-system.json");
+        let place_path = tmp("trace-plan-placement.json");
+        let trace_path = tmp("trace-plan.jsonl");
+        run(Command::Generate {
+            seed: 3,
+            scale: Scale::Small,
+            out: sys_path.clone(),
+        })
+        .unwrap();
+        run(Command::Plan {
+            system: sys_path,
+            storage: Some(0.5),
+            processing: Some(0.8),
+            central: None,
+            alpha: (2.0, 1.0),
+            out: place_path,
+            trace_out: Some(trace_path.clone()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        // Flat JSONL: every line is one object with a record field.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line {line}"
+            );
+            assert!(line.contains("\"record\":\""), "no record field in {line}");
+        }
+        assert!(text.lines().next().unwrap().contains("\"record\":\"meta\""));
+        for stage in [
+            "plan.total",
+            "plan.partition",
+            "plan.storage_restore",
+            "plan.capacity_restore",
+            "plan.offload",
+        ] {
+            assert!(
+                text.contains(&format!("\"name\":\"{stage}\"")),
+                "missing span {stage}"
+            );
+        }
+        assert!(text.contains("\"record\":\"decision\""));
+    }
+
+    #[test]
+    fn trace_subcommand_covers_plan_and_des() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace_path = tmp("trace-subcommand.jsonl");
+        run(Command::Trace {
+            system: None,
+            seed: 6,
+            storage: Some(0.5),
+            processing: Some(0.8),
+            out: trace_path.clone(),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(text.contains("\"name\":\"plan.total\""));
+        assert!(text.contains("\"name\":\"des.total\""));
+        assert!(text.contains("\"name\":\"des.response_s\""));
+        assert!(text.contains("\"name\":\"des.page_requests\""));
+    }
+
+    #[test]
+    fn audit_inject_routes_divergence_into_trace() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let trace_path = tmp("trace-audit-inject.jsonl");
+        run(Command::Audit {
+            seeds: 1,
+            start: 0,
+            inject: true,
+            trace_out: Some(trace_path.clone()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(
+            text.contains("\"kind\":\"audit_divergence\""),
+            "no divergence event in {text}"
+        );
     }
 
     #[test]

@@ -132,14 +132,28 @@ fn diverged(
     recomputed: impl fmt::Display,
     context: impl Into<String>,
 ) -> Box<Divergence> {
-    Box::new(Divergence {
+    let d = Box::new(Divergence {
         site,
         stage,
         quantity: quantity.to_string(),
         tracked: tracked.to_string(),
         recomputed: recomputed.to_string(),
         context: context.into(),
-    })
+    });
+    // Every divergence — whether from a planner hook or an injected-fault
+    // audit run — also lands in the trace, pinned to its site and stage.
+    if mmrepl_obs::enabled() {
+        mmrepl_obs::event(
+            "audit_divergence",
+            d.site.map(SiteId::raw),
+            &d.stage.to_string(),
+            format!(
+                "{}: tracked {} vs recomputed {} ({})",
+                d.quantity, d.tracked, d.recomputed, d.context
+            ),
+        );
+    }
+    d
 }
 
 /// Re-derives every incrementally maintained quantity of `work` from its

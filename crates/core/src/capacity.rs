@@ -26,6 +26,10 @@ pub struct CapacityReport {
     pub deallocated: usize,
     /// Bytes freed by those deallocations.
     pub bytes_freed: u64,
+    /// Raw candidate-heap pops, including dead/stale entries the lazy
+    /// revalidation cycled through (see [`crate::lazyheap`]).
+    #[serde(default)]
+    pub heap_pops: u64,
     /// Whether the constraint was met. `false` means even serving HTML
     /// alone exceeds the capacity (the deep end of the Figure 2 sweep).
     pub feasible: bool,
@@ -109,6 +113,7 @@ pub fn restore_capacity(work: &mut SiteWork<'_>) -> CapacityReport {
     if work.load() > capacity + EPS {
         report.feasible = false;
     }
+    report.heap_pops = heap.pops();
     report
 }
 

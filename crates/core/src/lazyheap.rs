@@ -24,6 +24,7 @@ const REVALIDATE_EPS: f64 = 1e-12;
 #[derive(Clone, Debug, Default)]
 pub struct LazyMinHeap<I> {
     heap: BinaryHeap<Reverse<(TotalF64, I)>>,
+    pops: u64,
 }
 
 impl<I: Ord + Copy> LazyMinHeap<I> {
@@ -31,6 +32,7 @@ impl<I: Ord + Copy> LazyMinHeap<I> {
     pub fn new() -> Self {
         LazyMinHeap {
             heap: BinaryHeap::new(),
+            pops: 0,
         }
     }
 
@@ -41,7 +43,16 @@ impl<I: Ord + Copy> LazyMinHeap<I> {
                 .into_iter()
                 .map(|(key, item)| Reverse((TotalF64(key), item)))
                 .collect(),
+            pops: 0,
         }
+    }
+
+    /// Raw heap pops so far, *including* dead and stale entries cycled
+    /// through by [`LazyMinHeap::pop_current`] — the number the lazy
+    /// revalidation's near-linearity claim is about, surfaced in the
+    /// restoration reports and traces.
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 
     /// Inserts `item` with `key`.
@@ -61,6 +72,7 @@ impl<I: Ord + Copy> LazyMinHeap<I> {
     ) -> Option<I> {
         loop {
             let Reverse((key, item)) = self.heap.pop()?;
+            self.pops += 1;
             if !valid(item) {
                 continue;
             }

@@ -105,13 +105,31 @@ pub fn partition_page_ordered(
         // Tentatively charge both streams (paper pseudocode).
         let local_if = local + local_cost;
         let remote_if = remote + remote_cost;
-        if remote_if < local_if {
+        let go_remote = remote_if < local_if;
+        if mmrepl_obs::enabled() {
+            // Provenance: both hypothetical stream finish times at the
+            // moment of the choice, so a trace can answer "why remote?".
+            mmrepl_obs::decision(mmrepl_obs::Decision {
+                site: p.site.raw(),
+                page: page.raw(),
+                object: p.compulsory[slot].raw(),
+                local: !go_remote,
+                local_s: local_if,
+                remote_s: remote_if,
+            });
+        }
+        if go_remote {
             // Repository download is more beneficial; roll back local.
             remote = remote_if;
         } else {
             local = local_if;
             local_compulsory[slot] = true;
         }
+    }
+    if mmrepl_obs::enabled() {
+        let n_local = local_compulsory.iter().filter(|&&m| m).count() as u64;
+        mmrepl_obs::add("partition.objects_local", n_local);
+        mmrepl_obs::add("partition.objects_remote", order.len() as u64 - n_local);
     }
 
     // "Store all optional objects" — marked local whenever the estimated

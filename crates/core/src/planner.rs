@@ -71,7 +71,12 @@ impl ReplicationPolicy {
 
     /// Runs the full pipeline over `system`.
     pub fn plan(&self, system: &System) -> PlanOutcome {
-        self.plan_with_threads(system, &partition_all(system), 1)
+        let _total = mmrepl_obs::span("plan.total");
+        let initial = {
+            let _s = mmrepl_obs::span("plan.partition");
+            partition_all(system)
+        };
+        self.plan_with_threads(system, &initial, 1)
     }
 
     /// Like [`ReplicationPolicy::plan`], but adopting a caller-provided
@@ -83,6 +88,7 @@ impl ReplicationPolicy {
     /// capacity sweep point derived from the same system, bit-identically
     /// to a cold [`ReplicationPolicy::plan`].
     pub fn plan_with_partition(&self, system: &System, initial: &Placement) -> PlanOutcome {
+        let _total = mmrepl_obs::span("plan.total");
         self.plan_with_threads(system, initial, 1)
     }
 
@@ -92,7 +98,12 @@ impl ReplicationPolicy {
     /// off-loading negotiation, so the result is **bit-identical** to the
     /// sequential plan — asserted by tests.
     pub fn plan_parallel(&self, system: &System, threads: usize) -> PlanOutcome {
-        self.plan_with_threads(system, &partition_all(system), threads)
+        let _total = mmrepl_obs::span("plan.total");
+        let initial = {
+            let _s = mmrepl_obs::span("plan.partition");
+            partition_all(system)
+        };
+        self.plan_with_threads(system, &initial, threads)
     }
 
     fn plan_with_threads(
@@ -110,19 +121,30 @@ impl ReplicationPolicy {
         let site_ids: Vec<_> = system.sites().ids().collect();
 
         let per_site = |s: mmrepl_model::SiteId| {
-            let mut w = SiteWork::with_update_accounting(
-                system,
-                s,
-                initial,
-                self.config.cost,
-                self.config.include_update_load,
-            );
+            let mut w = {
+                // Adopting the partition into dense per-site state is the
+                // tail of stage 1, so it counts toward `plan.partition`.
+                let _s = mmrepl_obs::span("plan.partition");
+                SiteWork::with_update_accounting(
+                    system,
+                    s,
+                    initial,
+                    self.config.cost,
+                    self.config.include_update_load,
+                )
+            };
             #[cfg(feature = "audit")]
             crate::audit::assert_consistent(&w, crate::audit::AuditStage::Partition);
-            let st = restore_storage(&mut w);
+            let st = {
+                let _s = mmrepl_obs::span("plan.storage_restore");
+                restore_storage(&mut w)
+            };
             #[cfg(feature = "audit")]
             crate::audit::assert_consistent(&w, crate::audit::AuditStage::StorageRestore);
-            let cap = restore_capacity(&mut w);
+            let cap = {
+                let _s = mmrepl_obs::span("plan.capacity_restore");
+                restore_capacity(&mut w)
+            };
             #[cfg(feature = "audit")]
             crate::audit::assert_consistent(&w, crate::audit::AuditStage::CapacityRestore);
             (w, st, cap)
@@ -139,11 +161,44 @@ impl ReplicationPolicy {
             capacity.push(cap);
         }
 
+        if mmrepl_obs::enabled() {
+            let mut pops = 0u64;
+            let (mut dealloc, mut orphaned, mut repart, mut freed) = (0u64, 0u64, 0u64, 0u64);
+            for st in &storage {
+                pops += st.heap_pops;
+                dealloc += st.deallocated as u64;
+                orphaned += st.orphaned as u64;
+                repart += st.repartitioned as u64;
+                freed += st.bytes_freed;
+            }
+            mmrepl_obs::add("storage.heap_pops", pops);
+            mmrepl_obs::add("storage.deallocated", dealloc);
+            mmrepl_obs::add("storage.orphaned", orphaned);
+            mmrepl_obs::add("storage.repartitioned", repart);
+            mmrepl_obs::add("storage.bytes_freed", freed);
+            let mut pops = 0u64;
+            let (mut moves, mut dealloc, mut freed) = (0u64, 0u64, 0u64);
+            for cap in &capacity {
+                pops += cap.heap_pops;
+                moves += cap.moves as u64;
+                dealloc += cap.deallocated as u64;
+                freed += cap.bytes_freed;
+            }
+            mmrepl_obs::add("capacity.heap_pops", pops);
+            mmrepl_obs::add("capacity.moves", moves);
+            mmrepl_obs::add("capacity.deallocated", dealloc);
+            mmrepl_obs::add("capacity.bytes_freed", freed);
+        }
+
         // Stage 4: distributed repository off-loading.
         let repo_cap = system.repository().capacity.get();
-        let offload = run_offload(&mut works, repo_cap, &self.config.offload);
+        let offload = {
+            let _s = mmrepl_obs::span("plan.offload");
+            run_offload(&mut works, repo_cap, &self.config.offload)
+        };
 
         // Assemble the final placement.
+        let _assemble = mmrepl_obs::span("plan.assemble");
         let mut rows: Vec<Option<PagePartition>> = vec![None; system.n_pages()];
         for work in works {
             for (pid, part) in work.into_partitions() {

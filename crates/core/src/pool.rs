@@ -200,6 +200,11 @@ impl Pool {
                     *slot = Some(payload);
                 }
             }
+            // Merge whatever this worker's thread-local trace recorder
+            // accumulated *before* releasing the caller, so a snapshot
+            // taken right after the dispatch sees every worker's data.
+            // No-op (no lock) when nothing was recorded.
+            mmrepl_obs::flush_thread();
             let mut pending = ticket.pending.lock().unwrap();
             *pending -= 1;
             if *pending == 0 {

@@ -44,6 +44,10 @@ pub struct StorageReport {
     pub repartitioned: usize,
     /// Bytes freed in total.
     pub bytes_freed: u64,
+    /// Raw candidate-heap pops, including dead/stale entries the lazy
+    /// revalidation cycled through (see [`crate::lazyheap`]).
+    #[serde(default)]
+    pub heap_pops: u64,
     /// Whether the constraint was met. `false` only when even the empty
     /// store (HTML alone) exceeds capacity.
     pub feasible: bool,
@@ -113,6 +117,7 @@ pub fn restore_storage_with(work: &mut SiteWork<'_>, criterion: DeallocCriterion
     if work.storage_used() > capacity {
         report.feasible = false;
     }
+    report.heap_pops = heap.pops();
     report
 }
 

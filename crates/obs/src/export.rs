@@ -1,0 +1,292 @@
+//! JSONL export and the end-of-run stage table.
+//!
+//! Each trace line is one JSON object with a `record` field naming its
+//! kind: `meta`, `span`, `counter`, `hist`, `decision` or `event`. The
+//! schema is flat on purpose — `json.loads` per line is all a consumer
+//! needs (see the smoke check in `scripts/check.sh`).
+
+use crate::{Recorder, SpanStat};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Trace schema version stamped into the `meta` line.
+pub const TRACE_SCHEMA: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct MetaLine {
+    record: String,
+    schema: u32,
+    ops: u64,
+    decisions: usize,
+    decisions_dropped: u64,
+    events: usize,
+    events_dropped: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SpanLine {
+    record: String,
+    name: String,
+    count: u64,
+    total_s: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CounterLine {
+    record: String,
+    name: String,
+    value: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct HistLine {
+    record: String,
+    name: String,
+    count: u64,
+    p50: Option<f64>,
+    p90: Option<f64>,
+    p99: Option<f64>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct DecisionLine {
+    record: String,
+    site: u32,
+    page: u32,
+    object: u32,
+    stream: String,
+    local_s: f64,
+    remote_s: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EventLine {
+    record: String,
+    kind: String,
+    site: Option<u32>,
+    stage: String,
+    detail: String,
+}
+
+/// Serialises a recorder as JSON Lines: one `meta` line, then every span,
+/// counter, histogram, decision and event.
+pub fn to_jsonl(rec: &Recorder) -> String {
+    let mut out = String::new();
+    let push = |out: &mut String, line: String| {
+        out.push_str(&line);
+        out.push('\n');
+    };
+    push(
+        &mut out,
+        serde_json::to_string(&MetaLine {
+            record: "meta".into(),
+            schema: TRACE_SCHEMA,
+            ops: rec.ops(),
+            decisions: rec.decisions_len(),
+            decisions_dropped: rec.decisions_dropped(),
+            events: rec.events().len(),
+            events_dropped: rec.events_dropped(),
+        })
+        .expect("serialise meta line"),
+    );
+    for (name, stat) in rec.spans() {
+        push(
+            &mut out,
+            serde_json::to_string(&SpanLine {
+                record: "span".into(),
+                name: name.clone(),
+                count: stat.count,
+                total_s: stat.total_s(),
+            })
+            .expect("serialise span line"),
+        );
+    }
+    for (name, &value) in rec.counters() {
+        push(
+            &mut out,
+            serde_json::to_string(&CounterLine {
+                record: "counter".into(),
+                name: name.clone(),
+                value,
+            })
+            .expect("serialise counter line"),
+        );
+    }
+    for (name, h) in rec.hists() {
+        push(
+            &mut out,
+            serde_json::to_string(&HistLine {
+                record: "hist".into(),
+                name: name.clone(),
+                count: h.count(),
+                p50: h.quantile(0.5),
+                p90: h.quantile(0.9),
+                p99: h.quantile(0.99),
+            })
+            .expect("serialise hist line"),
+        );
+    }
+    for d in rec.decisions() {
+        push(
+            &mut out,
+            serde_json::to_string(&DecisionLine {
+                record: "decision".into(),
+                site: d.site,
+                page: d.page,
+                object: d.object,
+                stream: if d.local { "local" } else { "remote" }.into(),
+                local_s: d.local_s,
+                remote_s: d.remote_s,
+            })
+            .expect("serialise decision line"),
+        );
+    }
+    for e in rec.events() {
+        push(
+            &mut out,
+            serde_json::to_string(&EventLine {
+                record: "event".into(),
+                kind: e.kind.clone(),
+                site: e.site,
+                stage: e.stage.clone(),
+                detail: e.detail.clone(),
+            })
+            .expect("serialise event line"),
+        );
+    }
+    out
+}
+
+/// Writes [`to_jsonl`] output to a file.
+pub fn write_jsonl(rec: &Recorder, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_jsonl(rec))
+}
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:9.3} s ")
+    } else if s >= 1e-3 {
+        format!("{:9.3} ms", s * 1e3)
+    } else {
+        format!("{:9.3} µs", s * 1e6)
+    }
+}
+
+/// Renders a human-readable stage-breakdown table of every recorded span.
+/// When a `plan.total` span exists, each other span gets a share column
+/// relative to it.
+pub fn stage_table(rec: &Recorder) -> String {
+    let total = rec.span("plan.total").map(|s| s.total_s());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} {:>7} {:>12} {:>7}",
+        "span", "calls", "time", "share"
+    );
+    let mut rows: Vec<(&String, &SpanStat)> = rec.spans().iter().collect();
+    // Total last, the rest by descending time.
+    rows.sort_by(|a, b| {
+        let key = |r: &(&String, &SpanStat)| {
+            (
+                r.0.as_str() == "plan.total",
+                std::cmp::Reverse(r.1.total_ns),
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    for (name, stat) in rows {
+        let share = match total {
+            Some(t) if t > 0.0 && name != "plan.total" => {
+                format!("{:6.1}%", 100.0 * stat.total_s() / t)
+            }
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<26} {:>7} {:>12} {:>7}",
+            name,
+            stat.count,
+            fmt_time(stat.total_s()),
+            share
+        );
+    }
+    if rec.decisions_len() > 0 || rec.decisions_dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "decisions kept {} (dropped {})",
+            rec.decisions_len(),
+            rec.decisions_dropped()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Decision, Event, Recorder};
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::with_cap(16);
+        r.add("storage.heap_pops", 12);
+        r.record_span_ns("plan.total", 2_000_000);
+        r.record_span_ns("plan.partition", 500_000);
+        r.record_value("offload.absorbed", 3.5);
+        r.push_decision(Decision {
+            site: 1,
+            page: 2,
+            object: 3,
+            local: true,
+            local_s: 0.5,
+            remote_s: 0.7,
+        });
+        r.push_event(Event {
+            kind: "audit_divergence".into(),
+            site: Some(1),
+            stage: "storage restoration".into(),
+            detail: "load mismatch".into(),
+        });
+        r
+    }
+
+    #[test]
+    fn jsonl_has_one_parseable_line_per_item() {
+        let text = to_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        // meta + 2 spans + 1 counter + 1 hist + 1 decision + 1 event.
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].contains("\"record\":\"meta\""));
+        // Every line round-trips through the discriminating field.
+        for line in &lines {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line {line}"
+            );
+            assert!(line.contains("\"record\":\""), "no record field in {line}");
+        }
+        // Typed round-trips.
+        let span: SpanLine = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(span.name, "plan.partition");
+        assert!((span.total_s - 5e-4).abs() < 1e-12);
+        let dec: DecisionLine = serde_json::from_str(lines[5]).unwrap();
+        assert_eq!((dec.site, dec.page, dec.object), (1, 2, 3));
+        assert_eq!(dec.stream, "local");
+        let ev: EventLine = serde_json::from_str(lines[6]).unwrap();
+        assert_eq!(ev.kind, "audit_divergence");
+        assert_eq!(ev.site, Some(1));
+    }
+
+    #[test]
+    fn stage_table_shows_share_of_total() {
+        let table = stage_table(&sample());
+        assert!(table.contains("plan.partition"), "{table}");
+        assert!(table.contains("25.0%"), "{table}");
+        assert!(table.contains("plan.total"), "{table}");
+        assert!(table.contains("decisions kept 1"), "{table}");
+        // Total row is last among spans.
+        let part = table.find("plan.partition").unwrap();
+        let total = table.find("plan.total").unwrap();
+        assert!(part < total);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # mmrepl-obs
+//!
+//! Structured tracing and metrics for the whole workspace: lightweight
+//! spans, counters, log-spaced histograms, decision-provenance records
+//! and typed events, all behind one atomic enabled-check so the disabled
+//! path costs a single relaxed load per call site.
+//!
+//! Recording is thread-local ([`Recorder`] per thread, no locks in hot
+//! paths); `mmrepl-core`'s worker pool flushes each worker's recorder
+//! into a global sink after every dispatch, so parallel planner and
+//! replay runs aggregate deterministically. [`snapshot`]/[`take`] read
+//! the aggregate; [`to_jsonl`]/[`write_jsonl`] export it; [`stage_table`]
+//! renders the per-stage wall-time breakdown.
+//!
+//! ## Example
+//!
+//! ```
+//! mmrepl_obs::reset();
+//! mmrepl_obs::set_enabled(true);
+//! {
+//!     let _span = mmrepl_obs::span("plan.partition");
+//!     mmrepl_obs::add("partition.objects_local", 3);
+//! }
+//! mmrepl_obs::set_enabled(false);
+//! let trace = mmrepl_obs::take();
+//! assert_eq!(trace.counter("partition.objects_local"), 3);
+//! assert!(mmrepl_obs::to_jsonl(&trace).contains("plan.partition"));
+//! ```
+
+mod export;
+mod hist;
+mod recorder;
+
+pub use export::{stage_table, to_jsonl, write_jsonl, TRACE_SCHEMA};
+pub use hist::Histogram;
+pub use recorder::{
+    add, decision, enabled, event, flush_thread, merge_histogram, provenance_cap, record_value,
+    reset, set_enabled, set_provenance_cap, snapshot, span, take, Decision, Event, Recorder, Span,
+    SpanStat, DEFAULT_PROVENANCE_CAP, EVENT_CAP,
+};

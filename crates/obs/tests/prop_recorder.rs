@@ -1,0 +1,127 @@
+//! Property tests: per-thread recorders merged in any order yield
+//! identical counters, histograms and span totals.
+
+use mmrepl_obs::{Decision, Recorder};
+use proptest::prelude::*;
+
+/// One synthetic recording operation.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(u8, u64),
+    Span(u8, u64),
+    Value(u8, f64),
+    Decide(u32),
+}
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn apply(r: &mut Recorder, op: &Op) {
+    match op {
+        Op::Add(n, d) => r.add(NAMES[*n as usize % NAMES.len()], *d),
+        Op::Span(n, ns) => r.record_span_ns(NAMES[*n as usize % NAMES.len()], *ns),
+        Op::Value(n, v) => r.record_value(NAMES[*n as usize % NAMES.len()], *v),
+        Op::Decide(o) => r.push_decision(Decision {
+            site: *o % 7,
+            page: *o % 13,
+            object: *o,
+            local: *o % 2 == 0,
+            local_s: *o as f64,
+            remote_s: (*o as f64) * 0.5,
+        }),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored proptest has no `prop_oneof`; pick the variant from a
+    // generated selector instead.
+    (0u8..4, 0u8..4, 1u64..1_000_000, 0.001f64..1000.0).prop_map(|(sel, n, x, v)| match sel {
+        0 => Op::Add(n, x % 100 + 1),
+        1 => Op::Span(n, x),
+        2 => Op::Value(n, v),
+        _ => Op::Decide((x % 10_000) as u32),
+    })
+}
+
+/// Builds one recorder per thread-worth of ops.
+fn build(threads: &[Vec<Op>], cap: usize) -> Vec<Recorder> {
+    threads
+        .iter()
+        .map(|ops| {
+            let mut r = Recorder::with_cap(cap);
+            for op in ops {
+                apply(&mut r, op);
+            }
+            r
+        })
+        .collect()
+}
+
+/// Merges `parts` into a fresh recorder following `order` (a permutation
+/// given as indices).
+fn merge_in_order(parts: &[Recorder], order: &[usize], cap: usize) -> Recorder {
+    let mut out = Recorder::with_cap(cap);
+    for &i in order {
+        out.merge(&parts[i]);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merge_order_does_not_change_aggregates(
+        threads in prop::collection::vec(prop::collection::vec(op_strategy(), 0..40), 1..6),
+        seed in 0u64..1000,
+        cap in 1usize..64,
+    ) {
+        let parts = build(&threads, cap);
+        let n = parts.len();
+        let identity: Vec<usize> = (0..n).collect();
+        // A deterministic pseudo-random permutation derived from `seed`.
+        let mut shuffled = identity.clone();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+
+        let a = merge_in_order(&parts, &identity, cap);
+        let b = merge_in_order(&parts, &shuffled, cap);
+
+        // Counters, span aggregates and histograms are identical.
+        prop_assert_eq!(a.counters(), b.counters());
+        prop_assert_eq!(a.spans(), b.spans());
+        prop_assert_eq!(a.hists(), b.hists());
+        prop_assert_eq!(a.ops(), b.ops());
+        // The ring's *contents* depend on merge order, but its shape does
+        // not: kept + dropped counts are invariant.
+        prop_assert_eq!(a.decisions_len(), b.decisions_len());
+        prop_assert_eq!(a.decisions_dropped(), b.decisions_dropped());
+    }
+
+    #[test]
+    fn merged_equals_single_threaded_run(
+        threads in prop::collection::vec(prop::collection::vec(op_strategy(), 0..40), 1..6),
+    ) {
+        // Large enough cap that nothing drops: merging per-thread
+        // recorders must equal one recorder fed every op.
+        let cap = 100_000;
+        let parts = build(&threads, cap);
+        let order: Vec<usize> = (0..parts.len()).collect();
+        let merged = merge_in_order(&parts, &order, cap);
+
+        let mut single = Recorder::with_cap(cap);
+        for ops in &threads {
+            for op in ops {
+                apply(&mut single, op);
+            }
+        }
+        prop_assert_eq!(merged.counters(), single.counters());
+        prop_assert_eq!(merged.spans(), single.spans());
+        prop_assert_eq!(merged.hists(), single.hists());
+        prop_assert_eq!(merged.decisions_len(), single.decisions_len());
+        prop_assert_eq!(merged.ops(), single.ops());
+    }
+}

@@ -160,6 +160,7 @@ impl DeltaPlanner {
     /// the estimated rates), then applies the diff to the live placement
     /// under `budget`. Clean sites are untouched.
     pub fn replan(&mut self, est: &System, dirty: &[SiteId], budget: ChurnBudget) -> DeltaOutcome {
+        let _span = mmrepl_obs::span("online.replan");
         let mut dirty: Vec<SiteId> = dirty.to_vec();
         dirty.sort_unstable();
         dirty.dedup();
@@ -256,6 +257,20 @@ impl DeltaPlanner {
                     fetches: site_fetches,
                     drops,
                 });
+            }
+        }
+        if mmrepl_obs::enabled() {
+            mmrepl_obs::add("replan.dirty_sites", report.dirty_sites as u64);
+            mmrepl_obs::add("replan.pages_changed", report.pages_changed as u64);
+            mmrepl_obs::add("replan.pages_applied", report.pages_applied as u64);
+            mmrepl_obs::add("replan.pages_deferred", report.pages_deferred as u64);
+            mmrepl_obs::add("replan.marks_flipped", report.marks_flipped as u64);
+            // Churn spent vs budget: what the budget allowed through and
+            // what it pushed to later replans.
+            mmrepl_obs::add("replan.churn_spent_bytes", report.bytes_migrated);
+            mmrepl_obs::add("replan.churn_deferred_bytes", report.bytes_deferred);
+            if let Some(limit) = budget.bytes_per_replan {
+                mmrepl_obs::add("replan.churn_budget_bytes", limit);
             }
         }
         DeltaOutcome { report, migrations }

@@ -51,6 +51,7 @@ pub fn des_replay(
     traces: &[SiteTrace],
     router: &mut dyn RequestRouter,
 ) -> DesOutcome {
+    let _span = mmrepl_obs::span("des.total");
     let mut queue: EventQueue<Arrival> = EventQueue::new();
     for (site_idx, trace) in traces.iter().enumerate() {
         let page_rate: f64 = system
@@ -147,11 +148,19 @@ pub fn des_replay(
         makespan = makespan.max(now.get() + response.get());
     }
 
-    DesOutcome {
+    let outcome = DesOutcome {
         pages,
         events: queue.processed(),
         makespan,
+    };
+    if mmrepl_obs::enabled() {
+        // One merge for the whole run; the event loop itself stays free
+        // of tracing calls.
+        mmrepl_obs::merge_histogram("des.response_s", outcome.pages.histogram());
+        mmrepl_obs::add("des.events", outcome.events);
+        mmrepl_obs::add("des.page_requests", outcome.pages.count());
     }
+    outcome
 }
 
 #[cfg(test)]

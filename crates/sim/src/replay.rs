@@ -144,10 +144,20 @@ pub fn replay_all(
     traces: &[SiteTrace],
     router: &mut dyn RequestRouter,
 ) -> ReplayOutcome {
+    let _span = mmrepl_obs::span("replay.total");
     let mut out = ReplayOutcome::new();
     for trace in traces {
         let site_out = replay_site(system, trace, router);
         out.merge(&site_out);
+    }
+    if mmrepl_obs::enabled() {
+        // The replay hot loop records into its own `ResponseStats`; the
+        // whole distribution folds into the trace with one merge, so
+        // per-request cost stays zero.
+        mmrepl_obs::merge_histogram("replay.response_s", out.pages.histogram());
+        mmrepl_obs::add("replay.page_requests", out.pages.count());
+        mmrepl_obs::add("replay.local_objects", out.local_objects);
+        mmrepl_obs::add("replay.remote_objects", out.remote_objects);
     }
     out
 }

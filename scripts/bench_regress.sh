@@ -53,7 +53,9 @@ for scale, fresh_t in sorted(fresh["scales"].items()):
         continue
     for metric, new in sorted(fresh_t.items()):
         old = base_t.get(metric)
-        if metric.startswith("n_") or not isinstance(old, float):
+        # obs_overhead is a fraction, not a timing; it gets its own
+        # absolute gate below instead of a ratio comparison.
+        if metric.startswith("n_") or metric == "obs_overhead" or not isinstance(old, float):
             continue
         compared += 1
         # Guard against ~0s metrics where ratios are all noise.
@@ -67,12 +69,30 @@ for scale, fresh_t in sorted(fresh["scales"].items()):
             failures.append(f"{scale}.{metric}: {old:.4f}s -> {new:.4f}s ({pct:+.1f}%)")
         print(f"  {scale}.{metric}: {old:.4f}s -> {new:.4f}s ({pct:+.1f}%) {verdict}")
 
+# Absolute gate on the disabled-tracer cost model: the obs calls one
+# traced plan makes, priced at the measured disabled-path per-call cost,
+# must stay under 2% of the plan time.
+OBS_CAP = 0.02
+for scale, fresh_t in sorted(fresh["scales"].items()):
+    ov = fresh_t.get("obs_overhead")
+    if not isinstance(ov, float):
+        continue
+    verdict = "ok"
+    if ov > OBS_CAP:
+        verdict = "FAILED"
+        failures.append(
+            f"{scale}.obs_overhead: {ov * 100:.3f}% of plan time exceeds the "
+            f"{OBS_CAP * 100:.0f}% cap")
+    print(f"  {scale}.obs_overhead: {ov * 100:.3f}% of plan time "
+          f"(cap {OBS_CAP * 100:.0f}%) {verdict}")
+
 if compared == 0:
     print("no comparable metrics (quick run vs full baseline?)")
 if failures:
-    print(f"\nFAIL: {len(failures)} metric(s) regressed more than {threshold:.0f}%:")
+    print(f"\nFAIL: {len(failures)} metric check(s) failed:")
     for f in failures:
         print(f"  {f}")
     sys.exit(1)
-print(f"\nOK: no metric regressed more than {threshold:.0f}%")
+print(f"\nOK: no metric regressed more than {threshold:.0f}% "
+      "and the obs overhead stays under its cap")
 EOF

@@ -30,4 +30,24 @@ cargo run --offline -p mmrepl-bench --bin online -- \
     --quick --runs 1 --epochs 1 --windows 2 --out "$SMOKE_OUT" >/dev/null
 test -s "$SMOKE_OUT/online.json" && test -s "$SMOKE_OUT/online.txt"
 
+echo "==> obs trace smoke (plan --trace-out emits parseable JSONL)"
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    generate --seed 7 --out "$SMOKE_OUT/system.json" >/dev/null
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    plan --system "$SMOKE_OUT/system.json" --storage 0.5 --processing 0.8 \
+    --out "$SMOKE_OUT/placement.json" --trace-out "$SMOKE_OUT/trace.jsonl" >/dev/null
+python3 - "$SMOKE_OUT/trace.jsonl" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]  # every line must parse
+spans = {l["name"] for l in lines if l["record"] == "span"}
+want = {"plan.total", "plan.partition", "plan.storage_restore",
+        "plan.capacity_restore", "plan.offload"}
+missing = want - spans
+if missing:
+    print(f"error: trace is missing planner stage span(s): {sorted(missing)}",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"  trace ok: {len(lines)} records, stages {sorted(want)}")
+EOF
+
 echo "OK"

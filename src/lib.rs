@@ -30,7 +30,9 @@
 //! * [`online`] — the online control plane: streaming rate estimation,
 //!   drift detection, churn-bounded incremental replanning and
 //!   bandwidth-charged migration;
-//! * [`sim`] — trace replay and the Figure 1/2/3 experiment harness.
+//! * [`sim`] — trace replay and the Figure 1/2/3 experiment harness;
+//! * [`obs`] — structured tracing: spans, counters, histograms and
+//!   planner decision provenance behind a single atomic enabled flag.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub use mmrepl_baselines as baselines;
 pub use mmrepl_core as core;
 pub use mmrepl_model as model;
 pub use mmrepl_netsim as netsim;
+pub use mmrepl_obs as obs;
 pub use mmrepl_online as online;
 pub use mmrepl_sim as sim;
 pub use mmrepl_workload as workload;
