@@ -1,0 +1,42 @@
+//! Runs the E-X6 federated-tree study: closest ancestor allocation vs
+//! the flat root-only policy vs LRU on identical traces, with remote
+//! streams priced over per-link bandwidth and latency.
+//!
+//! ```text
+//! cargo run --release -p mmrepl-bench --bin federate
+//! cargo run -p mmrepl-bench --bin federate -- --quick --preset regional
+//! ```
+//!
+//! `--preset` picks the tree shape: `edge` (origin + one mirror tier) or
+//! `regional` (three levels with QoS bounds on a third of the sites).
+
+use mmrepl_bench::BinArgs;
+use mmrepl_sim::federate_study;
+use mmrepl_workload::TopologyParams;
+
+fn main() -> std::io::Result<()> {
+    let args = BinArgs::from_env_with_extras(&["preset"]);
+    let preset_name: String = args
+        .extra_or("preset", "regional".to_string())
+        .unwrap_or_else(die);
+    let preset = match preset_name.as_str() {
+        "edge" => TopologyParams::edge(),
+        "regional" => TopologyParams::regional(),
+        other => die(format!("--preset must be edge or regional, got {other}")),
+    };
+    let study = federate_study(&args.config, &preset);
+    let table = study.to_table();
+    print!("{table}");
+    std::fs::create_dir_all(&args.out_dir)?;
+    std::fs::write(args.out_dir.join("federate.txt"), &table)?;
+    std::fs::write(
+        args.out_dir.join("federate.json"),
+        serde_json::to_string_pretty(&study).expect("study serializes"),
+    )?;
+    Ok(())
+}
+
+fn die<T>(msg: String) -> T {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

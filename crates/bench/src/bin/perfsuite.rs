@@ -18,7 +18,9 @@ use mmrepl_core::{partition_all, restore_capacity, restore_storage, ReplicationP
 use mmrepl_model::{CostParams, Secs, SiteId};
 use mmrepl_online::{ChurnBudget, DeltaPlanner, EstimatorConfig, RateEstimator};
 use mmrepl_sim::{figure1, ExperimentConfig};
-use mmrepl_workload::{generate_system, generate_trace, DriftModel, TraceConfig, WorkloadParams};
+use mmrepl_workload::{
+    generate_system, generate_trace, DriftModel, TopologyParams, TraceConfig, WorkloadParams,
+};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -50,6 +52,11 @@ struct ScaleTimings {
     /// Full single-threaded `plan` on the default (unconstrained)
     /// generated system — partition + state builds only, no restoration.
     plan_unconstrained_s: f64,
+    /// Full single-threaded `plan` on the same constrained workload
+    /// attached to an edge repository tree — ancestor selection,
+    /// channel-parameterised partition and per-node off-loading included.
+    #[serde(default)]
+    plan_tree_s: f64,
     /// `restore_storage` summed over all sites (state builds untimed).
     restore_storage_s: f64,
     /// `restore_capacity` summed over all sites, on storage-restored
@@ -106,6 +113,19 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
     let unconstrained = generate_system(params, seed).expect("workload generates");
     let plan_unconstrained_s = time_median(iters, || {
         std::hint::black_box(policy.plan(&unconstrained));
+    });
+
+    // Same constrained workload on an edge repository tree: topology
+    // draws come after all star draws, so the sites match `system` and
+    // the delta over `plan_s` is the cost of the tree pipeline itself.
+    let mut tree_params = params.clone();
+    tree_params.topology = TopologyParams::edge();
+    let tree_system = generate_system(&tree_params, seed)
+        .expect("workload generates")
+        .with_storage_fraction(0.5)
+        .with_processing_fraction(0.8);
+    let plan_tree_s = time_median(iters, || {
+        std::hint::black_box(policy.plan(&tree_system));
     });
 
     // Observability cost model: how many obs calls one traced plan makes
@@ -223,6 +243,7 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
         n_objects: params.n_objects,
         plan_s,
         plan_unconstrained_s,
+        plan_tree_s,
         restore_storage_s,
         restore_capacity_s,
         fig1_cell_s,
@@ -231,11 +252,12 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
         obs_overhead,
     };
     println!(
-        "{label:>6}: plan {:.4}s  plan(unconstrained) {:.4}s  storage {:.4}s  \
-         capacity {:.4}s  fig1 cell {:.3}s  est ingest {:.4}s  delta replan {:.4}s  \
-         obs overhead {:.4}%",
+        "{label:>6}: plan {:.4}s  plan(unconstrained) {:.4}s  plan(tree) {:.4}s  \
+         storage {:.4}s  capacity {:.4}s  fig1 cell {:.3}s  est ingest {:.4}s  \
+         delta replan {:.4}s  obs overhead {:.4}%",
         t.plan_s,
         t.plan_unconstrained_s,
+        t.plan_tree_s,
         t.restore_storage_s,
         t.restore_capacity_s,
         t.fig1_cell_s,

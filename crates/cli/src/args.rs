@@ -1,7 +1,10 @@
 //! Argument parsing for the `mmrepl` binary — plain `std`, no external
 //! parser, so the CLI stays within the workspace's dependency policy.
 
+use mmrepl_core::AncestorPolicy;
+use mmrepl_workload::TopologyParams;
 use std::collections::HashMap;
+use std::fmt;
 use std::path::PathBuf;
 
 /// Top-level usage text.
@@ -10,13 +13,21 @@ usage: mmrepl <command> [options]
 
 commands:
   generate   --seed N [--scale small|paper] [--out FILE]
+             [--topology origin|edge|regional] [--levels N] [--fanout N]
+             [--node-capacity F|inf] [--qos-prob F]
              Generate a synthetic Table-1 workload and write it as JSON.
+             --topology picks a repository-tree preset (origin = the
+             paper's star); --levels/--fanout/--node-capacity/--qos-prob
+             override individual preset knobs.
   inspect    --system FILE
              Print a summary of a system: sites, pages, demands, loads.
   plan       --system FILE [--storage F] [--processing F] [--central F]
-             [--alpha1 A] [--alpha2 B] [--out FILE] [--trace-out FILE]
+             [--alpha1 A] [--alpha2 B] [--ancestor closest|flat]
+             [--out FILE] [--trace-out FILE]
              Run the replication policy; print the stage report and write
-             the placement as JSON.
+             the placement as JSON. --ancestor picks the serving node per
+             site on tree systems (closest = attach node with capacity
+             promotion, flat = always the origin); star systems ignore it.
   evaluate   --system FILE (--placement FILE | --policy ours|remote|local|lru)
              [--seed N] [--storage F] [--processing F]
              Replay the perturbed request trace and print response-time
@@ -35,6 +46,12 @@ commands:
              controller vs LRU, on identical drift traces. --budget is the
              migration-byte budget per replan as a fraction of aggregate
              site storage (0 = unlimited).
+  federate   [--preset edge|regional] [--runs N] [--seed S] [--paper]
+             [--out FILE] [--trace-out FILE]
+             Run the E-X6 federated-tree study: closest ancestor
+             allocation vs the flat root-only policy vs LRU on identical
+             traces, remote streams priced over per-link bandwidth and
+             latency.
   audit      [--seeds N] [--start S] [--inject] [--trace-out FILE]
              Run the three differential oracles (dense planner vs naive
              reference, unbounded delta-replan vs cold plan, DES replay
@@ -56,6 +73,44 @@ all-local load / all-remote load), exactly like the paper's sweeps.
 
 --trace-out FILE enables the same structured tracer around the planner /
 experiment run and writes its trace as JSON Lines to FILE.";
+
+/// A typed argument-parsing failure.
+///
+/// `main` maps `Help` to the usage text on stdout (exit 0) and everything
+/// else to `{error}\n\n{USAGE}` on stderr (exit 2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The user asked for help (`--help`, `-h`, `help`).
+    Help,
+    /// The first word was not a known subcommand.
+    UnknownCommand(String),
+    /// A known subcommand was given malformed options.
+    Invalid(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Help => write!(f, "help requested"),
+            ParseError::UnknownCommand(cmd) => write!(f, "unknown command {cmd:?}"),
+            ParseError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<String> for ParseError {
+    fn from(msg: String) -> Self {
+        ParseError::Invalid(msg)
+    }
+}
+
+impl From<&str> for ParseError {
+    fn from(msg: &str) -> Self {
+        ParseError::Invalid(msg.to_string())
+    }
+}
 
 /// Workload scale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +143,9 @@ pub enum Command {
         seed: u64,
         /// Workload scale.
         scale: Scale,
+        /// Repository-tree preset plus any per-knob overrides
+        /// (`levels == 1` keeps the paper's star).
+        topology: TopologyParams,
         /// Output path (default `system.json`).
         out: PathBuf,
     },
@@ -108,6 +166,8 @@ pub enum Command {
         central: Option<f64>,
         /// Objective weights.
         alpha: (f64, f64),
+        /// Ancestor-selection policy for tree systems (ignored on stars).
+        ancestor: AncestorPolicy,
         /// Output path (default `placement.json`).
         out: PathBuf,
         /// Structured-trace JSONL path (`None` = tracing stays off).
@@ -150,6 +210,21 @@ pub enum Command {
         /// Churn budget per replan as a fraction of aggregate site
         /// storage (`0` = unlimited).
         budget: f64,
+        /// Runs to average.
+        runs: usize,
+        /// Base seed (`None` = the experiment config's default).
+        seed: Option<u64>,
+        /// Full Table 1 scale instead of the quick workload.
+        paper: bool,
+        /// Output JSON path.
+        out: PathBuf,
+        /// Structured-trace JSONL path (`None` = tracing stays off).
+        trace_out: Option<PathBuf>,
+    },
+    /// `mmrepl federate`.
+    Federate {
+        /// Tree preset the study runs on.
+        preset: TopologyParams,
         /// Runs to average.
         runs: usize,
         /// Base seed (`None` = the experiment config's default).
@@ -206,10 +281,8 @@ pub enum Command {
 
 impl Command {
     /// Parses an argv slice (without the program name).
-    pub fn parse(argv: &[String]) -> Result<Command, String> {
-        let (cmd, rest) = argv
-            .split_first()
-            .ok_or_else(|| "missing command".to_string())?;
+    pub fn parse(argv: &[String]) -> Result<Command, ParseError> {
+        let (cmd, rest) = argv.split_first().ok_or("missing command")?;
         let opts = parse_options(rest)?;
         let take = |key: &str| opts.get(key).cloned();
         let take_f64 = |key: &str| -> Result<Option<f64>, String> {
@@ -223,6 +296,12 @@ impl Command {
                 .transpose()?
                 .unwrap_or(default))
         };
+        let take_usize = |key: &str, default: usize| -> Result<usize, String> {
+            Ok(take(key)
+                .map(|v| v.parse::<usize>().map_err(|e| format!("--{key}: {e}")))
+                .transpose()?
+                .unwrap_or(default))
+        };
         let require_path = |key: &str| -> Result<PathBuf, String> {
             take(key)
                 .map(PathBuf::from)
@@ -230,17 +309,40 @@ impl Command {
         };
 
         match cmd.as_str() {
-            "generate" => Ok(Command::Generate {
-                seed: take_u64("seed", 0)?,
-                scale: match take("scale").as_deref() {
-                    None | Some("small") => Scale::Small,
-                    Some("paper") => Scale::Paper,
-                    Some(other) => return Err(format!("unknown scale {other:?}")),
-                },
-                out: take("out")
-                    .map(PathBuf::from)
-                    .unwrap_or_else(|| PathBuf::from("system.json")),
-            }),
+            "generate" => {
+                let mut topology = match take("topology").as_deref() {
+                    None | Some("origin") => TopologyParams::origin(),
+                    Some("edge") => TopologyParams::edge(),
+                    Some("regional") => TopologyParams::regional(),
+                    Some(other) => {
+                        return Err(format!(
+                            "--topology must be origin, edge or regional, got {other:?}"
+                        )
+                        .into())
+                    }
+                };
+                topology.levels = take_usize("levels", topology.levels)?;
+                topology.fanout = take_usize("fanout", topology.fanout)?;
+                if let Some(cap) = take_f64("node-capacity")? {
+                    topology.node_capacity = cap;
+                }
+                if let Some(p) = take_f64("qos-prob")? {
+                    topology.qos_prob = p;
+                }
+                topology.validate()?;
+                Ok(Command::Generate {
+                    seed: take_u64("seed", 0)?,
+                    scale: match take("scale").as_deref() {
+                        None | Some("small") => Scale::Small,
+                        Some("paper") => Scale::Paper,
+                        Some(other) => return Err(format!("unknown scale {other:?}").into()),
+                    },
+                    topology,
+                    out: take("out")
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("system.json")),
+                })
+            }
             "inspect" => Ok(Command::Inspect {
                 system: require_path("system")?,
             }),
@@ -253,6 +355,15 @@ impl Command {
                     take_f64("alpha1")?.unwrap_or(2.0),
                     take_f64("alpha2")?.unwrap_or(1.0),
                 ),
+                ancestor: match take("ancestor").as_deref() {
+                    None | Some("closest") => AncestorPolicy::Closest,
+                    Some("flat") => AncestorPolicy::Flat,
+                    Some(other) => {
+                        return Err(
+                            format!("--ancestor must be closest or flat, got {other:?}").into()
+                        )
+                    }
+                },
                 out: take("out")
                     .map(PathBuf::from)
                     .unwrap_or_else(|| PathBuf::from("placement.json")),
@@ -264,7 +375,7 @@ impl Command {
                     .parse()
                     .map_err(|e| format!("--figure: {e}"))?;
                 if !(1..=3).contains(&figure) {
-                    return Err(format!("--figure must be 1, 2 or 3, got {figure}"));
+                    return Err(format!("--figure must be 1, 2 or 3, got {figure}").into());
                 }
                 Ok(Command::Sweep {
                     figure,
@@ -284,18 +395,12 @@ impl Command {
             "online" => {
                 let rotation = take_f64("rotation")?.unwrap_or(0.5);
                 if !(0.0..=1.0).contains(&rotation) {
-                    return Err(format!("--rotation must be in [0, 1], got {rotation}"));
+                    return Err(format!("--rotation must be in [0, 1], got {rotation}").into());
                 }
                 let budget = take_f64("budget")?.unwrap_or(0.25);
                 if !(0.0..=1.0).contains(&budget) {
-                    return Err(format!("--budget must be in [0, 1], got {budget}"));
+                    return Err(format!("--budget must be in [0, 1], got {budget}").into());
                 }
-                let take_usize = |key: &str, default: usize| -> Result<usize, String> {
-                    Ok(take(key)
-                        .map(|v| v.parse::<usize>().map_err(|e| format!("--{key}: {e}")))
-                        .transpose()?
-                        .unwrap_or(default))
-                };
                 Ok(Command::Online {
                     epochs: take_usize("epochs", 3)?.max(1),
                     rotation,
@@ -312,6 +417,26 @@ impl Command {
                     trace_out: take("trace-out").map(PathBuf::from),
                 })
             }
+            "federate" => Ok(Command::Federate {
+                preset: match take("preset").as_deref() {
+                    None | Some("regional") => TopologyParams::regional(),
+                    Some("edge") => TopologyParams::edge(),
+                    Some(other) => {
+                        return Err(
+                            format!("--preset must be edge or regional, got {other:?}").into()
+                        )
+                    }
+                },
+                runs: take_usize("runs", 3)?.max(1),
+                seed: take("seed")
+                    .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+                    .transpose()?,
+                paper: take("paper").is_some(),
+                out: take("out")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("federate.json")),
+                trace_out: take("trace-out").map(PathBuf::from),
+            }),
             "audit" => Ok(Command::Audit {
                 seeds: take_u64("seeds", 16)?.max(1),
                 start: take_u64("start", 0)?,
@@ -341,7 +466,7 @@ impl Command {
                     Some("remote") => Some(PolicyName::Remote),
                     Some("local") => Some(PolicyName::Local),
                     Some("lru") => Some(PolicyName::Lru),
-                    Some(other) => return Err(format!("unknown policy {other:?}")),
+                    Some(other) => return Err(format!("unknown policy {other:?}").into()),
                 };
                 if placement.is_some() == policy.is_some() {
                     return Err("evaluate needs exactly one of --placement or --policy".into());
@@ -355,8 +480,8 @@ impl Command {
                     processing: take_f64("processing")?,
                 })
             }
-            "--help" | "-h" | "help" => Err("".into()),
-            other => Err(format!("unknown command {other:?}")),
+            "--help" | "-h" | "help" => Err(ParseError::Help),
+            other => Err(ParseError::UnknownCommand(other.to_string())),
         }
     }
 }
@@ -391,7 +516,7 @@ fn parse_options(rest: &[String]) -> Result<HashMap<String, String>, String> {
 mod tests {
     use super::*;
 
-    fn parse(words: &[&str]) -> Result<Command, String> {
+    fn parse(words: &[&str]) -> Result<Command, ParseError> {
         Command::parse(&words.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
@@ -403,6 +528,7 @@ mod tests {
             Command::Generate {
                 seed: 0,
                 scale: Scale::Small,
+                topology: TopologyParams::origin(),
                 out: PathBuf::from("system.json"),
             }
         );
@@ -419,9 +545,49 @@ mod tests {
             Command::Generate {
                 seed: 9,
                 scale: Scale::Paper,
+                topology: TopologyParams::origin(),
                 out: PathBuf::from("x.json"),
             }
         );
+    }
+
+    #[test]
+    fn generate_parses_topology_presets_and_overrides() {
+        let Command::Generate { topology, .. } = parse(&[
+            "generate",
+            "--topology",
+            "regional",
+            "--fanout",
+            "3",
+            "--node-capacity",
+            "12.5",
+            "--qos-prob",
+            "0.5",
+        ])
+        .unwrap() else {
+            unreachable!("generate input parses to Command::Generate")
+        };
+        let mut want = TopologyParams::regional();
+        want.fanout = 3;
+        want.node_capacity = 12.5;
+        want.qos_prob = 0.5;
+        assert_eq!(topology, want);
+        // `inf` lifts a preset's finite node capacity.
+        let Command::Generate { topology, .. } =
+            parse(&["generate", "--topology", "edge", "--node-capacity", "inf"]).unwrap()
+        else {
+            unreachable!("generate input parses to Command::Generate")
+        };
+        assert_eq!(topology.node_capacity, f64::INFINITY);
+        // Overrides are validated at parse time.
+        assert!(matches!(
+            parse(&["generate", "--topology", "edge", "--fanout", "0"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&["generate", "--topology", "galactic"]),
+            Err(ParseError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -436,19 +602,68 @@ mod tests {
             "3",
         ])
         .unwrap();
-        match cmd {
-            Command::Plan {
-                storage,
-                processing,
-                alpha,
-                ..
-            } => {
-                assert_eq!(storage, Some(0.65));
-                assert_eq!(processing, None);
-                assert_eq!(alpha, (3.0, 1.0));
+        let Command::Plan {
+            storage,
+            processing,
+            alpha,
+            ancestor,
+            ..
+        } = cmd
+        else {
+            unreachable!("plan input parses to Command::Plan")
+        };
+        assert_eq!(storage, Some(0.65));
+        assert_eq!(processing, None);
+        assert_eq!(alpha, (3.0, 1.0));
+        assert_eq!(ancestor, AncestorPolicy::Closest);
+    }
+
+    #[test]
+    fn plan_parses_ancestor_policy() {
+        let Command::Plan { ancestor, .. } =
+            parse(&["plan", "--system", "s.json", "--ancestor", "flat"]).unwrap()
+        else {
+            unreachable!("plan input parses to Command::Plan")
+        };
+        assert_eq!(ancestor, AncestorPolicy::Flat);
+        assert!(matches!(
+            parse(&["plan", "--system", "s.json", "--ancestor", "random"]),
+            Err(ParseError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn federate_parses_and_defaults() {
+        assert_eq!(
+            parse(&["federate"]).unwrap(),
+            Command::Federate {
+                preset: TopologyParams::regional(),
+                runs: 3,
+                seed: None,
+                paper: false,
+                out: PathBuf::from("federate.json"),
+                trace_out: None,
             }
-            other => panic!("{other:?}"),
-        }
+        );
+        assert_eq!(
+            parse(&[
+                "federate", "--preset", "edge", "--runs", "5", "--seed", "9", "--paper", "--out",
+                "f.json",
+            ])
+            .unwrap(),
+            Command::Federate {
+                preset: TopologyParams::edge(),
+                runs: 5,
+                seed: Some(9),
+                paper: true,
+                out: PathBuf::from("f.json"),
+                trace_out: None,
+            }
+        );
+        assert!(matches!(
+            parse(&["federate", "--preset", "mesh"]),
+            Err(ParseError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -602,30 +817,47 @@ mod tests {
 
     #[test]
     fn trace_out_rides_along_on_plan_and_audit() {
-        match parse(&["plan", "--system", "s.json", "--trace-out", "t.jsonl"]).unwrap() {
-            Command::Plan { trace_out, .. } => {
-                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
-            }
-            other => panic!("{other:?}"),
-        }
-        match parse(&["audit", "--inject", "--trace-out", "t.jsonl"]).unwrap() {
-            Command::Audit { trace_out, .. } => {
-                assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
-            }
-            other => panic!("{other:?}"),
-        }
+        let Command::Plan { trace_out, .. } =
+            parse(&["plan", "--system", "s.json", "--trace-out", "t.jsonl"]).unwrap()
+        else {
+            unreachable!("plan input parses to Command::Plan")
+        };
+        assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
+        let Command::Audit { trace_out, .. } =
+            parse(&["audit", "--inject", "--trace-out", "t.jsonl"]).unwrap()
+        else {
+            unreachable!("audit input parses to Command::Audit")
+        };
+        assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
         assert!(parse(&["plan", "--system", "s.json", "--trace-out"]).is_err());
     }
 
     #[test]
     fn rejects_malformed_input() {
         assert!(parse(&[]).is_err());
-        assert!(parse(&["frobnicate"]).is_err());
         assert!(parse(&["generate", "stray"]).is_err());
         assert!(parse(&["generate", "--seed"]).is_err());
         assert!(parse(&["generate", "--seed", "1", "--seed", "2"]).is_err());
         assert!(parse(&["generate", "--scale", "huge"]).is_err());
         assert!(parse(&["evaluate", "--system", "s", "--policy", "apache"]).is_err());
         assert!(parse(&["inspect"]).is_err()); // missing --system
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        assert_eq!(parse(&["--help"]), Err(ParseError::Help));
+        assert_eq!(parse(&["-h"]), Err(ParseError::Help));
+        assert_eq!(parse(&["help"]), Err(ParseError::Help));
+        assert_eq!(
+            parse(&["frobnicate"]),
+            Err(ParseError::UnknownCommand("frobnicate".to_string()))
+        );
+        let err = parse(&["generate", "--seed"]).unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+        assert_eq!(err.to_string(), "--seed needs a value");
+        assert_eq!(
+            parse(&["frobnicate"]).unwrap_err().to_string(),
+            "unknown command \"frobnicate\""
+        );
     }
 }

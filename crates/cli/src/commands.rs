@@ -3,11 +3,14 @@
 use crate::args::{Command, PolicyName, Scale};
 use mmrepl_baselines::{GdsRouter, LfuRouter, LruRouter, StaticRouter};
 use mmrepl_core::{
-    audit_site, partition_all, AuditStage, PlannerConfig, ReplicationPolicy, SiteWork,
+    audit_site, partition_all, AncestorPolicy, AuditStage, PlannerConfig, ReplicationPolicy,
+    SiteWork,
 };
-use mmrepl_model::{Bytes, ConstraintReport, CostParams, Placement, System};
+use mmrepl_model::{Bytes, ConstraintReport, CostParams, NodeId, Placement, System};
 use mmrepl_sim::replay_all;
-use mmrepl_workload::{generate_system, generate_trace, TraceConfig, WorkloadParams};
+use mmrepl_workload::{
+    generate_system, generate_trace, TopologyParams, TraceConfig, WorkloadParams,
+};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -17,7 +20,12 @@ pub type CliError = String;
 /// Dispatches a parsed command.
 pub fn run(cmd: Command) -> Result<(), CliError> {
     match cmd {
-        Command::Generate { seed, scale, out } => generate(seed, scale, &out),
+        Command::Generate {
+            seed,
+            scale,
+            topology,
+            out,
+        } => generate(seed, scale, topology, &out),
         Command::Inspect { system } => inspect(&system),
         Command::Plan {
             system,
@@ -25,6 +33,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             processing,
             central,
             alpha,
+            ancestor,
             out,
             trace_out,
         } => plan(
@@ -33,6 +42,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             processing,
             central,
             alpha,
+            ancestor,
             &out,
             trace_out.as_deref(),
         ),
@@ -86,6 +96,14 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             &out,
             trace_out.as_deref(),
         ),
+        Command::Federate {
+            preset,
+            runs,
+            seed,
+            paper,
+            out,
+            trace_out,
+        } => federate(preset, runs, seed, paper, &out, trace_out.as_deref()),
         Command::Audit {
             seeds,
             start,
@@ -234,13 +252,18 @@ fn apply_fractions(
     sys
 }
 
-fn generate(seed: u64, scale: Scale, out: &Path) -> Result<(), CliError> {
-    let params = params_for(scale);
+fn generate(seed: u64, scale: Scale, topology: TopologyParams, out: &Path) -> Result<(), CliError> {
+    let mut params = params_for(scale);
+    params.topology = topology;
     let system = generate_system(&params, seed)?;
     let json = serde_json::to_string(&system).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    let tree = match system.topology() {
+        Some(t) => format!(", {} repository nodes", t.n_nodes()),
+        None => String::new(),
+    };
     println!(
-        "wrote {} ({} sites, {} pages, {} objects, seed {})",
+        "wrote {} ({} sites, {} pages, {} objects{tree}, seed {})",
         out.display(),
         system.n_sites(),
         system.n_pages(),
@@ -295,6 +318,7 @@ fn plan(
     processing: Option<f64>,
     central: Option<f64>,
     alpha: (f64, f64),
+    ancestor: AncestorPolicy,
     out: &Path,
     trace_out: Option<&Path>,
 ) -> Result<(), CliError> {
@@ -304,6 +328,7 @@ fn plan(
             alpha1: alpha.0,
             alpha2: alpha.1,
         },
+        ancestor,
         ..PlannerConfig::default()
     });
     let outcome = with_trace(trace_out, || policy.plan(&system))?;
@@ -315,6 +340,21 @@ fn plan(
     let dealloc: usize = r.storage.iter().map(|s| s.deallocated).sum();
     let freed: u64 = r.storage.iter().map(|s| s.bytes_freed).sum();
     let moves: usize = r.capacity.iter().map(|c| c.moves).sum();
+    if !r.serving.is_empty() {
+        let promoted = r.promotions;
+        let nodes = {
+            let mut n: Vec<u32> = r.serving.clone();
+            n.sort_unstable();
+            n.dedup();
+            n.len()
+        };
+        println!(
+            "  ancestor selection  : {ancestor} policy, {} sites over {nodes} node(s), \
+             {promoted} promoted, {} QoS-blocked",
+            r.serving.len(),
+            r.qos_blocked
+        );
+    }
     println!(
         "  storage restoration : {dealloc} deallocations, {} freed",
         Bytes(freed)
@@ -324,7 +364,14 @@ fn plan(
         "  off-loading         : {} rounds, {} messages, {:.2} req/s pushed back",
         r.offload.rounds, r.offload.messages, r.offload.absorbed
     );
-    let check = ConstraintReport::check(&system, &outcome.placement);
+    // Tree plans are feasibility-checked against the serving nodes the
+    // planner actually picked; star plans against the repository.
+    let check = if r.serving.is_empty() {
+        ConstraintReport::check(&system, &outcome.placement)
+    } else {
+        let serving = r.serving.iter().map(|&n| NodeId::new(n)).collect();
+        ConstraintReport::check_with_serving(&system, &outcome.placement, &serving)
+    };
     for v in &check.violations {
         println!("  VIOLATION: {v}");
     }
@@ -553,6 +600,34 @@ fn online(
     Ok(())
 }
 
+fn federate(
+    preset: TopologyParams,
+    runs: usize,
+    seed: Option<u64>,
+    paper: bool,
+    out: &Path,
+    trace_out: Option<&Path>,
+) -> Result<(), CliError> {
+    let mut cfg = if paper {
+        mmrepl_sim::ExperimentConfig::paper()
+    } else {
+        mmrepl_sim::ExperimentConfig::quick()
+    };
+    cfg.runs = runs;
+    if let Some(s) = seed {
+        cfg.base_seed = s;
+    }
+    let study = with_trace(trace_out, || mmrepl_sim::federate_study(&cfg, &preset))?;
+    print!("{}", study.to_table());
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&study).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +648,7 @@ mod tests {
         run(Command::Generate {
             seed: 5,
             scale: Scale::Small,
+            topology: TopologyParams::origin(),
             out: sys_path.clone(),
         })
         .unwrap();
@@ -589,6 +665,7 @@ mod tests {
             processing: None,
             central: None,
             alpha: (2.0, 1.0),
+            ancestor: AncestorPolicy::Closest,
             out: place_path.clone(),
             trace_out: None,
         })
@@ -622,6 +699,7 @@ mod tests {
         run(Command::Generate {
             seed: 9,
             scale: Scale::Small,
+            topology: TopologyParams::origin(),
             out: sys_path.clone(),
         })
         .unwrap();
@@ -642,12 +720,14 @@ mod tests {
         run(Command::Generate {
             seed: 1,
             scale: Scale::Small,
+            topology: TopologyParams::origin(),
             out: sys_a.clone(),
         })
         .unwrap();
         run(Command::Generate {
             seed: 2,
             scale: Scale::Small,
+            topology: TopologyParams::origin(),
             out: sys_b.clone(),
         })
         .unwrap();
@@ -657,6 +737,7 @@ mod tests {
             processing: None,
             central: None,
             alpha: (2.0, 1.0),
+            ancestor: AncestorPolicy::Closest,
             out: place_a.clone(),
             trace_out: None,
         })
@@ -713,6 +794,26 @@ mod tests {
     }
 
     #[test]
+    fn federate_writes_study_json() {
+        let out = tmp("federate-study.json");
+        run(Command::Federate {
+            preset: TopologyParams::edge(),
+            runs: 1,
+            seed: Some(11),
+            paper: false,
+            out: out.clone(),
+            trace_out: None,
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let study: mmrepl_sim::FederateStudy = serde_json::from_str(&text).unwrap();
+        assert_eq!(study.levels, 2);
+        assert!(study.mean_response.contains_key("closest"));
+        assert!(study.mean_response.contains_key("flat"));
+        assert!(study.mean_response.contains_key("lru"));
+    }
+
+    #[test]
     fn audit_sweep_and_injection_demo() {
         run(Command::Audit {
             seeds: 1,
@@ -743,6 +844,7 @@ mod tests {
         run(Command::Generate {
             seed: 3,
             scale: Scale::Small,
+            topology: TopologyParams::origin(),
             out: sys_path.clone(),
         })
         .unwrap();
@@ -752,6 +854,7 @@ mod tests {
             processing: Some(0.8),
             central: None,
             alpha: (2.0, 1.0),
+            ancestor: AncestorPolicy::Closest,
             out: place_path,
             trace_out: Some(trace_path.clone()),
         })
@@ -779,6 +882,38 @@ mod tests {
             );
         }
         assert!(text.contains("\"record\":\"decision\""));
+    }
+
+    #[test]
+    fn tree_plan_trace_records_the_selection_stage() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sys_path = tmp("trace-tree-system.json");
+        let place_path = tmp("trace-tree-placement.json");
+        let trace_path = tmp("trace-tree.jsonl");
+        run(Command::Generate {
+            seed: 3,
+            scale: Scale::Small,
+            topology: TopologyParams::edge(),
+            out: sys_path.clone(),
+        })
+        .unwrap();
+        run(Command::Plan {
+            system: sys_path,
+            storage: Some(0.7),
+            processing: None,
+            central: None,
+            alpha: (2.0, 1.0),
+            ancestor: AncestorPolicy::Closest,
+            out: place_path,
+            trace_out: Some(trace_path.clone()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(
+            text.contains("\"name\":\"plan.select\""),
+            "tree plans must trace the ancestor-selection stage"
+        );
+        assert!(text.contains("\"name\":\"plan.offload\""));
     }
 
     #[test]

@@ -26,8 +26,12 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
-        Err(msg) => {
-            eprintln!("{msg}\n\n{}", args::USAGE);
+        Err(args::ParseError::Help) => {
+            println!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}\n\n{}", args::USAGE);
             ExitCode::from(2)
         }
     }

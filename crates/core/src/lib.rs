@@ -56,6 +56,7 @@ pub mod offload;
 pub mod partition;
 pub mod planner;
 pub mod pool;
+pub mod select;
 pub mod state;
 pub mod storage;
 pub mod streams;
@@ -71,11 +72,12 @@ pub use offload::{
     OffloadReport,
 };
 pub use partition::{
-    optimal_partition, partition_all, partition_all_ordered, partition_page,
-    partition_page_ordered, PartitionOrder,
+    optimal_partition, partition_all, partition_all_ordered, partition_all_with, partition_page,
+    partition_page_ordered, partition_page_ordered_with, PartitionOrder,
 };
 pub use planner::{PlanOutcome, PlanReport, PlannerConfig, ReplicationPolicy};
 pub use pool::{effective_threads, parallel_map};
+pub use select::{select_ancestors, AncestorPolicy, Selection};
 pub use state::SiteWork;
 pub use storage::{restore_storage, restore_storage_with, DeallocCriterion, StorageReport};
 pub use streams::{OptionalCost, SiteParams, Streams};

@@ -21,7 +21,7 @@
 //!   than the site) sensibly leave them remote.
 
 use crate::streams::SiteParams;
-use mmrepl_model::{PageId, PagePartition, Placement, System};
+use mmrepl_model::{IdVec, PageId, PagePartition, Placement, SiteId, System};
 use serde::{Deserialize, Serialize};
 
 /// The order in which `PARTITION` visits a page's compulsory objects.
@@ -70,8 +70,22 @@ pub fn partition_page_ordered(
     page: PageId,
     visit: PartitionOrder,
 ) -> PagePartition {
+    let params = SiteParams::of(system.site(system.page(page).site));
+    partition_page_ordered_with(system, page, visit, &params)
+}
+
+/// `PARTITION` against explicit site estimates. The federated-tree planner
+/// passes the *effective channel* of the site's serving ancestor (rate
+/// capped by the path bottleneck, overhead plus path latency) instead of
+/// the raw repository estimates; [`partition_page_ordered`] is exactly this
+/// with [`SiteParams::of`], so the star path is unchanged bit for bit.
+pub fn partition_page_ordered_with(
+    system: &System,
+    page: PageId,
+    visit: PartitionOrder,
+    params: &SiteParams,
+) -> PagePartition {
     let p = system.page(page);
-    let params = SiteParams::of(system.site(p.site));
 
     // Order `(size, slot)` pairs so the sort compares plain integers
     // instead of chasing object ids; ties break by slot order for
@@ -222,6 +236,26 @@ pub fn partition_all_ordered(system: &System, visit: PartitionOrder) -> Placemen
         .pages()
         .ids()
         .map(|pid| partition_page_ordered(system, pid, visit))
+        .collect();
+    Placement::new(system, partitions).expect("partition shapes match by construction")
+}
+
+/// [`partition_all`] against per-site explicit estimates (one
+/// [`SiteParams`] per site, e.g. the effective serving channels of an
+/// ancestor-selection pass).
+pub fn partition_all_with(system: &System, params: &IdVec<SiteId, SiteParams>) -> Placement {
+    assert_eq!(params.len(), system.n_sites(), "one SiteParams per site");
+    let partitions = system
+        .pages()
+        .ids()
+        .map(|pid| {
+            partition_page_ordered_with(
+                system,
+                pid,
+                PartitionOrder::DecreasingSize,
+                &params[system.page(pid).site],
+            )
+        })
         .collect();
     Placement::new(system, partitions).expect("partition shapes match by construction")
 }

@@ -4,9 +4,13 @@
 use crate::capacity::{restore_capacity, CapacityReport};
 use crate::offload::{run_offload, OffloadConfig, OffloadReport};
 use crate::partition::partition_all;
+use crate::select::{select_ancestors, AncestorPolicy, Selection};
 use crate::state::SiteWork;
 use crate::storage::{restore_storage, StorageReport};
-use mmrepl_model::{ConstraintReport, CostParams, IdVec, PageId, PagePartition, Placement, System};
+use mmrepl_model::{
+    ConstraintReport, CostParams, IdVec, PageId, PagePartition, Placement, ServingChannel, SiteId,
+    System,
+};
 use serde::{Deserialize, Serialize};
 
 /// Planner configuration.
@@ -21,6 +25,10 @@ pub struct PlannerConfig {
     /// model leaves this off).
     #[serde(default)]
     pub include_update_load: bool,
+    /// How sites pick the repository node that serves their remote
+    /// stream on tree systems. Ignored (no-op) on star systems.
+    #[serde(default)]
+    pub ancestor: AncestorPolicy,
 }
 
 /// What each stage of the pipeline did, per site where applicable.
@@ -36,6 +44,23 @@ pub struct PlanReport {
     pub feasible: bool,
     /// The objective value `D` of the final placement (planner estimates).
     pub objective: f64,
+    /// Tree systems only: the serving-node index chosen for each site
+    /// (site-id order). Empty on star systems.
+    #[serde(default)]
+    pub serving: Vec<u32>,
+    /// Tree systems only: one off-loading summary per serving node
+    /// (ascending node order, nodes that serve at least one site).
+    /// Empty on star systems, where [`PlanReport::offload`] is the
+    /// single global negotiation.
+    #[serde(default)]
+    pub offload_by_node: Vec<OffloadReport>,
+    /// Tree systems only: sites promoted off their attach node by the
+    /// ancestor-selection stage.
+    #[serde(default)]
+    pub promotions: usize,
+    /// Tree systems only: promotion attempts vetoed by a QoS bound.
+    #[serde(default)]
+    pub qos_blocked: usize,
 }
 
 /// A planned placement plus its report.
@@ -72,11 +97,7 @@ impl ReplicationPolicy {
     /// Runs the full pipeline over `system`.
     pub fn plan(&self, system: &System) -> PlanOutcome {
         let _total = mmrepl_obs::span("plan.total");
-        let initial = {
-            let _s = mmrepl_obs::span("plan.partition");
-            partition_all(system)
-        };
-        self.plan_with_threads(system, &initial, 1)
+        self.plan_with_threads(system, None, 1)
     }
 
     /// Like [`ReplicationPolicy::plan`], but adopting a caller-provided
@@ -87,9 +108,13 @@ impl ReplicationPolicy {
     /// capacities — so one [`partition_all`] result can warm-start every
     /// capacity sweep point derived from the same system, bit-identically
     /// to a cold [`ReplicationPolicy::plan`].
+    ///
+    /// Tree systems repartition with the ancestor-selection channel
+    /// estimates regardless, so the warm start only applies to star
+    /// systems.
     pub fn plan_with_partition(&self, system: &System, initial: &Placement) -> PlanOutcome {
         let _total = mmrepl_obs::span("plan.total");
-        self.plan_with_threads(system, initial, 1)
+        self.plan_with_threads(system, Some(initial), 1)
     }
 
     /// Like [`ReplicationPolicy::plan`], but fans the per-site stages
@@ -99,17 +124,13 @@ impl ReplicationPolicy {
     /// sequential plan — asserted by tests.
     pub fn plan_parallel(&self, system: &System, threads: usize) -> PlanOutcome {
         let _total = mmrepl_obs::span("plan.total");
-        let initial = {
-            let _s = mmrepl_obs::span("plan.partition");
-            partition_all(system)
-        };
-        self.plan_with_threads(system, &initial, threads)
+        self.plan_with_threads(system, None, threads)
     }
 
     fn plan_with_threads(
         &self,
         system: &System,
-        initial: &Placement,
+        warm_start: Option<&Placement>,
         threads: usize,
     ) -> PlanOutcome {
         // Stage 1 (the `initial` partition) is per-site independent, as
@@ -120,18 +141,58 @@ impl ReplicationPolicy {
         // sequential plan.
         let site_ids: Vec<_> = system.sites().ids().collect();
 
+        // Stage 0 (tree systems only): pick the repository node serving
+        // each site's remote stream, deriving per-site planner estimates
+        // from the constrained ancestor path. Star systems skip this
+        // entirely and follow the exact paper pipeline.
+        let selection: Option<Selection> = system.topology().map(|_| {
+            let _s = mmrepl_obs::span("plan.select");
+            select_ancestors(system, self.config.ancestor)
+        });
+
+        // Stage 1: the unconstrained `PARTITION`. Tree systems always
+        // repartition with the channel-derived estimates; star systems
+        // adopt the warm start verbatim or recompute with the paper's
+        // per-site estimates.
+        let owned_initial: Option<Placement>;
+        let initial: &Placement = if let Some(sel) = &selection {
+            owned_initial = Some({
+                let _s = mmrepl_obs::span("plan.partition");
+                crate::partition::partition_all_with(system, &sel.params)
+            });
+            owned_initial.as_ref().expect("just assigned")
+        } else if let Some(p) = warm_start {
+            p
+        } else {
+            owned_initial = Some({
+                let _s = mmrepl_obs::span("plan.partition");
+                partition_all(system)
+            });
+            owned_initial.as_ref().expect("just assigned")
+        };
+
         let per_site = |s: mmrepl_model::SiteId| {
             let mut w = {
                 // Adopting the partition into dense per-site state is the
                 // tail of stage 1, so it counts toward `plan.partition`.
                 let _s = mmrepl_obs::span("plan.partition");
-                SiteWork::with_update_accounting(
-                    system,
-                    s,
-                    initial,
-                    self.config.cost,
-                    self.config.include_update_load,
-                )
+                match &selection {
+                    Some(sel) => SiteWork::with_params(
+                        system,
+                        s,
+                        initial,
+                        self.config.cost,
+                        self.config.include_update_load,
+                        sel.params[s],
+                    ),
+                    None => SiteWork::with_update_accounting(
+                        system,
+                        s,
+                        initial,
+                        self.config.cost,
+                        self.config.include_update_load,
+                    ),
+                }
             };
             #[cfg(feature = "audit")]
             crate::audit::assert_consistent(&w, crate::audit::AuditStage::Partition);
@@ -190,11 +251,43 @@ impl ReplicationPolicy {
             mmrepl_obs::add("capacity.bytes_freed", freed);
         }
 
-        // Stage 4: distributed repository off-loading.
-        let repo_cap = system.repository().capacity.get();
-        let offload = {
-            let _s = mmrepl_obs::span("plan.offload");
-            run_offload(&mut works, repo_cap, &self.config.offload)
+        // Stage 4: distributed repository off-loading. On star systems
+        // the single repository negotiates with every site (the paper's
+        // protocol, bit-identical to before the tree refactor). On tree
+        // systems each serving node negotiates with its own client group
+        // against the node's Eq. 9 budget.
+        let (offload, offload_by_node) = match &selection {
+            None => {
+                let repo_cap = system.repository().capacity.get();
+                let out = {
+                    let _s = mmrepl_obs::span("plan.offload");
+                    run_offload(&mut works, repo_cap, &self.config.offload)
+                };
+                (out.report, Vec::new())
+            }
+            Some(sel) => {
+                let _s = mmrepl_obs::span("plan.offload");
+                let topo = system.topology().expect("selection implies topology");
+                // Group the per-site states contiguously by serving node
+                // (ascending node, then site id — deterministic). The
+                // final assembly indexes by page id, so reordering the
+                // works is placement-neutral.
+                works.sort_by_key(|w| (sel.serving[w.site()].index(), w.site()));
+                let mut by_node = Vec::new();
+                let mut start = 0;
+                while start < works.len() {
+                    let node = sel.serving[works[start].site()];
+                    let mut end = start;
+                    while end < works.len() && sel.serving[works[end].site()] == node {
+                        end += 1;
+                    }
+                    let cap = topo.node(node).capacity.get();
+                    let out = run_offload(&mut works[start..end], cap, &self.config.offload);
+                    by_node.push(out.report);
+                    start = end;
+                }
+                (aggregate_offload(&by_node), by_node)
+            }
         };
 
         // Assemble the final placement.
@@ -211,29 +304,281 @@ impl ReplicationPolicy {
             .collect();
         let placement = Placement::new(system, partitions).expect("plan shapes are consistent");
 
-        let check = ConstraintReport::check(system, &placement);
+        // Feasibility and objective: tree systems check Eq. 9 per
+        // serving node and price the remote stream over the selected
+        // channels; star systems keep the paper's global check verbatim.
+        let (check, objective) = match &selection {
+            None => {
+                let check = ConstraintReport::check(system, &placement);
+                let cm = mmrepl_model::CostModel::new(system, self.config.cost);
+                (check, cm.objective(&placement))
+            }
+            Some(sel) => {
+                let check = ConstraintReport::check_with_serving(system, &placement, &sel.serving);
+                let channels: IdVec<SiteId, ServingChannel> = system
+                    .sites()
+                    .ids()
+                    .map(|s| {
+                        system
+                            .serving_channel(s, sel.serving[s])
+                            .expect("serving node is an ancestor of the attach node")
+                    })
+                    .collect();
+                let cm =
+                    mmrepl_model::CostModel::with_channels(system, self.config.cost, &channels);
+                (check, cm.objective(&placement))
+            }
+        };
         let update_ok = !self.config.include_update_load
             || mmrepl_model::UpdateAwareReport::check(system, &placement).is_feasible();
-        let cm = mmrepl_model::CostModel::new(system, self.config.cost);
+        let (promotions, qos_blocked, serving) = match &selection {
+            None => (0, 0, Vec::new()),
+            Some(sel) => (
+                sel.promotions,
+                sel.qos_blocked,
+                sel.serving.iter().map(|(_, n)| n.index() as u32).collect(),
+            ),
+        };
         let report = PlanReport {
             feasible: check.is_feasible() && update_ok,
-            objective: cm.objective(&placement),
+            objective,
             storage,
             capacity,
-            offload: offload.report,
+            offload,
+            serving,
+            offload_by_node,
+            promotions,
+            qos_blocked,
         };
         PlanOutcome { placement, report }
     }
 }
 
+/// Rolls per-node off-loading summaries into one report. Negotiations at
+/// distinct nodes run concurrently, so `rounds` and `control_time` take
+/// the slowest node while message and workload counters sum.
+fn aggregate_offload(by_node: &[OffloadReport]) -> OffloadReport {
+    let mut agg = OffloadReport {
+        rounds: 0,
+        messages: 0,
+        control_time: 0.0,
+        initial_repo_load: 0.0,
+        final_repo_load: 0.0,
+        absorbed: 0.0,
+        swaps: 0,
+        feasible: true,
+        dropped: 0,
+    };
+    for r in by_node {
+        agg.rounds = agg.rounds.max(r.rounds);
+        agg.messages += r.messages;
+        agg.control_time = agg.control_time.max(r.control_time);
+        agg.initial_repo_load += r.initial_repo_load;
+        agg.final_repo_load += r.final_repo_load;
+        agg.absorbed += r.absorbed;
+        agg.swaps += r.swaps;
+        agg.feasible &= r.feasible;
+        agg.dropped += r.dropped;
+    }
+    agg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmrepl_model::CostModel;
+    use mmrepl_model::{
+        Attachment, BytesPerSec, CostModel, Link, NodeId, RepoNode, ReqPerSec, Secs, Topology,
+    };
     use mmrepl_workload::{generate_system, WorkloadParams};
 
     fn small_system(seed: u64) -> mmrepl_model::System {
         generate_system(&WorkloadParams::small(), seed).unwrap()
+    }
+
+    /// Wraps `sys` in a three-node chain: origin `N0` ← `N1`
+    /// (8 KiB/s, 0.2 s) ← `N2` (4 KiB/s, 0.1 s), every site attached to
+    /// the deepest node. Node capacities default to unbounded unless
+    /// `edge_cap` bounds `N2`.
+    fn chain_tree(sys: &System, edge_cap: ReqPerSec) -> System {
+        let nodes = IdVec::from_vec(vec![
+            RepoNode::default(),
+            RepoNode::default(),
+            RepoNode { capacity: edge_cap },
+        ]);
+        let parents = IdVec::from_vec(vec![
+            None,
+            Some((
+                NodeId::new(0),
+                Link {
+                    bandwidth: BytesPerSec::kib_per_sec(8.0),
+                    latency: Secs(0.2),
+                },
+            )),
+            Some((
+                NodeId::new(1),
+                Link {
+                    bandwidth: BytesPerSec::kib_per_sec(4.0),
+                    latency: Secs(0.1),
+                },
+            )),
+        ]);
+        let attachments = IdVec::from_vec(
+            (0..sys.n_sites())
+                .map(|_| Attachment {
+                    node: NodeId::new(2),
+                    qos: None,
+                })
+                .collect(),
+        );
+        let topo = Topology::new(nodes, parents, attachments).unwrap();
+        sys.with_topology(topo).unwrap()
+    }
+
+    #[test]
+    fn single_node_tree_plan_is_bit_identical_to_star() {
+        let star = small_system(9)
+            .with_storage_fraction(0.5)
+            .with_processing_fraction(0.8)
+            .with_central_fraction(0.9);
+        let topo = Topology::single_node(star.n_sites(), star.repository().capacity);
+        let tree = star.with_topology(topo).unwrap();
+        let a = ReplicationPolicy::new().plan(&star);
+        for policy in [AncestorPolicy::Closest, AncestorPolicy::Flat] {
+            let b = ReplicationPolicy::with_config(PlannerConfig {
+                ancestor: policy,
+                ..PlannerConfig::default()
+            })
+            .plan(&tree);
+            assert_eq!(a.placement, b.placement, "policy {policy}");
+            assert_eq!(
+                a.report.objective.to_bits(),
+                b.report.objective.to_bits(),
+                "policy {policy}"
+            );
+            assert_eq!(a.report.storage, b.report.storage);
+            assert_eq!(a.report.capacity, b.report.capacity);
+            assert_eq!(a.report.offload, b.report.offload);
+            assert_eq!(a.report.feasible, b.report.feasible);
+            assert_eq!(b.report.serving, vec![0u32; star.n_sites()]);
+            assert_eq!(b.report.offload_by_node.len(), 1);
+            assert_eq!(b.report.promotions, 0);
+        }
+    }
+
+    #[test]
+    fn closest_beats_flat_on_a_constrained_chain() {
+        let tree = chain_tree(&small_system(10), ReqPerSec::INFINITE);
+        let plan_with = |policy| {
+            ReplicationPolicy::with_config(PlannerConfig {
+                ancestor: policy,
+                ..PlannerConfig::default()
+            })
+            .plan(&tree)
+        };
+        let closest = plan_with(AncestorPolicy::Closest);
+        let flat = plan_with(AncestorPolicy::Flat);
+        // Closest keeps every site on its attach node; flat drags every
+        // remote stream through both constrained links to the origin.
+        assert!(closest.report.serving.iter().all(|&n| n == 2));
+        assert!(flat.report.serving.iter().all(|&n| n == 0));
+        assert_eq!(closest.report.offload_by_node.len(), 1);
+        assert_eq!(flat.report.offload_by_node.len(), 1);
+        assert!(closest.report.feasible);
+        assert!(flat.report.feasible);
+        assert!(
+            closest.report.objective <= flat.report.objective + 1e-9,
+            "closest {} vs flat {}",
+            closest.report.objective,
+            flat.report.objective
+        );
+    }
+
+    #[test]
+    fn tight_edge_node_promotes_sites_and_splits_offload() {
+        // The deepest node can barely serve anything, so closest
+        // allocation promotes sites up the chain and the off-loading
+        // stage negotiates per serving node.
+        let tree = chain_tree(&small_system(11), ReqPerSec(0.001));
+        let outcome = ReplicationPolicy::with_config(PlannerConfig {
+            ancestor: AncestorPolicy::Closest,
+            ..PlannerConfig::default()
+        })
+        .plan(&tree);
+        // Nothing fits on the starved edge: every site promotes to N1.
+        assert!(outcome.report.promotions >= 1);
+        assert!(outcome.report.serving.iter().all(|&n| n != 2));
+        let serving: IdVec<SiteId, NodeId> = outcome
+            .report
+            .serving
+            .iter()
+            .map(|&n| NodeId::new(n))
+            .collect();
+        let check = ConstraintReport::check_with_serving(&tree, &outcome.placement, &serving);
+        assert_eq!(check.is_feasible(), outcome.report.feasible);
+    }
+
+    #[test]
+    fn sites_split_across_nodes_offload_per_node() {
+        // Alternate site attachments between N1 and N2 so closest
+        // allocation yields two serving groups, each with its own
+        // Eq. 9 negotiation.
+        let sys = small_system(13);
+        let nodes = IdVec::from_vec(vec![
+            RepoNode::default(),
+            RepoNode::default(),
+            RepoNode::default(),
+        ]);
+        let parents = IdVec::from_vec(vec![
+            None,
+            Some((
+                NodeId::new(0),
+                Link {
+                    bandwidth: BytesPerSec::kib_per_sec(8.0),
+                    latency: Secs(0.2),
+                },
+            )),
+            Some((
+                NodeId::new(1),
+                Link {
+                    bandwidth: BytesPerSec::kib_per_sec(4.0),
+                    latency: Secs(0.1),
+                },
+            )),
+        ]);
+        let attachments = IdVec::from_vec(
+            (0..sys.n_sites())
+                .map(|i| Attachment {
+                    node: NodeId::new(1 + (i as u32 % 2)),
+                    qos: None,
+                })
+                .collect(),
+        );
+        let tree = sys
+            .with_topology(Topology::new(nodes, parents, attachments).unwrap())
+            .unwrap();
+        let outcome = ReplicationPolicy::with_config(PlannerConfig {
+            ancestor: AncestorPolicy::Closest,
+            ..PlannerConfig::default()
+        })
+        .plan(&tree);
+        assert_eq!(outcome.report.promotions, 0);
+        assert_eq!(outcome.report.offload_by_node.len(), 2);
+        assert!(outcome.report.serving.contains(&1));
+        assert!(outcome.report.serving.contains(&2));
+        assert!(outcome.report.feasible);
+    }
+
+    #[test]
+    fn tree_plan_is_deterministic() {
+        let tree = chain_tree(&small_system(12).with_storage_fraction(0.6), ReqPerSec(2.0));
+        let policy = ReplicationPolicy::with_config(PlannerConfig {
+            ancestor: AncestorPolicy::Closest,
+            ..PlannerConfig::default()
+        });
+        let a = policy.plan(&tree);
+        let b = policy.plan_parallel(&tree, 3);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.report, b.report);
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Ancestor selection for federated repository trees.
+//!
+//! With a [`Topology`](mmrepl_model::Topology) attached to the system,
+//! every site's remote stream must be served by some *ancestor* of its
+//! attach node, over the constrained path (bottleneck bandwidth, summed
+//! latency). This module decides which ancestor serves each site and
+//! derives the effective [`SiteParams`] the planner then works against.
+//!
+//! Two policies are implemented, after Rehn-Sonigo's closest-allocation
+//! work on replica placement in tree networks:
+//!
+//! * [`AncestorPolicy::Closest`] (default) — each site is served by its
+//!   attach node; when a node's aggregate remote demand exceeds its
+//!   capacity, the highest-demand sites are promoted toward the parent
+//!   (QoS permitting) until the node fits. Root overload is left for the
+//!   off-loading negotiation, exactly like the star's repository overload.
+//! * [`AncestorPolicy::Flat`] — every site is served by the root, the
+//!   paper's single-repository policy lifted onto the tree. QoS bounds are
+//!   *not* consulted (the paper's model has none); the E-X6 study measures
+//!   what that costs.
+//!
+//! On a one-node tree both policies serve every site from the root at
+//! zero hops, and the zero-hop channel is the site's raw
+//! `repo_rate`/`repo_ovhd` **bit for bit** — so star plans are unchanged.
+
+use crate::streams::SiteParams;
+use mmrepl_model::{IdVec, NodeId, SiteId, System};
+use serde::{Deserialize, Serialize};
+
+/// Which ancestor serves each site's remote stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AncestorPolicy {
+    /// Closest allocation: serve from the attach node, promoting
+    /// high-demand sites toward the root only when a node's capacity
+    /// overflows and QoS allows.
+    #[default]
+    Closest,
+    /// The paper's flat policy: every site is served by the root
+    /// repository regardless of distance or QoS.
+    Flat,
+}
+
+impl std::fmt::Display for AncestorPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AncestorPolicy::Closest => write!(f, "closest"),
+            AncestorPolicy::Flat => write!(f, "flat"),
+        }
+    }
+}
+
+/// The outcome of an ancestor-selection pass: one serving node and one
+/// effective parameter bundle per site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Selection {
+    /// The node assigned to serve each site's remote stream.
+    pub serving: IdVec<SiteId, NodeId>,
+    /// The effective planner estimates per site: local fields raw,
+    /// repository fields replaced by the serving channel (rate capped by
+    /// the path bottleneck, overhead plus path latency).
+    pub params: IdVec<SiteId, SiteParams>,
+    /// Sites moved off their attach node by capacity pressure.
+    pub promotions: usize,
+    /// Promotion attempts vetoed by a QoS bound.
+    pub qos_blocked: usize,
+}
+
+/// Matches the off-loading protocol's feasibility slack.
+const EPS: f64 = 1e-9;
+
+/// The remote demand a site would impose on its serving node if *nothing*
+/// were replicated locally — the conservative (placement-independent)
+/// load proxy the selection pass budgets with, mirroring the all-remote
+/// Eq. 9 accounting.
+fn remote_demand(system: &System, site: SiteId) -> f64 {
+    system
+        .pages_of(site)
+        .iter()
+        .map(|&p| {
+            let page = system.page(p);
+            page.freq.get() * (page.n_compulsory() as f64 + page.expected_optional_requests())
+        })
+        .sum()
+}
+
+/// Runs ancestor selection over the system's tree topology.
+///
+/// # Panics
+/// Panics if the system carries no topology (star systems never reach the
+/// selection stage).
+pub fn select_ancestors(system: &System, policy: AncestorPolicy) -> Selection {
+    let topo = system
+        .topology()
+        .expect("ancestor selection requires a tree topology");
+
+    let mut serving: IdVec<SiteId, NodeId> = match policy {
+        AncestorPolicy::Flat => system.sites().ids().map(|_| topo.root()).collect(),
+        AncestorPolicy::Closest => system
+            .sites()
+            .ids()
+            .map(|s| topo.attachment(s).node)
+            .collect(),
+    };
+
+    let mut promotions = 0usize;
+    let mut qos_blocked = 0usize;
+    if policy == AncestorPolicy::Closest {
+        let demand: Vec<f64> = system
+            .sites()
+            .ids()
+            .map(|s| remote_demand(system, s))
+            .collect();
+
+        // Deepest nodes first, so load promoted off an edge node is
+        // visible when its parent's budget is checked.
+        let mut order: Vec<NodeId> = topo.nodes().ids().collect();
+        order.sort_by_key(|&n| (std::cmp::Reverse(topo.depth(n)), n));
+
+        for n in order {
+            let cap = topo.node(n).capacity.get();
+            let Some((parent, _)) = topo.parent(n) else {
+                // Root overload is the star's repository overload: the
+                // off-loading negotiation absorbs it.
+                continue;
+            };
+            let mut members: Vec<SiteId> =
+                system.sites().ids().filter(|&s| serving[s] == n).collect();
+            let mut load: f64 = members.iter().map(|&s| demand[s.index()]).sum();
+            if load <= cap * (1.0 + EPS) + EPS {
+                continue;
+            }
+            // Promote the heaviest sites first (ties by site id, for
+            // determinism) until the node fits or nothing may move.
+            members.sort_by(|&a, &b| {
+                demand[b.index()]
+                    .total_cmp(&demand[a.index()])
+                    .then(a.cmp(&b))
+            });
+            for s in members {
+                if load <= cap * (1.0 + EPS) + EPS {
+                    break;
+                }
+                if system.qos_allows(s, parent) == Some(true) {
+                    serving[s] = parent;
+                    load -= demand[s.index()];
+                    promotions += 1;
+                } else {
+                    qos_blocked += 1;
+                }
+            }
+        }
+    }
+
+    let params: IdVec<SiteId, SiteParams> = system
+        .sites()
+        .iter()
+        .map(|(sid, site)| {
+            let ch = system
+                .serving_channel(sid, serving[sid])
+                .expect("serving node is an ancestor of the attach node");
+            SiteParams {
+                local_ovhd: site.local_ovhd.get(),
+                local_rate: site.local_rate.get(),
+                repo_ovhd: ch.ovhd.get(),
+                repo_rate: ch.rate.get(),
+            }
+        })
+        .collect();
+
+    if mmrepl_obs::enabled() {
+        mmrepl_obs::add("select.promotions", promotions as u64);
+        mmrepl_obs::add("select.qos_blocked", qos_blocked as u64);
+    }
+
+    Selection {
+        serving,
+        params,
+        promotions,
+        qos_blocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmrepl_model::{
+        Attachment, Bytes, BytesPerSec, IdVec, Link, MediaObject, RepoNode, ReqPerSec, Secs, Site,
+        SystemBuilder, Topology, WebPage,
+    };
+
+    fn site() -> Site {
+        Site {
+            storage: Bytes::gib(10),
+            capacity: ReqPerSec::INFINITE,
+            local_rate: BytesPerSec::kib_per_sec(6.5),
+            repo_rate: BytesPerSec::kib_per_sec(4.0),
+            local_ovhd: Secs(1.5),
+            repo_ovhd: Secs(2.0),
+        }
+    }
+
+    fn link(bw_kibps: f64, latency: f64) -> Link {
+        Link {
+            bandwidth: BytesPerSec::kib_per_sec(bw_kibps),
+            latency: Secs(latency),
+        }
+    }
+
+    /// `n_sites` one-page sites with per-site frequency `freqs[i]`, all
+    /// attached per `attach` on the given tree.
+    fn tree_system(
+        freqs: &[f64],
+        nodes: Vec<RepoNode>,
+        parents: Vec<Option<(NodeId, Link)>>,
+        attach: Vec<Attachment>,
+    ) -> System {
+        let mut b = SystemBuilder::new();
+        let m = b.add_object(MediaObject::of_size(Bytes::kib(200)));
+        for &f in freqs {
+            let s = b.add_site(site());
+            b.add_page(WebPage {
+                site: s,
+                html_size: Bytes::kib(10),
+                freq: ReqPerSec(f),
+                compulsory: vec![m],
+                optional: vec![],
+                opt_req_factor: 1.0,
+            });
+        }
+        b.topology(
+            Topology::new(
+                IdVec::from_vec(nodes),
+                IdVec::from_vec(parents),
+                IdVec::from_vec(attach),
+            )
+            .unwrap(),
+        );
+        b.build().unwrap()
+    }
+
+    fn node(cap: f64) -> RepoNode {
+        RepoNode {
+            capacity: ReqPerSec(cap),
+        }
+    }
+
+    fn att(n: u32) -> Attachment {
+        Attachment {
+            node: NodeId::new(n),
+            qos: None,
+        }
+    }
+
+    #[test]
+    fn single_node_selection_is_bit_identical_to_raw_params() {
+        let sys = tree_system(
+            &[1.0, 2.0],
+            vec![RepoNode::default()],
+            vec![None],
+            vec![att(0), att(0)],
+        );
+        for policy in [AncestorPolicy::Closest, AncestorPolicy::Flat] {
+            let sel = select_ancestors(&sys, policy);
+            assert_eq!(sel.promotions, 0);
+            for (sid, s) in sys.sites().iter() {
+                assert_eq!(sel.serving[sid], NodeId::new(0));
+                let raw = SiteParams::of(s);
+                let got = sel.params[sid];
+                assert_eq!(got.repo_rate.to_bits(), raw.repo_rate.to_bits());
+                assert_eq!(got.repo_ovhd.to_bits(), raw.repo_ovhd.to_bits());
+                assert_eq!(got.local_rate.to_bits(), raw.local_rate.to_bits());
+                assert_eq!(got.local_ovhd.to_bits(), raw.local_ovhd.to_bits());
+            }
+        }
+    }
+
+    /// Origin N0 with two edges N1, N2; one site on each edge.
+    fn two_edge_tree(edge_caps: (f64, f64), freqs: &[f64]) -> System {
+        tree_system(
+            freqs,
+            vec![node(1000.0), node(edge_caps.0), node(edge_caps.1)],
+            vec![
+                None,
+                Some((NodeId::new(0), link(2.0, 0.5))),
+                Some((NodeId::new(0), link(2.0, 0.5))),
+            ],
+            vec![att(1), att(2)],
+        )
+    }
+
+    #[test]
+    fn closest_stays_at_attach_when_capacity_suffices() {
+        let sys = two_edge_tree((100.0, 100.0), &[1.0, 1.0]);
+        let sel = select_ancestors(&sys, AncestorPolicy::Closest);
+        assert_eq!(sel.serving[SiteId::new(0)], NodeId::new(1));
+        assert_eq!(sel.serving[SiteId::new(1)], NodeId::new(2));
+        assert_eq!(sel.promotions, 0);
+        // Attach serving = zero hops = raw params.
+        let raw = SiteParams::of(sys.site(SiteId::new(0)));
+        assert_eq!(
+            sel.params[SiteId::new(0)].repo_rate.to_bits(),
+            raw.repo_rate.to_bits()
+        );
+    }
+
+    #[test]
+    fn overloaded_edge_promotes_heaviest_site_to_parent() {
+        // Edge N1 hosts both sites (demand 1 and 3 req/s) but caps at 3.5.
+        let sys = tree_system(
+            &[1.0, 3.0],
+            vec![node(1000.0), node(3.5)],
+            vec![None, Some((NodeId::new(0), link(2.0, 0.5)))],
+            vec![att(1), att(1)],
+        );
+        let sel = select_ancestors(&sys, AncestorPolicy::Closest);
+        // The heavier site 1 moves to the origin; site 0 stays.
+        assert_eq!(sel.serving[SiteId::new(0)], NodeId::new(1));
+        assert_eq!(sel.serving[SiteId::new(1)], NodeId::new(0));
+        assert_eq!(sel.promotions, 1);
+        // Promoted site's channel is constrained: rate capped at 2 KiB/s
+        // (site rate 4), overhead 2.0 + 0.5.
+        let p = sel.params[SiteId::new(1)];
+        assert_eq!(p.repo_rate, BytesPerSec::kib_per_sec(2.0).get());
+        assert!((p.repo_ovhd - 2.5).abs() < 1e-12);
+        // Un-promoted site keeps the raw channel.
+        let raw = SiteParams::of(sys.site(SiteId::new(0)));
+        assert_eq!(
+            sel.params[SiteId::new(0)].repo_rate.to_bits(),
+            raw.repo_rate.to_bits()
+        );
+    }
+
+    #[test]
+    fn qos_bound_blocks_promotion() {
+        // Same overload, but the heavy site's QoS (2.2 s) forbids the
+        // parent channel (2.0 + 0.5 = 2.5 s), so the lighter site moves
+        // instead.
+        let sys = tree_system(
+            &[1.0, 3.0],
+            vec![node(1000.0), node(3.5)],
+            vec![None, Some((NodeId::new(0), link(2.0, 0.5)))],
+            vec![
+                att(1),
+                Attachment {
+                    node: NodeId::new(1),
+                    qos: Some(Secs(2.2)),
+                },
+            ],
+        );
+        let sel = select_ancestors(&sys, AncestorPolicy::Closest);
+        assert_eq!(sel.serving[SiteId::new(1)], NodeId::new(1));
+        assert_eq!(sel.serving[SiteId::new(0)], NodeId::new(0));
+        assert_eq!(sel.qos_blocked, 1);
+        assert_eq!(sel.promotions, 1);
+    }
+
+    #[test]
+    fn flat_serves_everyone_from_the_root() {
+        let sys = two_edge_tree((0.5, 0.5), &[1.0, 1.0]);
+        let sel = select_ancestors(&sys, AncestorPolicy::Flat);
+        for s in sys.sites().ids() {
+            assert_eq!(sel.serving[s], NodeId::new(0));
+            // One hop: rate capped at 2 KiB/s, overhead 2.0 + 0.5.
+            assert_eq!(sel.params[s].repo_rate, BytesPerSec::kib_per_sec(2.0).get());
+            assert!((sel.params[s].repo_ovhd - 2.5).abs() < 1e-12);
+        }
+        assert_eq!(sel.promotions, 0);
+    }
+
+    #[test]
+    fn promotion_cascades_toward_the_root() {
+        // Three levels: origin N0 ← regional N1 ← edge N2. The edge caps
+        // at 0 so both sites promote to the regional; the regional caps
+        // at 3.5 so the heavy one continues to the origin.
+        let sys = tree_system(
+            &[1.0, 3.0],
+            vec![node(1000.0), node(3.5), node(0.0)],
+            vec![
+                None,
+                Some((NodeId::new(0), link(3.0, 0.25))),
+                Some((NodeId::new(1), link(2.0, 0.5))),
+            ],
+            vec![att(2), att(2)],
+        );
+        let sel = select_ancestors(&sys, AncestorPolicy::Closest);
+        assert_eq!(sel.serving[SiteId::new(0)], NodeId::new(1));
+        assert_eq!(sel.serving[SiteId::new(1)], NodeId::new(0));
+        assert_eq!(sel.promotions, 3);
+        // Site 1's two-hop channel: bottleneck min(2,3) = 2 KiB/s,
+        // latency 0.5 + 0.25.
+        let p = sel.params[SiteId::new(1)];
+        assert_eq!(p.repo_rate, BytesPerSec::kib_per_sec(2.0).get());
+        assert!((p.repo_ovhd - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let sys = two_edge_tree((1.5, 100.0), &[1.0, 1.0]);
+        let a = select_ancestors(&sys, AncestorPolicy::Closest);
+        let b = select_ancestors(&sys, AncestorPolicy::Closest);
+        assert_eq!(a, b);
+    }
+}

@@ -115,6 +115,23 @@ impl<'a> SiteWork<'a> {
         count_updates: bool,
     ) -> Self {
         let params = SiteParams::of(sys.site(site));
+        Self::with_params(sys, site, placement, cost, count_updates, params)
+    }
+
+    /// Like [`SiteWork::with_update_accounting`] but against explicit site
+    /// estimates. The federated-tree planner passes the effective channel
+    /// of the site's serving ancestor; every derived quantity (streams,
+    /// optional costs, repartitioning) then prices the remote pipe over
+    /// the constrained path. With `SiteParams::of(sys.site(site))` this is
+    /// exactly the classic constructor.
+    pub fn with_params(
+        sys: &'a System,
+        site: SiteId,
+        placement: &Placement,
+        cost: CostParams,
+        count_updates: bool,
+        params: SiteParams,
+    ) -> Self {
         let pages: Vec<PageId> = sys.pages_of(site).to_vec();
 
         // Build the site-local dense object index: every object some local

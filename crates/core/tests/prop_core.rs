@@ -5,10 +5,11 @@
 
 use mmrepl_core::{
     audit_site, check_repo_constraint, check_site_constraints, partition_all, restore_capacity,
-    restore_storage, run_offload, AuditStage, OffloadConfig, ReplicationPolicy, SiteWork,
+    restore_storage, run_offload, AncestorPolicy, AuditStage, OffloadConfig, PlannerConfig,
+    ReplicationPolicy, SiteWork,
 };
-use mmrepl_model::{ConstraintReport, CostParams, SiteId};
-use mmrepl_workload::{generate_system, WorkloadParams};
+use mmrepl_model::{ConstraintReport, CostParams, IdVec, NodeId, SiteId, Topology};
+use mmrepl_workload::{generate_system, TopologyParams, WorkloadParams};
 use proptest::prelude::*;
 
 fn small_sys(seed: u64) -> mmrepl_model::System {
@@ -245,6 +246,76 @@ proptest! {
         // load must hold trivially — the checker itself must agree.
         let residual: f64 = works.iter().map(|w| w.repo_load()).sum();
         prop_assert!(check_repo_constraint(&works, residual, AuditStage::CapacityRestore).is_ok());
+    }
+
+    /// Star-degeneracy oracle: wrapping a star system in the degenerate
+    /// single-node tree must not change one bit of the plan, under either
+    /// ancestor policy and arbitrary constraint tightness. The tree code
+    /// path (selection, channel-parameterised partition, per-node
+    /// off-loading, serving-aware pricing) must collapse exactly onto the
+    /// paper's planner when the hierarchy is trivial.
+    #[test]
+    fn single_node_tree_plans_bit_identical_to_star(
+        seed in 0u64..200,
+        sf in 0.05f64..1.2,
+        pf in 0.05f64..1.2,
+        flat in any::<bool>(),
+    ) {
+        let star = small_sys(seed)
+            .with_storage_fraction(sf)
+            .with_processing_fraction(pf);
+        let topo = Topology::single_node(star.n_sites(), star.repository().capacity);
+        let tree = star.with_topology(topo).expect("degenerate tree is valid");
+        let policy = ReplicationPolicy::with_config(PlannerConfig {
+            ancestor: if flat { AncestorPolicy::Flat } else { AncestorPolicy::Closest },
+            ..PlannerConfig::default()
+        });
+        let a = policy.plan(&star);
+        let b = policy.plan(&tree);
+        prop_assert_eq!(&a.placement, &b.placement);
+        prop_assert_eq!(a.report.objective.to_bits(), b.report.objective.to_bits(),
+            "objective {} vs {}", a.report.objective, b.report.objective);
+        prop_assert_eq!(&a.report.storage, &b.report.storage);
+        prop_assert_eq!(&a.report.capacity, &b.report.capacity);
+        prop_assert_eq!(&a.report.offload, &b.report.offload);
+        prop_assert_eq!(a.report.feasible, b.report.feasible);
+        prop_assert!(b.report.serving.iter().all(|&n| n == 0));
+        prop_assert_eq!(b.report.promotions, 0);
+        prop_assert_eq!(b.report.qos_blocked, 0);
+    }
+
+    /// On genuine trees the planner's feasibility claim must agree with
+    /// the serving-aware constraint checker, for arbitrary tightness and
+    /// both ancestor policies. (With the `audit` feature on, every plan
+    /// in here also runs the per-stage invariant auditor over the tree
+    /// path's channel-parameterised bookkeeping.)
+    #[test]
+    fn tree_planner_feasibility_is_honest(
+        seed in 0u64..100,
+        sf in 0.05f64..1.2,
+        pf in 0.05f64..1.2,
+        flat in any::<bool>(),
+    ) {
+        let mut params = WorkloadParams::small();
+        params.topology = TopologyParams::edge();
+        let sys = generate_system(&params, seed)
+            .expect("valid params")
+            .with_storage_fraction(sf)
+            .with_processing_fraction(pf);
+        let policy = ReplicationPolicy::with_config(PlannerConfig {
+            ancestor: if flat { AncestorPolicy::Flat } else { AncestorPolicy::Closest },
+            ..PlannerConfig::default()
+        });
+        let outcome = policy.plan(&sys);
+        let serving: IdVec<SiteId, NodeId> = outcome
+            .report
+            .serving
+            .iter()
+            .map(|&n| NodeId::new(n))
+            .collect();
+        let check = ConstraintReport::check_with_serving(&sys, &outcome.placement, &serving);
+        prop_assert_eq!(outcome.report.feasible, check.is_feasible(),
+            "report {} vs check {:?}", outcome.report.feasible, check.violations);
     }
 
     /// Storage restoration never leaves Eq. 10 violated when it claims

@@ -2,7 +2,7 @@
 //! sites) and Eq. 9 (repository), and the storage constraint Eq. 10.
 
 use crate::entities::System;
-use crate::ids::SiteId;
+use crate::ids::{IdVec, NodeId, SiteId};
 use crate::placement::Placement;
 use crate::units::{Bytes, ReqPerSec};
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,17 @@ pub enum Violation {
         /// `Size(S_i)`.
         capacity: Bytes,
     },
+    /// Per-node Eq. 9 (federated-tree extension) — a repository node
+    /// receives more requests/sec than its `C(N)` from the sites it
+    /// serves.
+    NodeCapacity {
+        /// The overloaded repository node.
+        node: NodeId,
+        /// Offered load from the sites assigned to this node.
+        load: ReqPerSec,
+        /// `C(N)`.
+        capacity: ReqPerSec,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -54,6 +65,14 @@ impl fmt::Display for Violation {
                 used,
                 capacity,
             } => write!(f, "site {site} stores {used} exceeding {capacity}"),
+            Violation::NodeCapacity {
+                node,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "repository node {node} load {load} exceeds capacity {capacity}"
+            ),
         }
     }
 }
@@ -65,15 +84,53 @@ pub struct ConstraintReport {
     pub site_loads: Vec<ReqPerSec>,
     /// Per-site storage used (Eq. 10 LHS), indexed by raw site id.
     pub storage_used: Vec<Bytes>,
-    /// Repository offered load (Eq. 9 LHS).
+    /// Repository offered load (Eq. 9 LHS). Under a serving assignment
+    /// this is still the *total* remote load, summed over all nodes.
     pub repo_load: ReqPerSec,
+    /// Per-node offered load (per-node Eq. 9 LHS), indexed by raw node
+    /// id. Empty for star systems checked without a serving assignment.
+    #[serde(default)]
+    pub node_loads: Vec<ReqPerSec>,
     /// Every violated constraint, in site order, storage before capacity.
     pub violations: Vec<Violation>,
 }
 
 impl ConstraintReport {
-    /// Evaluates all three constraint families for `placement`.
+    /// Evaluates all three constraint families for `placement` against the
+    /// single central repository (the paper's star model). With a tree
+    /// topology and a serving assignment, use
+    /// [`ConstraintReport::check_with_serving`] instead.
     pub fn check(system: &System, placement: &Placement) -> Self {
+        Self::check_inner(system, placement, None)
+    }
+
+    /// Evaluates Eq. 8/10 plus the *per-node* Eq. 9: each repository
+    /// node's capacity is checked against the remote load of exactly the
+    /// sites assigned to it. The global [`Self::repo_load`] is still
+    /// reported (as the sum over nodes) but the star's single
+    /// repository-capacity check is replaced by the per-node checks.
+    ///
+    /// # Panics
+    /// Panics if the system carries no topology or `serving` does not
+    /// cover every site.
+    pub fn check_with_serving(
+        system: &System,
+        placement: &Placement,
+        serving: &IdVec<SiteId, NodeId>,
+    ) -> Self {
+        assert_eq!(
+            serving.len(),
+            system.n_sites(),
+            "serving assignment must cover every site"
+        );
+        Self::check_inner(system, placement, Some(serving))
+    }
+
+    fn check_inner(
+        system: &System,
+        placement: &Placement,
+        serving: Option<&IdVec<SiteId, NodeId>>,
+    ) -> Self {
         // Floating-point slack: restoration algorithms drive loads to
         // exactly the capacity; a ulp of noise must not read as violation.
         const REL_EPS: f64 = 1e-9;
@@ -107,18 +164,45 @@ impl ConstraintReport {
         }
 
         let repo_load = placement.repo_load(system);
-        let rcap = system.repository().capacity;
-        if repo_load.get() > rcap.get() * (1.0 + REL_EPS) + REL_EPS {
-            violations.push(Violation::RepositoryCapacity {
-                load: repo_load,
-                capacity: rcap,
-            });
+        let mut node_loads = Vec::new();
+        match serving {
+            None => {
+                let rcap = system.repository().capacity;
+                if repo_load.get() > rcap.get() * (1.0 + REL_EPS) + REL_EPS {
+                    violations.push(Violation::RepositoryCapacity {
+                        load: repo_load,
+                        capacity: rcap,
+                    });
+                }
+            }
+            Some(serving) => {
+                let topo = system
+                    .topology()
+                    .expect("serving assignment requires a tree topology");
+                let mut loads = vec![0.0; topo.n_nodes()];
+                for site in system.sites().ids() {
+                    loads[serving[site].index()] += placement.repo_load_from(system, site).get();
+                }
+                for (idx, &load) in loads.iter().enumerate() {
+                    let node = NodeId::from_index(idx);
+                    let cap = topo.node(node).capacity;
+                    node_loads.push(ReqPerSec(load));
+                    if load > cap.get() * (1.0 + REL_EPS) + REL_EPS {
+                        violations.push(Violation::NodeCapacity {
+                            node,
+                            load: ReqPerSec(load),
+                            capacity: cap,
+                        });
+                    }
+                }
+            }
         }
 
         ConstraintReport {
             site_loads,
             storage_used,
             repo_load,
+            node_loads,
             violations,
         }
     }
@@ -147,6 +231,13 @@ impl ConstraintReport {
         self.violations
             .iter()
             .any(|v| matches!(v, Violation::RepositoryCapacity { .. }))
+    }
+
+    /// Whether any per-node capacity constraint (tree Eq. 9) is violated.
+    pub fn node_capacity_violated(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, Violation::NodeCapacity { .. }))
     }
 }
 
@@ -254,6 +345,84 @@ mod tests {
         };
         let s = v.to_string();
         assert!(s.contains("S4"), "{s}");
+    }
+
+    #[test]
+    fn per_node_check_localizes_the_overload() {
+        use crate::topology::{Attachment, Link, RepoNode, Topology};
+        use crate::units::BytesPerSec as Bps;
+
+        // Two sites on separate edge nodes under one origin. Site 0's page
+        // generates 2 req/s remote; site 1's generates 1 req/s.
+        let mut b = SystemBuilder::new();
+        let s0 = b.add_site(constrained_site(Bytes::mib(10), ReqPerSec(100.0)));
+        let s1 = b.add_site(constrained_site(Bytes::mib(10), ReqPerSec(100.0)));
+        let m0 = b.add_object(MediaObject::of_size(Bytes::kib(100)));
+        let m1 = b.add_object(MediaObject::of_size(Bytes::kib(100)));
+        b.add_page(WebPage {
+            site: s0,
+            html_size: Bytes::kib(10),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m0, m1],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        b.add_page(WebPage {
+            site: s1,
+            html_size: Bytes::kib(10),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m0],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        let cap = |c: f64| RepoNode {
+            capacity: ReqPerSec(c),
+        };
+        let link = Link {
+            bandwidth: Bps::kib_per_sec(5.0),
+            latency: Secs(0.1),
+        };
+        let nodes = IdVec::from_vec(vec![cap(100.0), cap(1.5), cap(100.0)]);
+        let parents = IdVec::from_vec(vec![
+            None,
+            Some((NodeId::new(0), link)),
+            Some((NodeId::new(0), link)),
+        ]);
+        let attachments = IdVec::from_vec(vec![
+            Attachment {
+                node: NodeId::new(1),
+                qos: None,
+            },
+            Attachment {
+                node: NodeId::new(2),
+                qos: None,
+            },
+        ]);
+        b.topology(Topology::new(nodes, parents, attachments).unwrap());
+        let sys = b.build().unwrap();
+
+        let serving: IdVec<SiteId, NodeId> = IdVec::from_vec(vec![NodeId::new(1), NodeId::new(2)]);
+        let report =
+            ConstraintReport::check_with_serving(&sys, &Placement::all_remote(&sys), &serving);
+        // Node 1 gets 2 req/s > its 1.5 cap; node 2 gets 1 req/s, fine.
+        assert!(report.node_capacity_violated());
+        assert!(!report.repo_capacity_violated());
+        assert_eq!(report.node_loads.len(), 3);
+        assert!((report.node_loads[1].get() - 2.0).abs() < 1e-12);
+        assert!((report.node_loads[2].get() - 1.0).abs() < 1e-12);
+        assert!((report.repo_load.get() - 3.0).abs() < 1e-12);
+        assert!(matches!(
+            report.violations[0],
+            Violation::NodeCapacity { node, .. } if node == NodeId::new(1)
+        ));
+        let shown = report.violations[0].to_string();
+        assert!(shown.contains("N1"), "{shown}");
+
+        // Re-serving everything from the (big) origin clears it.
+        let root: IdVec<SiteId, NodeId> = IdVec::from_vec(vec![NodeId::new(0); 2]);
+        let report =
+            ConstraintReport::check_with_serving(&sys, &Placement::all_remote(&sys), &root);
+        assert!(report.is_feasible(), "{:?}", report.violations);
     }
 
     #[test]

@@ -19,10 +19,11 @@
 //! streams, which only makes it slightly conservative about the first
 //! remote download (matching the pseudocode).
 
-use crate::entities::System;
-use crate::ids::PageId;
+use crate::entities::{Site, System};
+use crate::ids::{IdVec, PageId, SiteId};
 use crate::placement::{PagePartition, Placement};
-use crate::units::Secs;
+use crate::topology::ServingChannel;
+use crate::units::{BytesPerSec, Secs};
 use serde::{Deserialize, Serialize};
 
 /// Weights `(α1, α2)` of the two target functions in Eq. 7.
@@ -75,12 +76,59 @@ impl PageCost {
 pub struct CostModel<'a> {
     system: &'a System,
     params: CostParams,
+    /// Optional per-site effective remote channels (federated-tree
+    /// extension): when set, Eq. 4/6 price the remote stream over the
+    /// serving ancestor's constrained path instead of the site's raw
+    /// repository estimates.
+    channels: Option<&'a IdVec<SiteId, ServingChannel>>,
 }
 
 impl<'a> CostModel<'a> {
     /// Creates a cost model with the given weights.
     pub fn new(system: &'a System, params: CostParams) -> Self {
-        CostModel { system, params }
+        CostModel {
+            system,
+            params,
+            channels: None,
+        }
+    }
+
+    /// Creates a cost model whose remote stream is priced through
+    /// per-site serving channels (one per site, e.g. from an
+    /// ancestor-selection pass over the system's tree topology) instead of
+    /// the sites' raw `repo_rate`/`repo_ovhd`.
+    ///
+    /// A zero-hop channel is bit-identical to the raw estimates, so
+    /// passing attach-node channels on any topology — or any channels on a
+    /// one-node tree — reproduces [`CostModel::new`] exactly.
+    pub fn with_channels(
+        system: &'a System,
+        params: CostParams,
+        channels: &'a IdVec<SiteId, ServingChannel>,
+    ) -> Self {
+        assert_eq!(
+            channels.len(),
+            system.n_sites(),
+            "one serving channel per site"
+        );
+        CostModel {
+            system,
+            params,
+            channels: Some(channels),
+        }
+    }
+
+    /// The effective remote channel for `site`: the override when
+    /// present, the site's raw estimates otherwise.
+    #[inline]
+    fn remote_channel(&self, site_id: SiteId, site: &Site) -> (BytesPerSec, Secs) {
+        match self.channels {
+            Some(ch) => {
+                let c = ch[site_id];
+                (c.rate, c.ovhd)
+            }
+            None => (site.repo_rate, site.repo_ovhd),
+        }
     }
 
     /// Creates a cost model with the paper's `(2, 1)` weights.
@@ -118,16 +166,17 @@ impl<'a> CostModel<'a> {
     pub fn time_remote(&self, page: PageId, part: &PagePartition) -> Secs {
         let p = self.system.page(page);
         let site = self.system.site(p.site);
+        let (repo_rate, repo_ovhd) = self.remote_channel(p.site, site);
         let mut t = Secs::ZERO;
         let mut any = false;
         for (slot, &k) in p.compulsory.iter().enumerate() {
             if !part.local_compulsory[slot] {
-                t += self.system.object_size(k) / site.repo_rate;
+                t += self.system.object_size(k) / repo_rate;
                 any = true;
             }
         }
         if any {
-            t + site.repo_ovhd
+            t + repo_ovhd
         } else {
             Secs::ZERO
         }
@@ -146,13 +195,14 @@ impl<'a> CostModel<'a> {
     pub fn optional_time(&self, page: PageId, part: &PagePartition) -> Secs {
         let p = self.system.page(page);
         let site = self.system.site(p.site);
+        let (repo_rate, repo_ovhd) = self.remote_channel(p.site, site);
         let mut t = 0.0;
         for (slot, opt) in p.optional.iter().enumerate() {
             let size = self.system.object_size(opt.object);
             let per = if part.local_optional[slot] {
                 site.local_ovhd + size / site.local_rate
             } else {
-                site.repo_ovhd + size / site.repo_rate
+                repo_ovhd + size / repo_rate
             };
             t += opt.prob * per.get();
         }
@@ -367,6 +417,61 @@ mod tests {
         assert_eq!(cost.optional, cm.optional_time(page, &part));
         let w = cost.weighted(2.0, CostParams::default());
         assert!((w - 2.0 * (2.0 * cost.response.get() + 1.0 * cost.optional.get())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raw_channels_reproduce_plain_model_bit_for_bit() {
+        let sys = fixture();
+        let channels: IdVec<SiteId, ServingChannel> = sys
+            .sites()
+            .iter()
+            .map(|(_, s)| ServingChannel {
+                rate: s.repo_rate,
+                ovhd: s.repo_ovhd,
+                hops: 0,
+            })
+            .collect();
+        let plain = CostModel::with_defaults(&sys);
+        let routed = CostModel::with_channels(&sys, CostParams::default(), &channels);
+        let placement = Placement::all_remote(&sys);
+        assert_eq!(
+            plain.objective(&placement).to_bits(),
+            routed.objective(&placement).to_bits()
+        );
+        let page = PageId::new(0);
+        let part = PagePartition::all_remote(sys.page(page));
+        assert_eq!(
+            plain.time_remote(page, &part).get().to_bits(),
+            routed.time_remote(page, &part).get().to_bits()
+        );
+        assert_eq!(
+            plain.optional_time(page, &part).get().to_bits(),
+            routed.optional_time(page, &part).get().to_bits()
+        );
+    }
+
+    #[test]
+    fn degraded_channel_slows_only_the_remote_stream() {
+        let sys = fixture();
+        // Serving from a distant ancestor: half the rate, +1 s latency.
+        let channels: IdVec<SiteId, ServingChannel> = sys
+            .sites()
+            .iter()
+            .map(|(_, s)| ServingChannel {
+                rate: BytesPerSec(s.repo_rate.get() / 2.0),
+                ovhd: s.repo_ovhd + Secs(1.0),
+                hops: 2,
+            })
+            .collect();
+        let cm = CostModel::with_channels(&sys, CostParams::default(), &channels);
+        let page = PageId::new(0);
+        let part = PagePartition::all_remote(sys.page(page));
+        // remote: (2 + 1) + (100 + 50)/0.5 = 303
+        assert!((cm.time_remote(page, &part).get() - 303.0).abs() < 1e-12);
+        // local stream untouched: 1 + 10/10 = 2
+        assert!((cm.time_local(page, &part).get() - 2.0).abs() < 1e-12);
+        // optional: 0.5 * (3 + 20/0.5) = 21.5
+        assert!((cm.optional_time(page, &part).get() - 21.5).abs() < 1e-12);
     }
 
     #[test]

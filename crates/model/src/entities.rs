@@ -11,7 +11,8 @@
 //! * `R` — [`Repository`], with processing capacity `C(R)`.
 
 use crate::error::ModelError;
-use crate::ids::{IdVec, ObjectId, PageId, SiteId};
+use crate::ids::{IdVec, NodeId, ObjectId, PageId, SiteId};
+use crate::topology::{ServingChannel, Topology};
 use crate::units::{Bytes, BytesPerSec, ReqPerSec, Secs};
 use serde::{Deserialize, Serialize};
 
@@ -179,6 +180,10 @@ pub struct System {
     pages: IdVec<PageId, WebPage>,
     objects: IdVec<ObjectId, MediaObject>,
     repository: Repository,
+    /// Optional federated repository tree. `None` is the paper's classic
+    /// single-repository star (old system JSON deserializes unchanged).
+    #[serde(default)]
+    topology: Option<Topology>,
     /// Derived: pages hosted per site, in page-id order.
     pages_by_site: IdVec<SiteId, Vec<PageId>>,
 }
@@ -206,6 +211,51 @@ impl System {
     #[inline]
     pub fn repository(&self) -> &Repository {
         &self.repository
+    }
+
+    /// The federated repository tree, if one is attached. `None` means the
+    /// classic single-repository star.
+    #[inline]
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The effective remote channel ancestor `node` offers `site` (its raw
+    /// repository rate/overhead constrained by the path from the attach
+    /// node). `None` when the system has no topology or `node` is not an
+    /// ancestor of the site's attach node.
+    pub fn serving_channel(&self, site: SiteId, node: NodeId) -> Option<ServingChannel> {
+        let topo = self.topology.as_ref()?;
+        let s = &self.sites[site];
+        topo.channel(topo.attachment(site).node, node, s.repo_rate, s.repo_ovhd)
+    }
+
+    /// Whether serving `site` from ancestor `node` satisfies the site's
+    /// QoS bound (trivially true without a bound). `None` when `node`
+    /// cannot serve the site at all.
+    pub fn qos_allows(&self, site: SiteId, node: NodeId) -> Option<bool> {
+        let topo = self.topology.as_ref()?;
+        let channel = self.serving_channel(site, node)?;
+        Some(match topo.attachment(site).qos {
+            None => true,
+            Some(qos) => channel.ovhd <= qos,
+        })
+    }
+
+    /// Returns a copy carrying `topology` (validated against this system's
+    /// sites: attachment count, attach-node existence, QoS feasibility).
+    pub fn with_topology(&self, topology: Topology) -> Result<System, ModelError> {
+        validate_topology_against_sites(&topology, &self.sites)?;
+        let mut sys = self.clone();
+        sys.topology = Some(topology);
+        Ok(sys)
+    }
+
+    /// Returns a copy with the topology removed — back to the star.
+    pub fn without_topology(&self) -> System {
+        let mut sys = self.clone();
+        sys.topology = None;
+        sys
     }
 
     /// Pages hosted at `site`, in id order.
@@ -438,6 +488,35 @@ impl System {
     }
 }
 
+/// Validates a topology against a concrete site table: one attachment per
+/// site, attach nodes in range, per-site QoS bounds achievable from at
+/// least the attach node (which adds zero path latency, so the best
+/// possible remote overhead is the site's own `repo_ovhd`).
+fn validate_topology_against_sites(
+    topology: &Topology,
+    sites: &IdVec<SiteId, Site>,
+) -> Result<(), ModelError> {
+    if topology.attachments().len() != sites.len() {
+        return Err(ModelError::AttachmentSizeMismatch {
+            n_sites: sites.len(),
+            n_attachments: topology.attachments().len(),
+        });
+    }
+    for (sid, site) in sites.iter() {
+        let att = topology.attachment(sid);
+        if let Some(qos) = att.qos {
+            if !qos.is_valid() || qos < site.repo_ovhd {
+                return Err(ModelError::InfeasibleQos {
+                    site: sid,
+                    qos,
+                    best: site.repo_ovhd,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Incremental builder for [`System`] with full referential validation.
 #[derive(Default, Clone, Debug)]
 pub struct SystemBuilder {
@@ -445,6 +524,7 @@ pub struct SystemBuilder {
     pages: IdVec<PageId, WebPage>,
     objects: IdVec<ObjectId, MediaObject>,
     repository: Repository,
+    topology: Option<Topology>,
 }
 
 impl SystemBuilder {
@@ -472,6 +552,14 @@ impl SystemBuilder {
     /// Sets the repository's processing capacity.
     pub fn repository_capacity(&mut self, capacity: ReqPerSec) -> &mut Self {
         self.repository.capacity = capacity;
+        self
+    }
+
+    /// Attaches a federated repository tree. Validation against the site
+    /// table (attachment count, QoS feasibility) happens at
+    /// [`SystemBuilder::build`] time.
+    pub fn topology(&mut self, topology: Topology) -> &mut Self {
+        self.topology = Some(topology);
         self
     }
 
@@ -503,6 +591,9 @@ impl SystemBuilder {
                     which: "repository",
                 });
             }
+        }
+        if let Some(topology) = &self.topology {
+            validate_topology_against_sites(topology, &self.sites)?;
         }
         let n_objects = self.objects.len();
         let mut pages_by_site: IdVec<SiteId, Vec<PageId>> =
@@ -565,6 +656,7 @@ impl SystemBuilder {
             pages: self.pages,
             objects: self.objects,
             repository: self.repository,
+            topology: self.topology,
             pages_by_site,
         })
     }
@@ -878,5 +970,84 @@ mod tests {
         let json = serde_json::to_string(&sys).unwrap();
         let back: System = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sys);
+    }
+
+    #[test]
+    fn system_json_without_topology_field_still_loads() {
+        // Pre-federation system JSON has no "topology" key at all.
+        let sys = tiny_system();
+        let json = serde_json::to_string(&sys).unwrap();
+        assert!(json.contains("\"topology\":null,"));
+        let legacy = json.replace("\"topology\":null,", "");
+        let back: System = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back, sys);
+        assert!(back.topology().is_none());
+    }
+
+    #[test]
+    fn with_topology_rejects_attachment_count_mismatch() {
+        let sys = tiny_system(); // two sites
+        let topo = Topology::single_node(1, ReqPerSec::INFINITE);
+        assert_eq!(
+            sys.with_topology(topo).unwrap_err(),
+            ModelError::AttachmentSizeMismatch {
+                n_sites: 2,
+                n_attachments: 1
+            }
+        );
+    }
+
+    #[test]
+    fn build_rejects_qos_tighter_than_attach_overhead() {
+        use crate::topology::Attachment;
+
+        let mut b = SystemBuilder::new();
+        let s = b.add_site(default_site()); // repo_ovhd = 2.225 s
+        let m = b.add_object(MediaObject::of_size(Bytes::kib(50)));
+        b.add_page(WebPage {
+            site: s,
+            html_size: Bytes::kib(1),
+            freq: ReqPerSec(1.0),
+            compulsory: vec![m],
+            optional: vec![],
+            opt_req_factor: 1.0,
+        });
+        let nodes = IdVec::from_vec(vec![crate::topology::RepoNode::default()]);
+        let parents = IdVec::from_vec(vec![None]);
+        let attachments = IdVec::from_vec(vec![Attachment {
+            node: NodeId::new(0),
+            qos: Some(Secs(1.0)), // < 2.225 best achievable
+        }]);
+        b.topology(Topology::new(nodes, parents, attachments).unwrap());
+        assert_eq!(
+            b.build().unwrap_err(),
+            ModelError::InfeasibleQos {
+                site: SiteId::new(0),
+                qos: Secs(1.0),
+                best: Secs(2.225),
+            }
+        );
+    }
+
+    #[test]
+    fn single_node_topology_serves_raw_channel() {
+        let sys = tiny_system();
+        let topo = Topology::single_node(sys.n_sites(), ReqPerSec::INFINITE);
+        let sys = sys.with_topology(topo).unwrap();
+        let s0 = SiteId::new(0);
+        let c = sys.serving_channel(s0, NodeId::new(0)).unwrap();
+        assert_eq!(
+            c.rate.get().to_bits(),
+            sys.site(s0).repo_rate.get().to_bits()
+        );
+        assert_eq!(
+            c.ovhd.get().to_bits(),
+            sys.site(s0).repo_ovhd.get().to_bits()
+        );
+        assert_eq!(c.hops, 0);
+        assert_eq!(sys.qos_allows(s0, NodeId::new(0)), Some(true));
+        // Copy-modifiers carry the topology along.
+        assert!(sys.with_storage_fraction(0.5).topology().is_some());
+        assert!(sys.without_topology().topology().is_none());
     }
 }

@@ -1,6 +1,7 @@
 //! Error type for model construction and validation.
 
-use crate::ids::{ObjectId, PageId, SiteId};
+use crate::ids::{NodeId, ObjectId, PageId, SiteId};
+use crate::units::Secs;
 use std::fmt;
 
 /// Errors raised while assembling or validating a [`crate::System`] or a
@@ -74,6 +75,61 @@ pub enum ModelError {
     /// The system has no sites or no pages, which makes every experiment
     /// degenerate.
     EmptySystem,
+    /// A repository topology has no nodes at all.
+    EmptyTopology,
+    /// No topology node lacks a parent link: every parent chain is
+    /// circular, so there is no root repository.
+    TopologyNoRoot,
+    /// More than one topology node lacks a parent link. A repository tree
+    /// has exactly one root; additional parentless nodes are orphaned
+    /// subtrees.
+    TopologyOrphanNode {
+        /// The second parentless node encountered (the first is taken as
+        /// the root).
+        node: NodeId,
+    },
+    /// Following parent links upward from `node` revisits a node instead
+    /// of terminating at the root.
+    TopologyCycle {
+        /// A node on the circular parent chain.
+        node: NodeId,
+    },
+    /// A parent link carries a zero, negative or non-finite bandwidth.
+    InvalidLinkBandwidth {
+        /// The child endpoint of the offending link.
+        node: NodeId,
+    },
+    /// A parent link carries a negative or non-finite latency.
+    InvalidLinkLatency {
+        /// The child endpoint of the offending link.
+        node: NodeId,
+    },
+    /// A site is attached to a topology node id that does not exist.
+    UnknownAttachNode {
+        /// The offending site.
+        site: SiteId,
+        /// The dangling node reference.
+        node: NodeId,
+    },
+    /// The topology's site-attachment table covers a different number of
+    /// sites than the system.
+    AttachmentSizeMismatch {
+        /// Sites in the system.
+        n_sites: usize,
+        /// Attachment rows in the topology.
+        n_attachments: usize,
+    },
+    /// A site's QoS bound is tighter than the best remote overhead any
+    /// serving ancestor could achieve, so no assignment can satisfy it.
+    InfeasibleQos {
+        /// The offending site.
+        site: SiteId,
+        /// The rejected QoS bound.
+        qos: Secs,
+        /// The best achievable remote overhead (serving from the attach
+        /// node).
+        best: Secs,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -115,6 +171,41 @@ impl fmt::Display for ModelError {
                 "placement covers {placement_pages} pages but the system has {system_pages}"
             ),
             ModelError::EmptySystem => write!(f, "system has no sites or no pages"),
+            ModelError::EmptyTopology => write!(f, "repository topology has no nodes"),
+            ModelError::TopologyNoRoot => {
+                write!(
+                    f,
+                    "repository topology has no root: every node has a parent"
+                )
+            }
+            ModelError::TopologyOrphanNode { node } => write!(
+                f,
+                "topology node {node} has no parent but is not the root (orphaned subtree)"
+            ),
+            ModelError::TopologyCycle { node } => {
+                write!(f, "parent chain from topology node {node} is circular")
+            }
+            ModelError::InvalidLinkBandwidth { node } => {
+                write!(f, "link above node {node} has an invalid bandwidth")
+            }
+            ModelError::InvalidLinkLatency { node } => {
+                write!(f, "link above node {node} has an invalid latency")
+            }
+            ModelError::UnknownAttachNode { site, node } => {
+                write!(f, "site {site} is attached to unknown topology node {node}")
+            }
+            ModelError::AttachmentSizeMismatch {
+                n_sites,
+                n_attachments,
+            } => write!(
+                f,
+                "topology attaches {n_attachments} sites but the system has {n_sites}"
+            ),
+            ModelError::InfeasibleQos { site, qos, best } => write!(
+                f,
+                "site {site} QoS bound {qos} is tighter than the best achievable \
+                 remote overhead {best}"
+            ),
         }
     }
 }

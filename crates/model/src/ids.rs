@@ -89,6 +89,13 @@ define_id!(
     ObjectId,
     "M"
 );
+define_id!(
+    /// Identifier of a repository node in a federated tree topology
+    /// (edge, regional or origin repository). The classic single-repository
+    /// star has exactly one node, `N0`.
+    NodeId,
+    "N"
+);
 
 /// A vector indexable only by its own id type.
 ///
@@ -266,6 +273,13 @@ impl IdLike for ObjectId {
     #[inline]
     fn from_index(idx: usize) -> Self {
         ObjectId::from_index(idx)
+    }
+}
+
+impl IdLike for NodeId {
+    #[inline]
+    fn from_index(idx: usize) -> Self {
+        NodeId::from_index(idx)
     }
 }
 

@@ -31,7 +31,11 @@
 //! * [`matrix`] — an explicit [`BitMatrix`] form of the paper's `U`, `A`,
 //!   `X`, `X'` matrices, used to cross-validate the list-based fast path;
 //! * [`cost`] — the cost model, Eq. 3 through Eq. 7;
-//! * [`constraints`] — the feasibility checks, Eq. 8 through Eq. 10.
+//! * [`constraints`] — the feasibility checks, Eq. 8 through Eq. 10;
+//! * [`topology`] — the federated-tree extension ([`Topology`], [`NodeId`]):
+//!   a validated hierarchy of repository nodes with per-link bandwidth and
+//!   latency plus per-site QoS bounds, whose one-node degenerate case is
+//!   exactly the paper's star.
 //!
 //! ## Unit convention
 //!
@@ -84,6 +88,7 @@ pub mod error;
 pub mod ids;
 pub mod matrix;
 pub mod placement;
+pub mod topology;
 pub mod units;
 pub mod updates;
 
@@ -94,8 +99,9 @@ pub use entities::{
     WebPage,
 };
 pub use error::ModelError;
-pub use ids::{IdVec, ObjectId, PageId, SiteId};
+pub use ids::{IdVec, NodeId, ObjectId, PageId, SiteId};
 pub use matrix::BitMatrix;
 pub use placement::{PagePartition, Placement, PlacementDiff, StoredSet};
+pub use topology::{Attachment, Link, RepoNode, ServingChannel, Topology};
 pub use units::{Bytes, BytesPerSec, ReqPerSec, Secs};
 pub use updates::{replica_count, repo_update_load, site_update_load, UpdateAwareReport};

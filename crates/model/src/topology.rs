@@ -1,0 +1,559 @@
+//! Federated repository trees: multi-repository hierarchies with per-link
+//! bandwidth/latency and per-site QoS bounds.
+//!
+//! The paper models a single central repository in a star with its sites.
+//! This module generalizes that to a **tree of repository nodes** (edge →
+//! regional → origin, in the tree-network replica-placement tradition of
+//! Benoit/Rehn/Robert): each node may hold replicas and serve requests,
+//! parent links carry a bandwidth and a latency, and each site is attached
+//! to one node. A remote stream served by ancestor `a` of site `i` flows
+//! over the path `attach(i) → a`, so its effective channel is
+//!
+//! * rate: `min(site.repo_rate, min link bandwidth on the path)`;
+//! * overhead: `site.repo_ovhd + Σ link latencies on the path`.
+//!
+//! The **single-node degenerate case is exactly the paper's star**: with
+//! zero links on the path the effective channel is the site's raw
+//! `repo_rate`/`repo_ovhd` bit for bit, so every star plan is unchanged.
+//!
+//! Construction is validated: exactly one root, no cycles, positive link
+//! bandwidths, finite non-negative latencies, in-range attachments.
+//! Per-site QoS bounds (`Attachment::qos`) cap the remote-stream overhead
+//! an assignment may impose; bounds tighter than the attach node's own
+//! overhead are rejected at [`crate::SystemBuilder::build`] time.
+
+use crate::error::ModelError;
+use crate::ids::{IdVec, NodeId, SiteId};
+use crate::units::{BytesPerSec, ReqPerSec, Secs};
+use serde::{Deserialize, Serialize};
+
+/// One repository node in the federated tree.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RepoNode {
+    /// Processing capacity of this node, `C(N)` — the per-node Eq. 9
+    /// budget. The paper's Table 1 sets the (single) repository's to
+    /// infinite.
+    pub capacity: ReqPerSec,
+}
+
+impl Default for RepoNode {
+    fn default() -> Self {
+        RepoNode {
+            capacity: ReqPerSec::INFINITE,
+        }
+    }
+}
+
+/// A parent link: the constrained path segment between a node and its
+/// parent.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Usable bandwidth of the link, bytes/second. Must be finite and
+    /// strictly positive.
+    pub bandwidth: BytesPerSec,
+    /// One-way latency added per traversal, seconds.
+    pub latency: Secs,
+}
+
+/// Where a site hangs off the tree, plus its optional QoS bound.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Attachment {
+    /// The node the site's repository traffic enters the tree at.
+    pub node: NodeId,
+    /// Optional per-request QoS bound: the maximum remote-stream overhead
+    /// (connection setup plus accumulated path latency) an assignment may
+    /// impose on this site. `None` leaves the site unconstrained.
+    pub qos: Option<Secs>,
+}
+
+/// The effective remote channel a serving ancestor offers a site.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServingChannel {
+    /// Effective transfer rate: the site's estimated repository rate
+    /// capped by the narrowest link on the path.
+    pub rate: BytesPerSec,
+    /// Effective overhead: the site's repository connection overhead plus
+    /// the accumulated path latency.
+    pub ovhd: Secs,
+    /// Links traversed (0 when served from the attach node itself).
+    pub hops: usize,
+}
+
+/// A validated repository tree.
+///
+/// Build one with [`Topology::new`] (full validation) and attach it to a
+/// system via [`crate::SystemBuilder::topology`]. Field access is
+/// read-only; the validated invariants (single root, acyclic parents,
+/// valid links) hold for the lifetime of the value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: IdVec<NodeId, RepoNode>,
+    /// `parents[n]` is `None` exactly for the root.
+    parents: IdVec<NodeId, Option<(NodeId, Link)>>,
+    /// One attachment per site, in site-id order.
+    attachments: IdVec<SiteId, Attachment>,
+    /// The unique parentless node.
+    root: NodeId,
+}
+
+impl Topology {
+    /// Validates and assembles a tree.
+    ///
+    /// Rejects: empty node sets, zero or multiple roots, circular parent
+    /// chains, out-of-range parent ids (reported as a cycle-free orphan
+    /// via [`ModelError::UnknownAttachNode`]-style bounds checks),
+    /// non-positive or non-finite link bandwidths, invalid latencies and
+    /// attachments to unknown nodes. QoS feasibility is checked later, at
+    /// [`crate::SystemBuilder::build`] time, because it needs the sites'
+    /// own overheads.
+    pub fn new(
+        nodes: IdVec<NodeId, RepoNode>,
+        parents: IdVec<NodeId, Option<(NodeId, Link)>>,
+        attachments: IdVec<SiteId, Attachment>,
+    ) -> Result<Topology, ModelError> {
+        if nodes.is_empty() {
+            return Err(ModelError::EmptyTopology);
+        }
+        if parents.len() != nodes.len() {
+            // A malformed parent table cannot name its nodes; report the
+            // structural mismatch through the closest typed error.
+            return Err(ModelError::AttachmentSizeMismatch {
+                n_sites: nodes.len(),
+                n_attachments: parents.len(),
+            });
+        }
+
+        let mut root = None;
+        for (n, parent) in parents.iter() {
+            match parent {
+                None => match root {
+                    None => root = Some(n),
+                    Some(_) => return Err(ModelError::TopologyOrphanNode { node: n }),
+                },
+                Some((p, link)) => {
+                    if nodes.get(*p).is_none() {
+                        return Err(ModelError::UnknownAttachNode {
+                            site: SiteId::new(u32::MAX),
+                            node: *p,
+                        });
+                    }
+                    if !link.bandwidth.is_valid() {
+                        return Err(ModelError::InvalidLinkBandwidth { node: n });
+                    }
+                    if !link.latency.is_valid() {
+                        return Err(ModelError::InvalidLinkLatency { node: n });
+                    }
+                }
+            }
+        }
+        let Some(root) = root else {
+            return Err(ModelError::TopologyNoRoot);
+        };
+
+        // Cycle check: every parent chain must reach the root within
+        // n_nodes steps.
+        for n in nodes.ids() {
+            let mut cur = n;
+            let mut steps = 0;
+            while let Some((p, _)) = parents[cur] {
+                cur = p;
+                steps += 1;
+                if steps > nodes.len() {
+                    return Err(ModelError::TopologyCycle { node: n });
+                }
+            }
+            debug_assert_eq!(cur, root, "acyclic parent chains end at the root");
+        }
+
+        for (site, att) in attachments.iter() {
+            if nodes.get(att.node).is_none() {
+                return Err(ModelError::UnknownAttachNode {
+                    site,
+                    node: att.node,
+                });
+            }
+        }
+
+        Ok(Topology {
+            nodes,
+            parents,
+            attachments,
+            root,
+        })
+    }
+
+    /// The degenerate one-node tree: every site attaches to the single
+    /// root, no QoS bounds — semantically the paper's star.
+    pub fn single_node(n_sites: usize, capacity: ReqPerSec) -> Topology {
+        let nodes = IdVec::from_vec(vec![RepoNode { capacity }]);
+        let parents = IdVec::from_vec(vec![None]);
+        let attachments = IdVec::from_vec(
+            (0..n_sites)
+                .map(|_| Attachment {
+                    node: NodeId::new(0),
+                    qos: None,
+                })
+                .collect(),
+        );
+        Topology::new(nodes, parents, attachments).expect("one-node tree is always valid")
+    }
+
+    /// Number of repository nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root (origin) node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &IdVec<NodeId, RepoNode> {
+        &self.nodes
+    }
+
+    /// One node's parameters.
+    pub fn node(&self, n: NodeId) -> &RepoNode {
+        &self.nodes[n]
+    }
+
+    /// The parent of `n` and the connecting link, `None` for the root.
+    pub fn parent(&self, n: NodeId) -> Option<(NodeId, Link)> {
+        self.parents[n]
+    }
+
+    /// One site's attachment.
+    pub fn attachment(&self, site: SiteId) -> &Attachment {
+        &self.attachments[site]
+    }
+
+    /// Per-site attachments, in site-id order.
+    pub fn attachments(&self) -> &IdVec<SiteId, Attachment> {
+        &self.attachments
+    }
+
+    /// Number of links between `n` and the root.
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = n;
+        while let Some((p, _)) = self.parents[cur] {
+            cur = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// `n` and its ancestors, from `n` itself up to the root (inclusive).
+    pub fn ancestors(&self, n: NodeId) -> Vec<NodeId> {
+        let mut out = vec![n];
+        let mut cur = n;
+        while let Some((p, _)) = self.parents[cur] {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// Accumulated path constraint from `from` up to `ancestor`:
+    /// `(bottleneck bandwidth, total latency, hops)`. Returns `None` when
+    /// `ancestor` is not on `from`'s root chain. Zero hops yield no
+    /// bandwidth cap and zero latency.
+    pub fn path(
+        &self,
+        from: NodeId,
+        ancestor: NodeId,
+    ) -> Option<(Option<BytesPerSec>, Secs, usize)> {
+        let mut bottleneck: Option<BytesPerSec> = None;
+        let mut latency = Secs::ZERO;
+        let mut hops = 0;
+        let mut cur = from;
+        loop {
+            if cur == ancestor {
+                return Some((bottleneck, latency, hops));
+            }
+            let (p, link) = self.parents[cur]?;
+            bottleneck = Some(match bottleneck {
+                None => link.bandwidth,
+                Some(b) => BytesPerSec(b.get().min(link.bandwidth.get())),
+            });
+            latency += link.latency;
+            hops += 1;
+            cur = p;
+        }
+    }
+
+    /// The effective remote channel ancestor `node` offers a site whose
+    /// raw estimates are `repo_rate`/`repo_ovhd` and whose attach point is
+    /// `attach`. Returns `None` when `node` is not an ancestor of
+    /// `attach`.
+    ///
+    /// With zero hops the channel is the raw `(repo_rate, repo_ovhd)` pair
+    /// **bit for bit** — the star-degeneracy guarantee the planner's
+    /// property tests rely on.
+    pub fn channel(
+        &self,
+        attach: NodeId,
+        node: NodeId,
+        repo_rate: BytesPerSec,
+        repo_ovhd: Secs,
+    ) -> Option<ServingChannel> {
+        let (bottleneck, latency, hops) = self.path(attach, node)?;
+        Some(match bottleneck {
+            None => ServingChannel {
+                rate: repo_rate,
+                ovhd: repo_ovhd,
+                hops,
+            },
+            Some(b) => ServingChannel {
+                rate: BytesPerSec(repo_rate.get().min(b.get())),
+                ovhd: repo_ovhd + latency,
+                hops,
+            },
+        })
+    }
+
+    /// Returns a copy with every node capacity transformed by `f` —
+    /// the tree-topology analogue of the capacity-fraction sweeps.
+    pub fn map_node_capacities(
+        &self,
+        mut f: impl FnMut(NodeId, ReqPerSec) -> ReqPerSec,
+    ) -> Topology {
+        let mut t = self.clone();
+        for (n, node) in t.nodes.iter_mut() {
+            node.capacity = f(n, node.capacity);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(bw_kibps: f64, latency: f64) -> Link {
+        Link {
+            bandwidth: BytesPerSec::kib_per_sec(bw_kibps),
+            latency: Secs(latency),
+        }
+    }
+
+    fn attach(node: u32) -> Attachment {
+        Attachment {
+            node: NodeId::new(node),
+            qos: None,
+        }
+    }
+
+    /// origin N0 ← regional N1 ← edge N2, plus edge N3 under N1.
+    fn three_level() -> Topology {
+        let nodes = IdVec::from_vec(vec![RepoNode::default(); 4]);
+        let parents = IdVec::from_vec(vec![
+            None,
+            Some((NodeId::new(0), link(5.0, 0.2))),
+            Some((NodeId::new(1), link(2.0, 0.1))),
+            Some((NodeId::new(1), link(3.0, 0.3))),
+        ]);
+        let attachments = IdVec::from_vec(vec![attach(2), attach(3)]);
+        Topology::new(nodes, parents, attachments).unwrap()
+    }
+
+    #[test]
+    fn three_level_tree_validates() {
+        let t = three_level();
+        assert_eq!(t.n_nodes(), 4);
+        assert_eq!(t.root(), NodeId::new(0));
+        assert_eq!(t.depth(NodeId::new(0)), 0);
+        assert_eq!(t.depth(NodeId::new(2)), 2);
+        assert_eq!(
+            t.ancestors(NodeId::new(2)),
+            vec![NodeId::new(2), NodeId::new(1), NodeId::new(0)]
+        );
+    }
+
+    #[test]
+    fn path_accumulates_bottleneck_and_latency() {
+        let t = three_level();
+        // N2 → N0: links 2 KiB/s @0.1s then 5 KiB/s @0.2s.
+        let (bw, lat, hops) = t.path(NodeId::new(2), NodeId::new(0)).unwrap();
+        assert_eq!(bw, Some(BytesPerSec::kib_per_sec(2.0)));
+        assert!((lat.get() - 0.3).abs() < 1e-12);
+        assert_eq!(hops, 2);
+        // Not-an-ancestor: N3 is a sibling of N2.
+        assert!(t.path(NodeId::new(2), NodeId::new(3)).is_none());
+        // Zero-hop path.
+        assert_eq!(
+            t.path(NodeId::new(2), NodeId::new(2)).unwrap(),
+            (None, Secs::ZERO, 0)
+        );
+    }
+
+    #[test]
+    fn zero_hop_channel_is_bit_identical_to_raw() {
+        let t = three_level();
+        let rate = BytesPerSec(1234.567);
+        let ovhd = Secs(2.125);
+        let c = t
+            .channel(NodeId::new(2), NodeId::new(2), rate, ovhd)
+            .unwrap();
+        assert_eq!(c.rate.get().to_bits(), rate.get().to_bits());
+        assert_eq!(c.ovhd.get().to_bits(), ovhd.get().to_bits());
+        assert_eq!(c.hops, 0);
+    }
+
+    #[test]
+    fn deep_channel_caps_rate_and_adds_latency() {
+        let t = three_level();
+        // Site rate 10 KiB/s is capped by the 2 KiB/s bottleneck.
+        let c = t
+            .channel(
+                NodeId::new(2),
+                NodeId::new(0),
+                BytesPerSec::kib_per_sec(10.0),
+                Secs(2.0),
+            )
+            .unwrap();
+        assert_eq!(c.rate, BytesPerSec::kib_per_sec(2.0));
+        assert!((c.ovhd.get() - 2.3).abs() < 1e-12);
+        assert_eq!(c.hops, 2);
+        // A site already slower than every link keeps its own rate.
+        let c = t
+            .channel(
+                NodeId::new(2),
+                NodeId::new(0),
+                BytesPerSec::kib_per_sec(0.5),
+                Secs(2.0),
+            )
+            .unwrap();
+        assert_eq!(c.rate, BytesPerSec::kib_per_sec(0.5));
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        let err = Topology::new(IdVec::new(), IdVec::new(), IdVec::new()).unwrap_err();
+        assert_eq!(err, ModelError::EmptyTopology);
+    }
+
+    #[test]
+    fn multiple_roots_rejected_as_orphan() {
+        let nodes = IdVec::from_vec(vec![RepoNode::default(); 2]);
+        let parents = IdVec::from_vec(vec![None, None]);
+        let err = Topology::new(nodes, parents, IdVec::new()).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::TopologyOrphanNode {
+                node: NodeId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let nodes = IdVec::from_vec(vec![RepoNode::default(); 3]);
+        // N0 is the root; N1 and N2 point at each other.
+        let parents = IdVec::from_vec(vec![
+            None,
+            Some((NodeId::new(2), link(1.0, 0.1))),
+            Some((NodeId::new(1), link(1.0, 0.1))),
+        ]);
+        let err = Topology::new(nodes, parents, IdVec::new()).unwrap_err();
+        assert!(matches!(err, ModelError::TopologyCycle { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn all_parented_rejected_as_rootless() {
+        let nodes = IdVec::from_vec(vec![RepoNode::default(); 2]);
+        let parents = IdVec::from_vec(vec![
+            Some((NodeId::new(1), link(1.0, 0.1))),
+            Some((NodeId::new(0), link(1.0, 0.1))),
+        ]);
+        let err = Topology::new(nodes, parents, IdVec::new()).unwrap_err();
+        assert_eq!(err, ModelError::TopologyNoRoot);
+    }
+
+    #[test]
+    fn zero_bandwidth_link_rejected() {
+        let nodes = IdVec::from_vec(vec![RepoNode::default(); 2]);
+        let parents = IdVec::from_vec(vec![
+            None,
+            Some((
+                NodeId::new(0),
+                Link {
+                    bandwidth: BytesPerSec(0.0),
+                    latency: Secs(0.1),
+                },
+            )),
+        ]);
+        let err = Topology::new(nodes, parents, IdVec::new()).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::InvalidLinkBandwidth {
+                node: NodeId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn negative_latency_rejected() {
+        let nodes = IdVec::from_vec(vec![RepoNode::default(); 2]);
+        let parents = IdVec::from_vec(vec![
+            None,
+            Some((
+                NodeId::new(0),
+                Link {
+                    bandwidth: BytesPerSec(100.0),
+                    latency: Secs(-0.1),
+                },
+            )),
+        ]);
+        let err = Topology::new(nodes, parents, IdVec::new()).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::InvalidLinkLatency {
+                node: NodeId::new(1)
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_attach_node_rejected() {
+        let nodes = IdVec::from_vec(vec![RepoNode::default()]);
+        let parents = IdVec::from_vec(vec![None]);
+        let attachments = IdVec::from_vec(vec![attach(7)]);
+        let err = Topology::new(nodes, parents, attachments).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::UnknownAttachNode {
+                site: SiteId::new(0),
+                node: NodeId::new(7)
+            }
+        );
+    }
+
+    #[test]
+    fn single_node_helper_is_valid_star() {
+        let t = Topology::single_node(3, ReqPerSec::INFINITE);
+        assert_eq!(t.n_nodes(), 1);
+        for s in 0..3 {
+            let a = t.attachment(SiteId::new(s));
+            assert_eq!(a.node, t.root());
+            assert_eq!(a.qos, None);
+        }
+    }
+
+    #[test]
+    fn map_node_capacities_transforms_every_node() {
+        let t = three_level().map_node_capacities(|_, _| ReqPerSec(50.0));
+        for (_, n) in t.nodes().iter() {
+            assert_eq!(n.capacity, ReqPerSec(50.0));
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = three_level();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

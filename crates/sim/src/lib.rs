@@ -26,6 +26,10 @@
 //!   (streaming estimation, drift detection, churn-bounded incremental
 //!   replanning, bandwidth-charged migration) against the stale plan,
 //!   per-epoch full replanning and LRU on identical drift traces;
+//! * [`federate`] — E-X6: ancestor selection on federated repository
+//!   trees — closest allocation vs the flat root-only policy vs LRU on
+//!   identical traces, remote streams priced over per-link bandwidth
+//!   and latency;
 //! * [`des`] — an event-driven replay twin that must agree exactly with
 //!   the analytic queueing replay;
 //! * [`breakdown`] — per-site result reporting (regional asymmetry).
@@ -50,6 +54,7 @@ pub mod des;
 pub mod differential;
 pub mod drift;
 pub mod experiment;
+pub mod federate;
 pub mod online;
 pub mod par;
 pub mod queueing;
@@ -64,6 +69,7 @@ pub use differential::{
     oracle_dense_vs_reference, oracle_des_vs_analytic, reference_plan, FuzzFailure, FuzzReport,
 };
 pub use drift::{drift_study, DriftEpoch, DriftStudy};
+pub use federate::{federate_study, FederateStudy};
 pub use online::{online_study, study_online_config, OnlineEpoch, OnlineStudy};
 pub use updates::{update_study, UpdatePoint, UpdateStudy};
 

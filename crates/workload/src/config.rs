@@ -110,6 +110,133 @@ mod inf_f64 {
     }
 }
 
+/// Federated repository-tree parameters (not in Table 1 — the paper's
+/// single repository is the degenerate `levels = 1` tree, which attaches
+/// no topology at all and reproduces the star generator bit for bit).
+///
+/// The tree is a uniform hierarchy: an origin node at level 0, `fanout`
+/// children per node at each level below, sites attached round-robin to
+/// the deepest tier. Link bandwidths and latencies are drawn uniformly
+/// per link; QoS max-latency bounds are drawn per site with probability
+/// `qos_prob` as the site's repository overhead plus a `qos_slack` draw
+/// (always achievable from the attach node, possibly forbidding deeper
+/// ancestors).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopologyParams {
+    /// Tree depth counting the origin: 1 = the paper's star, 2 = origin
+    /// plus an edge tier, 3 adds a regional tier between them.
+    #[serde(default = "TopologyParams::default_levels")]
+    pub levels: usize,
+    /// Children per node at each tier below the origin.
+    #[serde(default = "TopologyParams::default_fanout")]
+    pub fanout: usize,
+    /// Per-link bandwidth band, bytes/s.
+    #[serde(default = "TopologyParams::default_link_bandwidth")]
+    pub link_bandwidth: Range,
+    /// Per-link latency band, seconds.
+    #[serde(default = "TopologyParams::default_link_latency")]
+    pub link_latency: Range,
+    /// Processing capacity of each non-origin node, req/s (the origin
+    /// keeps the repository capacity). `"inf"` = unbounded.
+    #[serde(with = "inf_f64", default = "TopologyParams::default_node_capacity")]
+    pub node_capacity: f64,
+    /// Probability that a site carries a QoS max-latency bound.
+    #[serde(default)]
+    pub qos_prob: f64,
+    /// QoS slack band, seconds above the site's repository overhead.
+    #[serde(default = "TopologyParams::default_qos_slack")]
+    pub qos_slack: Range,
+}
+
+impl TopologyParams {
+    fn default_levels() -> usize {
+        1
+    }
+    fn default_fanout() -> usize {
+        2
+    }
+    fn default_link_bandwidth() -> Range {
+        // 0.5-1.5 KiB/s, inside the Table 1 repository transfer band
+        // (0.3-2 KiB/s) so upstream links genuinely bottleneck remote
+        // streams that reach past the attach node.
+        Range::new(0.5 * 1024.0, 1.5 * 1024.0)
+    }
+    fn default_link_latency() -> Range {
+        Range::new(0.2, 1.0)
+    }
+    fn default_node_capacity() -> f64 {
+        f64::INFINITY
+    }
+    fn default_qos_slack() -> Range {
+        Range::new(0.1, 0.6)
+    }
+
+    /// The paper's star: one origin, no tree attached.
+    pub fn origin() -> Self {
+        TopologyParams {
+            levels: 1,
+            fanout: Self::default_fanout(),
+            link_bandwidth: Self::default_link_bandwidth(),
+            link_latency: Self::default_link_latency(),
+            node_capacity: Self::default_node_capacity(),
+            qos_prob: 0.0,
+            qos_slack: Self::default_qos_slack(),
+        }
+    }
+
+    /// Origin plus one edge tier: two mirrors close to the sites.
+    pub fn edge() -> Self {
+        TopologyParams {
+            levels: 2,
+            ..Self::origin()
+        }
+    }
+
+    /// Three-level hierarchy: origin, regional mirrors, edge mirrors —
+    /// with QoS bounds on a third of the sites.
+    pub fn regional() -> Self {
+        TopologyParams {
+            levels: 3,
+            qos_prob: 1.0 / 3.0,
+            ..Self::origin()
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.levels == 0 {
+            return Err("topology levels must be at least 1".into());
+        }
+        if self.levels > 1 {
+            if self.fanout == 0 {
+                return Err("topology fanout must be positive".into());
+            }
+            if self.link_bandwidth.lo <= 0.0 {
+                return Err("link bandwidths must be positive".into());
+            }
+            if self.link_latency.lo < 0.0 {
+                return Err("link latencies must be non-negative".into());
+            }
+            if self.node_capacity <= 0.0 {
+                return Err("node capacity must be positive".into());
+            }
+            if !(0.0..=1.0).contains(&self.qos_prob) || !self.qos_prob.is_finite() {
+                return Err(format!("qos_prob must be in [0,1], got {}", self.qos_prob));
+            }
+            if self.qos_slack.lo < 0.0 {
+                return Err("qos slack must be non-negative".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TopologyParams {
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
 /// All Table 1 parameters.
 ///
 /// Sizes are in **bytes** (Table 1's "K"/"M" bands are converted with
@@ -183,6 +310,10 @@ pub struct WorkloadParams {
     /// the paper's read-only workload uses the default `0 - 0`).
     #[serde(default = "Range::zero")]
     pub update_rate: Range,
+    /// Federated repository-tree shape (extension; the default
+    /// [`TopologyParams::origin`] reproduces the paper's star).
+    #[serde(default)]
+    pub topology: TopologyParams,
 }
 
 impl WorkloadParams {
@@ -217,6 +348,7 @@ impl WorkloadParams {
             alpha: (2.0, 1.0),
             site_page_rate: 5.0,
             update_rate: Range::zero(),
+            topology: TopologyParams::origin(),
         }
     }
 
@@ -295,6 +427,7 @@ impl WorkloadParams {
         if self.update_rate.lo < 0.0 {
             return Err("update rates must be non-negative".into());
         }
+        self.topology.validate()?;
         Ok(())
     }
 

@@ -25,8 +25,8 @@
 use crate::config::WorkloadParams;
 use crate::sampling::{sample_distinct, uniform_count, uniform_in};
 use mmrepl_model::{
-    Bytes, BytesPerSec, MediaObject, OptionalRef, ReqPerSec, Secs, Site, System, SystemBuilder,
-    WebPage,
+    Attachment, Bytes, BytesPerSec, IdVec, Link, MediaObject, NodeId, OptionalRef, RepoNode,
+    ReqPerSec, Secs, Site, System, SystemBuilder, Topology, WebPage,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -183,7 +183,79 @@ pub fn generate_system(params: &WorkloadParams, seed: u64) -> Result<System, Str
 
     // --- 5. Storage = full demand ("100 %") --------------------------------
     let sys = builder.build().map_err(|e| e.to_string())?;
-    Ok(sys.with_storage_fraction(1.0))
+    let sys = sys.with_storage_fraction(1.0);
+
+    // --- 6. Repository tree (extension) ------------------------------------
+    // Drawn strictly after every star draw, and only when a tree is
+    // requested, so `levels = 1` consumes the identical random stream and
+    // reproduces the historical star generator bit for bit.
+    if params.topology.levels > 1 {
+        let topo = generate_topology(params, &mut rng, &sys);
+        sys.with_topology(topo).map_err(|e| e.to_string())
+    } else {
+        Ok(sys)
+    }
+}
+
+/// Builds the uniform `fanout`-ary repository tree: links drawn level by
+/// level (node-id order), then per-site QoS bounds in site-id order.
+fn generate_topology(params: &WorkloadParams, rng: &mut StdRng, sys: &System) -> Topology {
+    let t = &params.topology;
+    let mut nodes = vec![RepoNode {
+        capacity: ReqPerSec(params.repo_capacity),
+    }];
+    let mut parents: Vec<Option<(NodeId, Link)>> = vec![None];
+    let mut prev_level: Vec<u32> = vec![0];
+    for _ in 1..t.levels {
+        let mut this_level = Vec::new();
+        for &p in &prev_level {
+            for _ in 0..t.fanout {
+                this_level.push(nodes.len() as u32);
+                nodes.push(RepoNode {
+                    capacity: ReqPerSec(t.node_capacity),
+                });
+                parents.push(Some((
+                    NodeId::new(p),
+                    Link {
+                        bandwidth: BytesPerSec(uniform_in(
+                            rng,
+                            t.link_bandwidth.lo,
+                            t.link_bandwidth.hi,
+                        )),
+                        latency: Secs(uniform_in(rng, t.link_latency.lo, t.link_latency.hi)),
+                    },
+                )));
+            }
+        }
+        prev_level = this_level;
+    }
+
+    let attachments: IdVec<_, _> = sys
+        .sites()
+        .iter()
+        .enumerate()
+        .map(|(i, (_, site))| {
+            let node = NodeId::new(prev_level[i % prev_level.len()]);
+            let qos = if t.qos_prob > 0.0 && rng.random::<f64>() < t.qos_prob {
+                // Always achievable from the attach node (hop-free
+                // channels keep the raw repository overhead); deeper
+                // ancestors must fit inside the slack.
+                Some(Secs(
+                    site.repo_ovhd.get() + uniform_in(rng, t.qos_slack.lo, t.qos_slack.hi),
+                ))
+            } else {
+                None
+            };
+            Attachment { node, qos }
+        })
+        .collect();
+
+    Topology::new(
+        IdVec::from_vec(nodes),
+        IdVec::from_vec(parents),
+        attachments,
+    )
+    .expect("generated trees are structurally valid")
 }
 
 fn sample_html_size(params: &WorkloadParams, rng: &mut StdRng) -> f64 {
@@ -371,6 +443,76 @@ mod tests {
     fn invalid_params_rejected() {
         let mut p = WorkloadParams::small();
         p.hot_page_frac = 2.0;
+        assert!(generate_system(&p, 1).is_err());
+    }
+
+    #[test]
+    fn star_topology_params_attach_no_tree() {
+        let mut p = WorkloadParams::small();
+        p.topology = crate::config::TopologyParams::origin();
+        let sys = generate_system(&p, 42).unwrap();
+        assert!(sys.topology().is_none());
+        // And the star stream is untouched: identical to the default.
+        assert_eq!(sys, small_sys(42));
+    }
+
+    #[test]
+    fn edge_preset_builds_a_two_level_tree() {
+        let mut p = WorkloadParams::small();
+        p.topology = crate::config::TopologyParams::edge();
+        let sys = generate_system(&p, 42).unwrap();
+        let topo = sys.topology().unwrap();
+        assert_eq!(topo.n_nodes(), 1 + p.topology.fanout);
+        // Sites round-robin over the edge tier, never the origin.
+        for s in sys.sites().ids() {
+            let att = topo.attachment(s);
+            assert_ne!(att.node, topo.root());
+            assert_eq!(topo.depth(att.node), 1);
+        }
+        // Star draws are unchanged by the trailing topology draws.
+        assert_eq!(sys.without_topology(), small_sys(42));
+    }
+
+    #[test]
+    fn regional_preset_builds_three_levels_with_qos() {
+        let mut p = WorkloadParams::small();
+        p.n_sites = 12; // enough sites that qos_prob = 1/3 almost surely fires
+        p.topology = crate::config::TopologyParams::regional();
+        let sys = generate_system(&p, 42).unwrap();
+        let topo = sys.topology().unwrap();
+        let f = p.topology.fanout;
+        assert_eq!(topo.n_nodes(), 1 + f + f * f);
+        let mut bounded = 0;
+        for s in sys.sites().ids() {
+            let att = topo.attachment(s);
+            assert_eq!(topo.depth(att.node), 2);
+            if let Some(qos) = att.qos {
+                bounded += 1;
+                // Feasible by construction: at least the raw overhead.
+                assert!(qos >= sys.site(s).repo_ovhd);
+            }
+        }
+        assert!(bounded > 0, "no site drew a QoS bound");
+        assert!(bounded < sys.n_sites(), "every site drew a QoS bound");
+    }
+
+    #[test]
+    fn tree_generation_is_deterministic() {
+        let mut p = WorkloadParams::small();
+        p.topology = crate::config::TopologyParams::regional();
+        let a = generate_system(&p, 7).unwrap();
+        let b = generate_system(&p, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_topology_params_rejected() {
+        let mut p = WorkloadParams::small();
+        p.topology.levels = 0;
+        assert!(generate_system(&p, 1).is_err());
+        let mut p = WorkloadParams::small();
+        p.topology.levels = 2;
+        p.topology.link_bandwidth = crate::config::Range { lo: 0.0, hi: 10.0 };
         assert!(generate_system(&p, 1).is_err());
     }
 

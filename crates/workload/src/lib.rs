@@ -49,7 +49,7 @@ pub mod perturb;
 pub mod sampling;
 pub mod trace;
 
-pub use config::{Range, WorkloadParams};
+pub use config::{Range, TopologyParams, WorkloadParams};
 pub use drift::DriftModel;
 pub use generator::generate_system;
 pub use perturb::{PerturbModel, RequestConditions};

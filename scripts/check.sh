@@ -50,4 +50,22 @@ if missing:
 print(f"  trace ok: {len(lines)} records, stages {sorted(want)}")
 EOF
 
+echo "==> federated-tree smoke (3-level tree plans with a selection stage)"
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    generate --seed 7 --topology regional --out "$SMOKE_OUT/tree.json" >/dev/null
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    plan --system "$SMOKE_OUT/tree.json" --storage 0.65 \
+    --out "$SMOKE_OUT/tree-placement.json" \
+    --trace-out "$SMOKE_OUT/tree-trace.jsonl" >/dev/null
+python3 - "$SMOKE_OUT/tree-trace.jsonl" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+spans = {l["name"] for l in lines if l["record"] == "span"}
+if "plan.select" not in spans:
+    print("error: tree plan trace is missing the plan.select span",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"  tree trace ok: {len(lines)} records, ancestor-selection span present")
+EOF
+
 echo "OK"
