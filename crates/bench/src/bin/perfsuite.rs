@@ -1,12 +1,17 @@
 //! Tracked planner performance baseline.
 //!
 //! Times the hot paths the planner optimisation work targets — a full
-//! single-threaded `plan`, the storage and capacity restorations in
-//! isolation, and one end-to-end Figure 1 cell (generate + plan + replay
-//! every policy at one storage fraction) — at paper scale (Table 1) and
-//! at 10× scale, and writes the medians to `BENCH_PLANNER.json` at the
-//! repo root. `scripts/bench_regress.sh` compares a fresh run against the
-//! committed file and fails on regressions.
+//! single-threaded `plan`, the sharded parallel `plan` at the auto thread
+//! count, the storage and capacity restorations in isolation (sequential
+//! and sharded), and one end-to-end Figure 1 cell (generate + plan +
+//! replay every policy at one storage fraction) — at paper scale
+//! (Table 1), at 10× scale, and a reduced planner-only set at 100× scale
+//! (1000 sites, 1.5M objects), and writes the medians to
+//! `BENCH_PLANNER.json` at the repo root. Every parallel metric records
+//! the worker-thread count it actually ran with (`threads`);
+//! `scripts/bench_regress.sh` compares a fresh run against the committed
+//! file, refuses baselines measured at a different thread count, and
+//! fails on regressions.
 //!
 //! ```text
 //! cargo run --release -p mmrepl-bench --bin perfsuite            # full suite
@@ -14,7 +19,10 @@
 //! cargo run -p mmrepl-bench --bin perfsuite -- --quick           # smoke test
 //! ```
 
-use mmrepl_core::{partition_all, restore_capacity, restore_storage, ReplicationPolicy, SiteWork};
+use mmrepl_core::{
+    effective_threads, parallel_map, partition_all, restore_capacity, restore_storage,
+    ReplicationPolicy, SiteWork,
+};
 use mmrepl_model::{CostParams, Secs, SiteId};
 use mmrepl_online::{ChurnBudget, DeltaPlanner, EstimatorConfig, RateEstimator};
 use mmrepl_sim::{figure1, ExperimentConfig};
@@ -23,6 +31,7 @@ use mmrepl_workload::{
 };
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// The whole tracked baseline document.
@@ -40,44 +49,65 @@ struct BenchDoc {
     scales: BTreeMap<String, ScaleTimings>,
 }
 
-/// Medians (seconds) for one workload scale.
+/// Medians (seconds) for one workload scale. The `Option` metrics are
+/// absent at the 100× scale, which runs the planner-only reduced set.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
 struct ScaleTimings {
     /// Sites × objects, for the record.
     n_sites: usize,
     n_objects: usize,
     /// Full single-threaded `plan` on a storage+processing-constrained
-    /// system.
+    /// system (`plan_parallel(sys, 1)`).
     plan_s: f64,
+    /// The same plan through the default sharded path (auto thread
+    /// count); bit-identical output, wall time divided by the shards.
+    #[serde(default)]
+    plan_par_s: f64,
     /// Full single-threaded `plan` on the default (unconstrained)
     /// generated system — partition + state builds only, no restoration.
-    plan_unconstrained_s: f64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    plan_unconstrained_s: Option<f64>,
     /// Full single-threaded `plan` on the same constrained workload
     /// attached to an edge repository tree — ancestor selection,
     /// channel-parameterised partition and per-node off-loading included.
-    #[serde(default)]
-    plan_tree_s: f64,
-    /// `restore_storage` summed over all sites (state builds untimed).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    plan_tree_s: Option<f64>,
+    /// `restore_storage` summed over all sites, sequentially (state
+    /// builds untimed).
     restore_storage_s: f64,
+    /// `restore_storage` over all sites sharded across the pool at the
+    /// auto thread count (state builds untimed).
+    #[serde(default)]
+    restore_storage_par_s: f64,
     /// `restore_capacity` summed over all sites, on storage-restored
     /// state.
     restore_capacity_s: f64,
     /// One end-to-end Figure 1 cell: workload + trace generation, every
     /// policy planned and replayed at a single storage fraction.
-    fig1_cell_s: f64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    fig1_cell_s: Option<f64>,
     /// Streaming rate-estimator ingest of one full trace (every site)
     /// plus the per-site window closes.
-    estimator_ingest_s: f64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    estimator_ingest_s: Option<f64>,
     /// Single-dirty-site incremental replan on drifted estimates, warm-
     /// started from the cached partition — the latency the controller
     /// pays per localized drift reaction (the cold plan is `plan_s`).
-    delta_replan_s: f64,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    delta_replan_s: Option<f64>,
     /// Disabled-tracer cost of one full plan as a fraction of `plan_s`:
     /// the number of obs calls a traced plan records, times the measured
     /// per-call cost when tracing is off (a single relaxed atomic load).
     /// `scripts/bench_regress.sh` fails if this exceeds 2%.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    obs_overhead: Option<f64>,
+    /// Worker-thread count each parallel metric actually ran with
+    /// (resolved through `effective_threads`, so the machine's core
+    /// count is baked in). Thread-count mismatches make timings
+    /// incomparable, so `scripts/bench_regress.sh` refuses baselines
+    /// whose counts differ from the candidate run's.
     #[serde(default)]
-    obs_overhead: f64,
+    threads: BTreeMap<String, usize>,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -97,7 +127,16 @@ fn time_median(iters: usize, mut f: impl FnMut()) -> f64 {
     )
 }
 
-fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) -> ScaleTimings {
+/// Benchmarks one scale. With `full == false` only the planner metrics
+/// run (sequential + sharded plan and restorations) — the reduced set
+/// that keeps the 100× tier to seconds per metric.
+fn bench_scale(
+    label: &str,
+    params: &WorkloadParams,
+    seed: u64,
+    iters: usize,
+    full: bool,
+) -> ScaleTimings {
     // Constrain storage and processing so every pipeline stage does real
     // work (unconstrained systems make the restorations no-ops).
     let system = generate_system(params, seed)
@@ -106,43 +145,61 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
         .with_processing_fraction(0.8);
     let policy = ReplicationPolicy::new();
     let cost = CostParams::default();
+    let auto_threads = effective_threads(0, system.n_sites());
+    let mut threads = BTreeMap::new();
+    threads.insert("plan_s".to_string(), 1);
+    threads.insert("plan_par_s".to_string(), auto_threads);
+    threads.insert("restore_storage_par_s".to_string(), auto_threads);
 
     let plan_s = time_median(iters, || {
+        std::hint::black_box(policy.plan_parallel(&system, 1));
+    });
+    // The default path: per-site restoration shards on the worker pool.
+    let plan_par_s = time_median(iters, || {
         std::hint::black_box(policy.plan(&system));
     });
-    let unconstrained = generate_system(params, seed).expect("workload generates");
-    let plan_unconstrained_s = time_median(iters, || {
-        std::hint::black_box(policy.plan(&unconstrained));
-    });
 
-    // Same constrained workload on an edge repository tree: topology
-    // draws come after all star draws, so the sites match `system` and
-    // the delta over `plan_s` is the cost of the tree pipeline itself.
-    let mut tree_params = params.clone();
-    tree_params.topology = TopologyParams::edge();
-    let tree_system = generate_system(&tree_params, seed)
-        .expect("workload generates")
-        .with_storage_fraction(0.5)
-        .with_processing_fraction(0.8);
-    let plan_tree_s = time_median(iters, || {
-        std::hint::black_box(policy.plan(&tree_system));
-    });
+    let (plan_unconstrained_s, plan_tree_s) = if full {
+        let unconstrained = generate_system(params, seed).expect("workload generates");
+        let unc = time_median(iters, || {
+            std::hint::black_box(policy.plan_parallel(&unconstrained, 1));
+        });
+        // Same constrained workload on an edge repository tree: topology
+        // draws come after all star draws, so the sites match `system`
+        // and the delta over `plan_s` is the cost of the tree pipeline.
+        let mut tree_params = params.clone();
+        tree_params.topology = TopologyParams::edge();
+        let tree_system = generate_system(&tree_params, seed)
+            .expect("workload generates")
+            .with_storage_fraction(0.5)
+            .with_processing_fraction(0.8);
+        let tree = time_median(iters, || {
+            std::hint::black_box(policy.plan_parallel(&tree_system, 1));
+        });
+        (Some(unc), Some(tree))
+    } else {
+        (None, None)
+    };
 
     // Observability cost model: how many obs calls one traced plan makes
     // (counted by the recorder itself), priced at the measured disabled-
     // path cost per call, as a fraction of the untraced plan time.
-    mmrepl_obs::reset();
-    mmrepl_obs::set_enabled(true);
-    policy.plan(&system);
-    mmrepl_obs::set_enabled(false);
-    let obs_ops = mmrepl_obs::take().ops();
-    const NOOP_CALLS: u64 = 10_000_000;
-    let t = Instant::now();
-    for i in 0..NOOP_CALLS {
-        mmrepl_obs::add("bench.noop", std::hint::black_box(i));
-    }
-    let per_op_disabled_s = t.elapsed().as_secs_f64() / NOOP_CALLS as f64;
-    let obs_overhead = obs_ops as f64 * per_op_disabled_s / plan_s;
+    let obs_overhead = if full {
+        mmrepl_obs::reset();
+        mmrepl_obs::set_enabled(true);
+        policy.plan_parallel(&system, 1);
+        mmrepl_obs::set_enabled(false);
+        let obs_ops = mmrepl_obs::take().ops();
+        const NOOP_CALLS: u64 = 10_000_000;
+        let t = Instant::now();
+        for i in 0..NOOP_CALLS {
+            mmrepl_obs::add("bench.noop", std::hint::black_box(i));
+        }
+        let per_op_disabled_s = t.elapsed().as_secs_f64() / NOOP_CALLS as f64;
+        Some(obs_ops as f64 * per_op_disabled_s / plan_s)
+    } else {
+        None
+    };
 
     // Time the restorations without the state builds: rebuild the
     // per-site state fresh each iteration, clock only the restoration
@@ -170,100 +227,146 @@ fn bench_scale(label: &str, params: &WorkloadParams, seed: u64, iters: usize) ->
     let restore_storage_s = median(storage_times);
     let restore_capacity_s = median(capacity_times);
 
-    // One end-to-end Figure 1 cell (cells are seconds-scale; a single
-    // timed pass keeps the suite fast and the medians above carry the
-    // low-variance signal).
-    let cell_iters = iters.min(3);
-    let cfg = ExperimentConfig {
-        params: params.clone(),
-        runs: 1,
-        base_seed: seed,
-        threads: 1,
-    };
-    cfg.params.validate().expect("params are valid");
-    let fig1_cell_s = time_median(cell_iters, || {
-        std::hint::black_box(figure1(&cfg, &[0.6]));
-    });
-
-    // Online control-plane hot paths. Ingest: one full trace through the
-    // streaming estimator (fresh estimator per iteration, built off the
-    // clock). Delta replan: one dirty site, on drifted estimates, warm-
-    // started from the cached PARTITION — the latency a controller pays
-    // per localized reaction, to be read against the cold `plan_s`.
-    let drifted = DriftModel::new(0.5).apply(&system, seed.wrapping_add(1));
-    let traces = generate_trace(&drifted, &TraceConfig::from_params(params), seed);
-    let durations: Vec<Secs> = traces
-        .iter()
-        .map(|t| {
-            let total: f64 = system
-                .pages_of(t.site)
-                .iter()
-                .map(|&p| system.page(p).freq.get())
-                .sum();
-            Secs(t.len() as f64 / total)
-        })
-        .collect();
-    // One full-trace pass is only milliseconds; repeat it within each
-    // timed iteration (same estimator — EWMA state evolves, per-request
-    // cost doesn't) so the median reads steady-state streaming cost
-    // instead of allocation jitter.
-    const INGEST_REPS: u32 = 8;
-    let mut ingest_times = Vec::with_capacity(iters);
-    let mut est = RateEstimator::new(&system, EstimatorConfig::default());
+    // Sharded storage restoration: the per-site states are built and
+    // parked in mutexed slots off the clock; the timed region is the
+    // pool fan-out, each worker taking its site and restoring it.
+    let mut par_times = Vec::with_capacity(iters);
     for _ in 0..iters {
-        let mut fresh = RateEstimator::new(&system, EstimatorConfig::default());
+        let works: Vec<Mutex<Option<SiteWork<'_>>>> = site_ids
+            .iter()
+            .map(|&s| Mutex::new(Some(SiteWork::new(&system, s, &initial, cost))))
+            .collect();
         let t = Instant::now();
-        for _ in 0..INGEST_REPS {
-            for tr in &traces {
-                fresh.ingest(&tr.requests);
+        parallel_map(works.len(), 0, |i| {
+            let mut w = works[i]
+                .lock()
+                .expect("slot lock")
+                .take()
+                .expect("each site taken exactly once");
+            std::hint::black_box(restore_storage(&mut w));
+        });
+        par_times.push(t.elapsed().as_secs_f64());
+    }
+    let restore_storage_par_s = median(par_times);
+
+    let (fig1_cell_s, estimator_ingest_s, delta_replan_s) = if full {
+        // One end-to-end Figure 1 cell (cells are seconds-scale; a single
+        // timed pass keeps the suite fast and the medians above carry the
+        // low-variance signal).
+        let cell_iters = iters.min(3);
+        let cfg = ExperimentConfig {
+            params: params.clone(),
+            runs: 1,
+            base_seed: seed,
+            threads: 1,
+        };
+        cfg.params.validate().expect("params are valid");
+        let fig1_cell_s = time_median(cell_iters, || {
+            std::hint::black_box(figure1(&cfg, &[0.6]));
+        });
+
+        // Online control-plane hot paths. Ingest: one full trace through
+        // the streaming estimator (fresh estimator per iteration, built
+        // off the clock). Delta replan: one dirty site, on drifted
+        // estimates, warm-started from the cached PARTITION — the
+        // latency a controller pays per localized reaction, to be read
+        // against the cold `plan_s`.
+        let drifted = DriftModel::new(0.5).apply(&system, seed.wrapping_add(1));
+        let traces = generate_trace(&drifted, &TraceConfig::from_params(params), seed);
+        let durations: Vec<Secs> = traces
+            .iter()
+            .map(|t| {
+                let total: f64 = system
+                    .pages_of(t.site)
+                    .iter()
+                    .map(|&p| system.page(p).freq.get())
+                    .sum();
+                Secs(t.len() as f64 / total)
+            })
+            .collect();
+        // One full-trace pass is only milliseconds; repeat it within each
+        // timed iteration (same estimator — EWMA state evolves, per-
+        // request cost doesn't) so the median reads steady-state
+        // streaming cost instead of allocation jitter.
+        const INGEST_REPS: u32 = 8;
+        let mut ingest_times = Vec::with_capacity(iters);
+        let mut est = RateEstimator::new(&system, EstimatorConfig::default());
+        for _ in 0..iters {
+            let mut fresh = RateEstimator::new(&system, EstimatorConfig::default());
+            let t = Instant::now();
+            for _ in 0..INGEST_REPS {
+                for tr in &traces {
+                    fresh.ingest(&tr.requests);
+                }
+                for (tr, &d) in traces.iter().zip(&durations) {
+                    fresh.close_site_window(&system, tr.site, d);
+                }
             }
-            for (tr, &d) in traces.iter().zip(&durations) {
-                fresh.close_site_window(&system, tr.site, d);
-            }
+            ingest_times.push(t.elapsed().as_secs_f64() / f64::from(INGEST_REPS));
+            est = fresh;
         }
-        ingest_times.push(t.elapsed().as_secs_f64() / f64::from(INGEST_REPS));
-        est = fresh;
-    }
-    let estimator_ingest_s = median(ingest_times);
+        let estimator_ingest_s = median(ingest_times);
 
-    let est_sys = est.estimated_system(&system);
-    let dirty: Vec<SiteId> = system.sites().ids().take(1).collect();
-    let pristine = DeltaPlanner::new(&system, ReplicationPolicy::new());
-    let mut delta_times = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let mut planner = pristine.clone();
-        let t = Instant::now();
-        std::hint::black_box(planner.replan(&est_sys, &dirty, ChurnBudget::unlimited()));
-        delta_times.push(t.elapsed().as_secs_f64());
-    }
-    let delta_replan_s = median(delta_times);
+        let est_sys = est.estimated_system(&system);
+        let dirty: Vec<SiteId> = system.sites().ids().take(1).collect();
+        let pristine = DeltaPlanner::new(&system, ReplicationPolicy::new());
+        let mut delta_times = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let mut planner = pristine.clone();
+            let t = Instant::now();
+            std::hint::black_box(planner.replan(&est_sys, &dirty, ChurnBudget::unlimited()));
+            delta_times.push(t.elapsed().as_secs_f64());
+        }
+        let delta_replan_s = median(delta_times);
+        (
+            Some(fig1_cell_s),
+            Some(estimator_ingest_s),
+            Some(delta_replan_s),
+        )
+    } else {
+        (None, None, None)
+    };
 
     let t = ScaleTimings {
         n_sites: params.n_sites,
         n_objects: params.n_objects,
         plan_s,
+        plan_par_s,
         plan_unconstrained_s,
         plan_tree_s,
         restore_storage_s,
+        restore_storage_par_s,
         restore_capacity_s,
         fig1_cell_s,
         estimator_ingest_s,
         delta_replan_s,
         obs_overhead,
+        threads,
+    };
+    let opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.4}s"),
+        None => "-".to_string(),
+    };
+    let pct = |v: Option<f64>| match v {
+        Some(x) => format!("{:.4}%", x * 100.0),
+        None => "-".to_string(),
     };
     println!(
-        "{label:>6}: plan {:.4}s  plan(unconstrained) {:.4}s  plan(tree) {:.4}s  \
-         storage {:.4}s  capacity {:.4}s  fig1 cell {:.3}s  est ingest {:.4}s  \
-         delta replan {:.4}s  obs overhead {:.4}%",
+        "{label:>6}: plan {:.4}s  plan(par,{auto_threads}t) {:.4}s  \
+         plan(unconstrained) {}  plan(tree) {}  \
+         storage {:.4}s  storage(par,{auto_threads}t) {:.4}s  capacity {:.4}s  \
+         fig1 cell {}  est ingest {}  delta replan {}  obs overhead {}",
         t.plan_s,
-        t.plan_unconstrained_s,
-        t.plan_tree_s,
+        t.plan_par_s,
+        opt(t.plan_unconstrained_s),
+        opt(t.plan_tree_s),
         t.restore_storage_s,
+        t.restore_storage_par_s,
         t.restore_capacity_s,
-        t.fig1_cell_s,
-        t.estimator_ingest_s,
-        t.delta_replan_s,
-        t.obs_overhead * 100.0
+        opt(t.fig1_cell_s),
+        opt(t.estimator_ingest_s),
+        opt(t.delta_replan_s),
+        pct(t.obs_overhead),
     );
     t
 }
@@ -301,19 +404,32 @@ fn main() -> std::io::Result<()> {
     if quick {
         scales.insert(
             "quick".into(),
-            bench_scale("quick", &WorkloadParams::small(), 42, iters),
+            bench_scale("quick", &WorkloadParams::small(), 42, iters, true),
         );
     } else {
         let paper = WorkloadParams::paper();
-        scales.insert("paper".into(), bench_scale("paper", &paper, 42, iters));
+        scales.insert(
+            "paper".into(),
+            bench_scale("paper", &paper, 42, iters, true),
+        );
         let mut big = paper.clone();
         big.n_sites *= 10;
         big.n_objects *= 10;
-        scales.insert("10x".into(), bench_scale("10x", &big, 42, iters));
+        scales.insert("10x".into(), bench_scale("10x", &big, 42, iters, true));
+        // The 100× tier (1000 sites, 1.5M objects) runs the reduced
+        // planner-only set — each metric is seconds-scale, so fewer
+        // iterations keep the whole tier tractable.
+        let mut huge = paper.clone();
+        huge.n_sites *= 100;
+        huge.n_objects *= 100;
+        scales.insert(
+            "100x".into(),
+            bench_scale("100x", &huge, 42, iters.min(3), false),
+        );
     }
 
     let doc = BenchDoc {
-        schema: 1,
+        schema: 2,
         suite: "perfsuite".into(),
         iters,
         note: "median seconds per operation; see crates/bench/src/bin/perfsuite.rs".into(),

@@ -23,11 +23,14 @@ commands:
              Print a summary of a system: sites, pages, demands, loads.
   plan       --system FILE [--storage F] [--processing F] [--central F]
              [--alpha1 A] [--alpha2 B] [--ancestor closest|flat]
-             [--out FILE] [--trace-out FILE]
+             [--threads N] [--out FILE] [--trace-out FILE]
              Run the replication policy; print the stage report and write
              the placement as JSON. --ancestor picks the serving node per
              site on tree systems (closest = attach node with capacity
              promotion, flat = always the origin); star systems ignore it.
+             --threads caps the restoration worker threads (0 = one per
+             core, the default); the placement is bit-identical at any
+             thread count.
   evaluate   --system FILE (--placement FILE | --policy ours|remote|local|lru)
              [--seed N] [--storage F] [--processing F]
              Replay the perturbed request trace and print response-time
@@ -168,6 +171,9 @@ pub enum Command {
         alpha: (f64, f64),
         /// Ancestor-selection policy for tree systems (ignored on stars).
         ancestor: AncestorPolicy,
+        /// Restoration worker-thread cap (`0` = one per core). The
+        /// placement is bit-identical at any value.
+        threads: usize,
         /// Output path (default `placement.json`).
         out: PathBuf,
         /// Structured-trace JSONL path (`None` = tracing stays off).
@@ -364,6 +370,7 @@ impl Command {
                         )
                     }
                 },
+                threads: take_usize("threads", 0)?,
                 out: take("out")
                     .map(PathBuf::from)
                     .unwrap_or_else(|| PathBuf::from("placement.json")),
@@ -607,6 +614,7 @@ mod tests {
             processing,
             alpha,
             ancestor,
+            threads,
             ..
         } = cmd
         else {
@@ -616,6 +624,21 @@ mod tests {
         assert_eq!(processing, None);
         assert_eq!(alpha, (3.0, 1.0));
         assert_eq!(ancestor, AncestorPolicy::Closest);
+        assert_eq!(threads, 0, "threads defaults to auto");
+    }
+
+    #[test]
+    fn plan_parses_thread_cap() {
+        let Command::Plan { threads, .. } =
+            parse(&["plan", "--system", "s.json", "--threads", "4"]).unwrap()
+        else {
+            unreachable!("plan input parses to Command::Plan")
+        };
+        assert_eq!(threads, 4);
+        assert!(matches!(
+            parse(&["plan", "--system", "s.json", "--threads", "many"]),
+            Err(ParseError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             central,
             alpha,
             ancestor,
+            threads,
             out,
             trace_out,
         } => plan(
@@ -43,6 +44,7 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             central,
             alpha,
             ancestor,
+            threads,
             &out,
             trace_out.as_deref(),
         ),
@@ -319,6 +321,7 @@ fn plan(
     central: Option<f64>,
     alpha: (f64, f64),
     ancestor: AncestorPolicy,
+    threads: usize,
     out: &Path,
     trace_out: Option<&Path>,
 ) -> Result<(), CliError> {
@@ -331,7 +334,7 @@ fn plan(
         ancestor,
         ..PlannerConfig::default()
     });
-    let outcome = with_trace(trace_out, || policy.plan(&system))?;
+    let outcome = with_trace(trace_out, || policy.plan_parallel(&system, threads))?;
     let r = &outcome.report;
     println!(
         "plan: feasible={} objective D={:.2}",
@@ -666,6 +669,7 @@ mod tests {
             central: None,
             alpha: (2.0, 1.0),
             ancestor: AncestorPolicy::Closest,
+            threads: 0,
             out: place_path.clone(),
             trace_out: None,
         })
@@ -738,6 +742,7 @@ mod tests {
             central: None,
             alpha: (2.0, 1.0),
             ancestor: AncestorPolicy::Closest,
+            threads: 0,
             out: place_a.clone(),
             trace_out: None,
         })
@@ -855,6 +860,7 @@ mod tests {
             central: None,
             alpha: (2.0, 1.0),
             ancestor: AncestorPolicy::Closest,
+            threads: 0,
             out: place_path,
             trace_out: Some(trace_path.clone()),
         })
@@ -904,6 +910,7 @@ mod tests {
             central: None,
             alpha: (2.0, 1.0),
             ancestor: AncestorPolicy::Closest,
+            threads: 0,
             out: place_path,
             trace_out: Some(trace_path.clone()),
         })

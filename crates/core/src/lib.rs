@@ -50,6 +50,7 @@
 //! ```
 
 pub mod audit;
+pub mod bits;
 pub mod capacity;
 pub mod lazyheap;
 pub mod offload;
@@ -65,6 +66,7 @@ pub use audit::{
     assert_consistent, audit_site, audits_performed, check_repo_constraint, check_site_constraints,
     AuditStage, Divergence,
 };
+pub use bits::DenseBits;
 pub use capacity::{restore_capacity, CapacityReport};
 pub use lazyheap::LazyMinHeap;
 pub use offload::{

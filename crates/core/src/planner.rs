@@ -94,10 +94,14 @@ impl ReplicationPolicy {
         &self.config
     }
 
-    /// Runs the full pipeline over `system`.
+    /// Runs the full pipeline over `system`, fanning the per-site shards
+    /// (partition adoption + both restorations) out over one worker per
+    /// core. The shards merge in site-id order, so the outcome is
+    /// **bit-identical** to [`ReplicationPolicy::plan_parallel`] at any
+    /// thread count, including 1.
     pub fn plan(&self, system: &System) -> PlanOutcome {
         let _total = mmrepl_obs::span("plan.total");
-        self.plan_with_threads(system, None, 1)
+        self.plan_with_threads(system, None, 0)
     }
 
     /// Like [`ReplicationPolicy::plan`], but adopting a caller-provided
@@ -114,7 +118,7 @@ impl ReplicationPolicy {
     /// systems.
     pub fn plan_with_partition(&self, system: &System, initial: &Placement) -> PlanOutcome {
         let _total = mmrepl_obs::span("plan.total");
-        self.plan_with_threads(system, Some(initial), 1)
+        self.plan_with_threads(system, Some(initial), 0)
     }
 
     /// Like [`ReplicationPolicy::plan`], but fans the per-site stages
@@ -172,6 +176,10 @@ impl ReplicationPolicy {
         };
 
         let per_site = |s: mmrepl_model::SiteId| {
+            // One site = one shard. The span lands in the stage table; the
+            // wall time feeds the shard-imbalance counter below.
+            let shard_start = std::time::Instant::now();
+            let _shard = mmrepl_obs::span("plan.restore.shard");
             let mut w = {
                 // Adopting the partition into dense per-site state is the
                 // tail of stage 1, so it counts toward `plan.partition`.
@@ -208,21 +216,34 @@ impl ReplicationPolicy {
             };
             #[cfg(feature = "audit")]
             crate::audit::assert_consistent(&w, crate::audit::AuditStage::CapacityRestore);
-            (w, st, cap)
+            (w, st, cap, shard_start.elapsed().as_nanos() as u64)
         };
 
-        let results: Vec<(SiteWork<'_>, StorageReport, CapacityReport)> =
+        let results: Vec<(SiteWork<'_>, StorageReport, CapacityReport, u64)> =
             crate::pool::parallel_map(site_ids.len(), threads, |i| per_site(site_ids[i]));
         let mut works = Vec::with_capacity(results.len());
         let mut storage = Vec::with_capacity(results.len());
         let mut capacity = Vec::with_capacity(results.len());
-        for (w, st, cap) in results {
+        let (mut shard_max_ns, mut shard_min_ns) = (0u64, u64::MAX);
+        for (w, st, cap, ns) in results {
+            shard_max_ns = shard_max_ns.max(ns);
+            shard_min_ns = shard_min_ns.min(ns);
             works.push(w);
             storage.push(st);
             capacity.push(cap);
         }
 
         if mmrepl_obs::enabled() {
+            // Shard imbalance: slowest over fastest shard wall time, ×100
+            // (100 = perfectly balanced). Accumulates (sums) when several
+            // plans run under one recorder; traces of a single plan read
+            // it directly as a ratio.
+            if shard_min_ns != u64::MAX && shard_min_ns > 0 {
+                mmrepl_obs::add(
+                    "plan.restore.shard.imbalance_x100",
+                    shard_max_ns * 100 / shard_min_ns,
+                );
+            }
             let mut pops = 0u64;
             let (mut dealloc, mut orphaned, mut repart, mut freed) = (0u64, 0u64, 0u64, 0u64);
             for st in &storage {
@@ -669,11 +690,36 @@ mod tests {
             .with_storage_fraction(0.5)
             .with_processing_fraction(0.8);
         let policy = ReplicationPolicy::new();
-        let seq = policy.plan(&sys);
+        let seq = policy.plan_parallel(&sys, 1);
         for threads in [0, 2, 3, 7] {
             let par = policy.plan_parallel(&sys, threads);
             assert_eq!(par.placement, seq.placement, "threads = {threads}");
             assert_eq!(par.report, seq.report, "threads = {threads}");
+        }
+    }
+
+    /// The same bit-identity claim at paper scale (10 sites, 15k objects)
+    /// and 10× scale (100 sites, 150k objects) — the tiers the tracked
+    /// perf baseline runs. Minutes-long in debug builds, so run it as
+    /// `cargo test --release -p mmrepl-core -- --ignored`.
+    #[test]
+    #[ignore = "paper/10x scale; run with --release -- --ignored"]
+    fn parallel_plan_is_bit_identical_at_paper_and_ten_x_scale() {
+        for mult in [1, 10] {
+            let mut params = WorkloadParams::paper();
+            params.n_sites *= mult;
+            params.n_objects *= mult;
+            let sys = generate_system(&params, 42)
+                .unwrap()
+                .with_storage_fraction(0.5)
+                .with_processing_fraction(0.8);
+            let policy = ReplicationPolicy::new();
+            let seq = policy.plan_parallel(&sys, 1);
+            for threads in [0, 4] {
+                let par = policy.plan_parallel(&sys, threads);
+                assert_eq!(par.placement, seq.placement, "x{mult}, threads = {threads}");
+                assert_eq!(par.report, seq.report, "x{mult}, threads = {threads}");
+            }
         }
     }
 

@@ -8,18 +8,25 @@
 //! cross-check itself against a from-scratch recomputation (used heavily in
 //! property tests).
 //!
+//! ## Layout
+//!
+//! Everything is indexed in a *site-local* dense object space: the objects
+//! this site's pages reference, in ascending id order. Membership lives in
+//! a flat [`DenseBits`] word bitset, slot→object resolution in CSR-style
+//! arenas built once at construction (forward: page slot → local index,
+//! size, fetch-win; reverse: local index → `(page, slot)` references).
+//! Nothing in the hot flip/dealloc/repartition loops is sized by — or even
+//! looks at — the global object universe, which is what lets a thousand
+//! `SiteWork`s coexist at 100x scale without blowing caches or memory.
+//!
 //! Invariant maintained throughout: **a mark can be local only if its
 //! object is in the site's store**, and the store is exactly the set of
 //! objects with at least one local mark (plus objects explicitly allocated
 //! during off-loading that are about to gain one).
 
+use crate::bits::DenseBits;
 use crate::streams::{OptionalCost, SiteParams, Streams};
-use mmrepl_model::{
-    CostParams, ObjectId, PageId, PagePartition, Placement, SiteId, StoredSet, System,
-};
-
-/// Sentinel in the global→local object index for "not referenced here".
-const NOT_LOCAL: u32 = u32::MAX;
+use mmrepl_model::{Bytes, CostParams, ObjectId, PageId, PagePartition, Placement, SiteId, System};
 
 /// A totally ordered `f64` key for greedy heaps (orders by
 /// `f64::total_cmp`; the algorithms never produce NaN, but the type stays
@@ -63,7 +70,17 @@ pub struct SiteWork<'a> {
     streams: Vec<Streams>,
     opt_cost: Vec<OptionalCost>,
     parts: Vec<PagePartition>,
-    store: StoredSet,
+    /// The objects this site's pages reference, ascending by id. Position
+    /// in this vector is the *local index* every dense structure below
+    /// shares; `local_of` resolves a global id by binary search.
+    local_objects: Vec<ObjectId>,
+    /// Store membership, one bit per local index.
+    store: DenseBits,
+    /// Stored objects *not* referenced by any local page (possible only
+    /// through an explicit markless [`SiteWork::alloc`]); sorted ascending.
+    /// Empty throughout the planning pipeline, so the hot paths never
+    /// touch it.
+    foreign: Vec<ObjectId>,
     stored_bytes: u64,
     html_bytes: u64,
     load: f64,
@@ -73,10 +90,6 @@ pub struct SiteWork<'a> {
     /// Refresh load of the current store: `Σ_{k stored} u_k` (zero when
     /// `count_updates` is off).
     update_load: f64,
-    /// Global object id → local index (`NOT_LOCAL` = unreferenced here).
-    /// Local indices run over the objects this site's pages reference, in
-    /// ascending id order; all dense per-object arrays below share them.
-    obj_local: Vec<u32>,
     /// Local-mark count per local object (orphan detection).
     mark_count: Vec<u32>,
     /// CSR reverse index: compulsory `(page_idx, slot)` references of local
@@ -87,13 +100,45 @@ pub struct SiteWork<'a> {
     /// CSR reverse index for optional references, same layout.
     opt_off: Vec<u32>,
     opt_dat: Vec<(u32, u32)>,
-    /// Objects whose mark count touched zero since the last
-    /// [`SiteWork::drop_orphans`]; entries may be stale (re-marked since)
-    /// and are re-checked on drain.
+    /// Forward arena offsets: page `idx`'s compulsory slots occupy
+    /// `comp_slot_off[idx] .. comp_slot_off[idx + 1]` in the `comp_slot_*`
+    /// arenas below (slot order preserved).
+    comp_slot_off: Vec<u32>,
+    /// Local object index per compulsory slot.
+    comp_slot_lobj: Vec<u32>,
+    /// Object size per compulsory slot (no global table walk on flips).
+    comp_slot_size: Vec<Bytes>,
+    /// Per page, its compulsory *arena positions* ordered by
+    /// (size desc, slot asc) — the repartition greedy's visit order,
+    /// computed once instead of sorted on every call.
+    comp_slot_ord: Vec<u32>,
+    /// Forward arena offsets for optional slots, like `comp_slot_off`.
+    opt_slot_off: Vec<u32>,
+    /// Local object index per optional slot.
+    opt_slot_lobj: Vec<u32>,
+    /// Object size per optional slot.
+    opt_slot_size: Vec<Bytes>,
+    /// Access probability per optional slot.
+    opt_slot_prob: Vec<f64>,
+    /// Serving load of the optional slot when local:
+    /// `freq · opt_req_factor · prob`, precomputed.
+    opt_slot_load: Vec<f64>,
+    /// Whether a standalone local fetch beats the repository pipe for the
+    /// slot's object (repartitioning's optional rule), precomputed against
+    /// this site's (possibly ancestor-constrained) `SiteParams`.
+    opt_slot_wins: Vec<bool>,
+    /// Local objects whose mark count touched zero since the last
+    /// [`SiteWork::drop_orphans`] (plus markless allocs); entries may be
+    /// stale (re-marked since) and are re-checked on drain.
     zero_marks: Vec<ObjectId>,
     /// Reusable scratch for [`SiteWork::dealloc`]'s ref walk (the flips
     /// need `&mut self` while the CSR slice borrows `&self`).
     scratch_refs: Vec<(u32, u32)>,
+    /// Reusable scratch rows for [`SiteWork::repartition_page`].
+    scratch_marks: Vec<bool>,
+    scratch_opt: Vec<bool>,
+    scratch_old_comp: Vec<bool>,
+    scratch_old_opt: Vec<bool>,
 }
 
 impl<'a> SiteWork<'a> {
@@ -134,61 +179,112 @@ impl<'a> SiteWork<'a> {
     ) -> Self {
         let pages: Vec<PageId> = sys.pages_of(site).to_vec();
 
-        // Build the site-local dense object index: every object some local
-        // page references, in ascending id order. A bitmask scan assigns
-        // the indices without sorting the (much longer) reference list.
-        let mut mask = vec![0u64; sys.n_objects().div_ceil(64)];
+        // Pass A — the site-local dense object index: every object some
+        // local page references, ascending by id. Sort+dedup of the raw
+        // reference list assigns exactly the ids a global-mask scan would,
+        // without ever allocating anything sized by the global universe.
+        let mut local_objects: Vec<ObjectId> = Vec::new();
+        let mut n_comp_slots = 0usize;
+        let mut n_opt_slots = 0usize;
         for &pid in &pages {
             let page = sys.page(pid);
-            for &k in &page.compulsory {
-                mask[k.index() >> 6] |= 1 << (k.index() & 63);
-            }
-            for o in &page.optional {
-                let i = o.object.index();
-                mask[i >> 6] |= 1 << (i & 63);
-            }
+            n_comp_slots += page.compulsory.len();
+            n_opt_slots += page.optional.len();
+            local_objects.extend_from_slice(&page.compulsory);
+            local_objects.extend(page.optional.iter().map(|o| o.object));
         }
-        let mut obj_local = vec![NOT_LOCAL; sys.n_objects()];
-        let mut n_local = 0u32;
-        for (word, &bits) in mask.iter().enumerate() {
-            let mut bits = bits;
-            while bits != 0 {
-                obj_local[(word << 6) + bits.trailing_zeros() as usize] = n_local;
-                n_local += 1;
-                bits &= bits - 1;
-            }
-        }
-        let n_local = n_local as usize;
+        local_objects.sort_unstable();
+        local_objects.dedup();
+        let n_local = local_objects.len();
 
-        // CSR reverse indices: count refs per object, prefix-sum into
-        // offsets, then fill through a cursor copy. Filling in page-idx,
-        // slot order reproduces the reference order the restoration
-        // algorithms were tuned against.
+        // Pass B — forward arenas (slot → local index, size, probability,
+        // fetch pricing) and reverse-CSR counts.
+        let mut comp_slot_off = Vec::with_capacity(pages.len() + 1);
+        let mut opt_slot_off = Vec::with_capacity(pages.len() + 1);
+        let mut comp_slot_lobj = Vec::with_capacity(n_comp_slots);
+        let mut comp_slot_size = Vec::with_capacity(n_comp_slots);
+        let mut opt_slot_lobj = Vec::with_capacity(n_opt_slots);
+        let mut opt_slot_size = Vec::with_capacity(n_opt_slots);
+        let mut opt_slot_prob = Vec::with_capacity(n_opt_slots);
+        let mut opt_slot_load = Vec::with_capacity(n_opt_slots);
+        let mut opt_slot_wins = Vec::with_capacity(n_opt_slots);
         let mut comp_off = vec![0u32; n_local + 1];
         let mut opt_off = vec![0u32; n_local + 1];
+        comp_slot_off.push(0u32);
+        opt_slot_off.push(0u32);
         for &pid in &pages {
             let page = sys.page(pid);
+            let f = page.freq.get();
             for &k in &page.compulsory {
-                comp_off[obj_local[k.index()] as usize + 1] += 1;
+                let o = local_objects
+                    .binary_search(&k)
+                    .expect("reference missed by index build") as u32;
+                comp_slot_lobj.push(o);
+                comp_slot_size.push(sys.object_size(k));
+                comp_off[o as usize + 1] += 1;
             }
-            for o in &page.optional {
-                opt_off[obj_local[o.object.index()] as usize + 1] += 1;
+            for r in &page.optional {
+                let o = local_objects
+                    .binary_search(&r.object)
+                    .expect("reference missed by index build") as u32;
+                let size = sys.object_size(r.object);
+                opt_slot_lobj.push(o);
+                opt_slot_size.push(size);
+                opt_slot_prob.push(r.prob);
+                opt_slot_load.push(f * page.opt_req_factor * r.prob);
+                opt_slot_wins.push(params.local_fetch_wins(size));
+                opt_off[o as usize + 1] += 1;
             }
+            comp_slot_off.push(comp_slot_lobj.len() as u32);
+            opt_slot_off.push(opt_slot_lobj.len() as u32);
         }
-        for i in 1..comp_off.len() {
+        for i in 1..=n_local {
             comp_off[i] += comp_off[i - 1];
             opt_off[i] += opt_off[i - 1];
         }
+
+        // Reverse CSR fill through cursors; (page idx, slot) ascending
+        // order reproduces the reference order the restoration algorithms
+        // were tuned against.
         let mut comp_cur = comp_off.clone();
         let mut opt_cur = opt_off.clone();
-        let mut comp_dat = vec![(0u32, 0u32); *comp_off.last().unwrap() as usize];
-        let mut opt_dat = vec![(0u32, 0u32); *opt_off.last().unwrap() as usize];
+        let mut comp_dat = vec![(0u32, 0u32); n_comp_slots];
+        let mut opt_dat = vec![(0u32, 0u32); n_opt_slots];
+        for idx in 0..pages.len() {
+            let base = comp_slot_off[idx];
+            for s in base..comp_slot_off[idx + 1] {
+                let o = comp_slot_lobj[s as usize] as usize;
+                comp_dat[comp_cur[o] as usize] = (idx as u32, s - base);
+                comp_cur[o] += 1;
+            }
+            let obase = opt_slot_off[idx];
+            for s in obase..opt_slot_off[idx + 1] {
+                let o = opt_slot_lobj[s as usize] as usize;
+                opt_dat[opt_cur[o] as usize] = (idx as u32, s - obase);
+                opt_cur[o] += 1;
+            }
+        }
 
+        // Per-page repartition visit order: (size desc, slot asc), the
+        // exact comparator the old per-call sort used. Arena positions are
+        // slot-ascending within a page, so position order is slot order.
+        let mut comp_slot_ord: Vec<u32> = (0..n_comp_slots as u32).collect();
+        for idx in 0..pages.len() {
+            let range = comp_slot_off[idx] as usize..comp_slot_off[idx + 1] as usize;
+            comp_slot_ord[range].sort_unstable_by(|&a, &b| {
+                comp_slot_size[b as usize]
+                    .cmp(&comp_slot_size[a as usize])
+                    .then(a.cmp(&b))
+            });
+        }
+
+        // Pass C — adopt the placement's marks into streams, load, store
+        // bits and mark counts.
         let mut freq = Vec::with_capacity(pages.len());
         let mut streams = Vec::with_capacity(pages.len());
         let mut opt_cost = Vec::with_capacity(pages.len());
         let mut parts = Vec::with_capacity(pages.len());
-        let mut store = StoredSet::empty(sys.n_objects());
+        let mut store = DenseBits::zeros(n_local);
         let mut stored_bytes = 0u64;
         let mut html_bytes = 0u64;
         let mut load = 0.0;
@@ -199,16 +295,16 @@ impl<'a> SiteWork<'a> {
             let part = placement.partition(pid).clone();
             let f = page.freq.get();
             html_bytes += page.html_size.get();
+            let base = comp_slot_off[idx] as usize;
+            let obase = opt_slot_off[idx] as usize;
 
             let mut s = Streams::all_local_base(page.html_size);
-            for (slot, &k) in page.compulsory.iter().enumerate() {
-                let o = obj_local[k.index()] as usize;
-                comp_dat[comp_cur[o] as usize] = (idx as u32, slot as u32);
-                comp_cur[o] += 1;
-                let size = sys.object_size(k);
+            for slot in 0..page.n_compulsory() {
+                let o = comp_slot_lobj[base + slot] as usize;
+                let size = comp_slot_size[base + slot];
                 if part.local_compulsory[slot] {
                     s.local_bytes += size.get();
-                    if store.insert(k) {
+                    if store.set(o) {
                         stored_bytes += size.get();
                     }
                     mark_count[o] += 1;
@@ -220,29 +316,27 @@ impl<'a> SiteWork<'a> {
             let oc = OptionalCost::build(
                 page.opt_req_factor,
                 &params,
-                page.optional.iter().enumerate().map(|(slot, o)| {
-                    (o.prob, sys.object_size(o.object), part.local_optional[slot])
+                (0..page.optional.len()).map(|slot| {
+                    (
+                        opt_slot_prob[obase + slot],
+                        opt_slot_size[obase + slot],
+                        part.local_optional[slot],
+                    )
                 }),
             );
-            for (slot, o) in page.optional.iter().enumerate() {
-                let lo = obj_local[o.object.index()] as usize;
-                opt_dat[opt_cur[lo] as usize] = (idx as u32, slot as u32);
-                opt_cur[lo] += 1;
+            for slot in 0..page.optional.len() {
+                let o = opt_slot_lobj[obase + slot] as usize;
                 if part.local_optional[slot] {
-                    let size = sys.object_size(o.object);
-                    if store.insert(o.object) {
-                        stored_bytes += size.get();
+                    if store.set(o) {
+                        stored_bytes += opt_slot_size[obase + slot].get();
                     }
-                    mark_count[lo] += 1;
+                    mark_count[o] += 1;
                 }
             }
 
-            let opt_local: f64 = page
-                .optional
-                .iter()
-                .zip(&part.local_optional)
-                .filter(|(_, &l)| l)
-                .map(|(o, _)| o.prob)
+            let opt_local: f64 = (0..page.optional.len())
+                .filter(|&slot| part.local_optional[slot])
+                .map(|slot| opt_slot_prob[obase + slot])
                 .sum();
             load += f * (1.0 + part.n_local_compulsory() as f64 + page.opt_req_factor * opt_local);
 
@@ -253,7 +347,10 @@ impl<'a> SiteWork<'a> {
         }
 
         let update_load = if count_updates {
-            store.iter().map(|k| sys.object(k).update_rate).sum()
+            store
+                .iter_ones()
+                .map(|o| sys.object(local_objects[o]).update_rate)
+                .sum()
         } else {
             0.0
         };
@@ -269,29 +366,68 @@ impl<'a> SiteWork<'a> {
             streams,
             opt_cost,
             parts,
+            local_objects,
             store,
+            foreign: Vec::new(),
             stored_bytes,
             html_bytes,
             load,
             count_updates,
             update_load,
-            obj_local,
             mark_count,
             comp_off,
             comp_dat,
             opt_off,
             opt_dat,
+            comp_slot_off,
+            comp_slot_lobj,
+            comp_slot_size,
+            comp_slot_ord,
+            opt_slot_off,
+            opt_slot_lobj,
+            opt_slot_size,
+            opt_slot_prob,
+            opt_slot_load,
+            opt_slot_wins,
             zero_marks: Vec::new(),
             scratch_refs: Vec::new(),
+            scratch_marks: Vec::new(),
+            scratch_opt: Vec::new(),
+            scratch_old_comp: Vec::new(),
+            scratch_old_opt: Vec::new(),
         }
     }
 
     /// The site-local index of `object`, if any local page references it.
     #[inline]
     fn local_of(&self, object: ObjectId) -> Option<usize> {
-        match self.obj_local[object.index()] {
-            NOT_LOCAL => None,
-            i => Some(i as usize),
+        self.local_objects.binary_search(&object).ok()
+    }
+
+    /// Compulsory `(page_idx, slot)` references of local object `o`.
+    #[inline]
+    fn comp_refs_local(&self, o: usize) -> &[(u32, u32)] {
+        &self.comp_dat[self.comp_off[o] as usize..self.comp_off[o + 1] as usize]
+    }
+
+    /// Optional `(page_idx, slot)` references of local object `o`.
+    #[inline]
+    fn opt_refs_local(&self, o: usize) -> &[(u32, u32)] {
+        &self.opt_dat[self.opt_off[o] as usize..self.opt_off[o + 1] as usize]
+    }
+
+    /// Removes `object` from the store (local bit or foreign list),
+    /// returning whether it was present.
+    fn store_remove(&mut self, object: ObjectId) -> bool {
+        match self.local_of(object) {
+            Some(o) => self.store.clear(o),
+            None => match self.foreign.binary_search(&object) {
+                Ok(pos) => {
+                    self.foreign.remove(pos);
+                    true
+                }
+                Err(_) => false,
+            },
         }
     }
 
@@ -406,12 +542,10 @@ impl<'a> SiteWork<'a> {
             let page = self.sys.page(pid);
             let part = &self.parts[idx];
             let remote_comp = (page.n_compulsory() - part.n_local_compulsory()) as f64;
-            let opt_remote: f64 = page
-                .optional
-                .iter()
-                .zip(&part.local_optional)
-                .filter(|(_, &l)| !l)
-                .map(|(o, _)| o.prob)
+            let obase = self.opt_slot_off[idx] as usize;
+            let opt_remote: f64 = (0..page.optional.len())
+                .filter(|&slot| !part.local_optional[slot])
+                .map(|slot| self.opt_slot_prob[obase + slot])
                 .sum();
             total += self.freq[idx] * (remote_comp + page.opt_req_factor * opt_remote);
         }
@@ -420,7 +554,10 @@ impl<'a> SiteWork<'a> {
 
     /// Whether `object` is in this site's store.
     pub fn is_stored(&self, object: ObjectId) -> bool {
-        self.store.contains(object)
+        match self.local_of(object) {
+            Some(o) => self.store.get(o),
+            None => !self.foreign.is_empty() && self.foreign.binary_search(&object).is_ok(),
+        }
     }
 
     /// Number of local marks currently on `object`.
@@ -428,9 +565,18 @@ impl<'a> SiteWork<'a> {
         self.local_of(object).map_or(0, |o| self.mark_count[o])
     }
 
-    /// Iterates the stored objects in ascending id order.
+    /// The stored objects in ascending id order.
     pub fn stored_objects(&self) -> Vec<ObjectId> {
-        self.store.iter().collect()
+        let mut out: Vec<ObjectId> = self
+            .store
+            .iter_ones()
+            .map(|o| self.local_objects[o])
+            .collect();
+        if !self.foreign.is_empty() {
+            out.extend_from_slice(&self.foreign);
+            out.sort_unstable();
+        }
+        out
     }
 
     /// The objective contribution of local page `idx`:
@@ -449,7 +595,7 @@ impl<'a> SiteWork<'a> {
     /// Compulsory references to `object` at this site.
     pub fn compulsory_refs(&self, object: ObjectId) -> &[(u32, u32)] {
         match self.local_of(object) {
-            Some(o) => &self.comp_dat[self.comp_off[o] as usize..self.comp_off[o + 1] as usize],
+            Some(o) => self.comp_refs_local(o),
             None => &[],
         }
     }
@@ -457,7 +603,7 @@ impl<'a> SiteWork<'a> {
     /// Optional references to `object` at this site.
     pub fn optional_refs(&self, object: ObjectId) -> &[(u32, u32)] {
         match self.local_of(object) {
-            Some(o) => &self.opt_dat[self.opt_off[o] as usize..self.opt_off[o + 1] as usize],
+            Some(o) => self.opt_refs_local(o),
             None => &[],
         }
     }
@@ -473,16 +619,14 @@ impl<'a> SiteWork<'a> {
         if self.parts[idx].local_compulsory[slot] == local {
             return;
         }
-        let pid = self.pages[idx];
-        let object = self.sys.page(pid).compulsory[slot];
-        let size = self.sys.object_size(object);
-        let o = self
-            .local_of(object)
-            .expect("compulsory slot references an object unknown to this site");
+        let pos = self.comp_slot_off[idx] as usize + slot;
+        let o = self.comp_slot_lobj[pos] as usize;
+        let size = self.comp_slot_size[pos];
         if local {
             assert!(
-                self.store.contains(object),
-                "marking {object} local while not stored at {}",
+                self.store.get(o),
+                "marking {} local while not stored at {}",
+                self.local_objects[o],
                 self.site
             );
             self.streams[idx].move_to_local(size);
@@ -494,7 +638,7 @@ impl<'a> SiteWork<'a> {
             assert!(self.mark_count[o] > 0, "unmarking an object with no marks");
             self.mark_count[o] -= 1;
             if self.mark_count[o] == 0 {
-                self.zero_marks.push(object);
+                self.zero_marks.push(self.local_objects[o]);
             }
         }
         self.parts[idx].local_compulsory[slot] = local;
@@ -506,19 +650,16 @@ impl<'a> SiteWork<'a> {
         if self.parts[idx].local_optional[slot] == local {
             return;
         }
-        let pid = self.pages[idx];
-        let page = self.sys.page(pid);
-        let oref = page.optional[slot];
-        let size = self.sys.object_size(oref.object);
-        let workload = self.freq[idx] * page.opt_req_factor * oref.prob;
-        let o = self
-            .local_of(oref.object)
-            .expect("optional slot references an object unknown to this site");
+        let pos = self.opt_slot_off[idx] as usize + slot;
+        let o = self.opt_slot_lobj[pos] as usize;
+        let size = self.opt_slot_size[pos];
+        let prob = self.opt_slot_prob[pos];
+        let workload = self.opt_slot_load[pos];
         if local {
             assert!(
-                self.store.contains(oref.object),
+                self.store.get(o),
                 "marking optional {} local while not stored",
-                oref.object
+                self.local_objects[o]
             );
             self.load += workload;
             self.mark_count[o] += 1;
@@ -530,17 +671,28 @@ impl<'a> SiteWork<'a> {
             );
             self.mark_count[o] -= 1;
             if self.mark_count[o] == 0 {
-                self.zero_marks.push(oref.object);
+                self.zero_marks.push(self.local_objects[o]);
             }
         }
-        self.opt_cost[idx].flip(oref.prob, size, local, &self.params);
+        self.opt_cost[idx].flip(prob, size, local, &self.params);
         self.parts[idx].local_optional[slot] = local;
     }
 
     /// Adds `object` to the store (no marks yet). Returns false if already
-    /// stored.
+    /// stored. Objects no local page references are accepted (they land in
+    /// a side list) but stay orphan candidates until a mark arrives.
     pub fn alloc(&mut self, object: ObjectId) -> bool {
-        if self.store.insert(object) {
+        let inserted = match self.local_of(object) {
+            Some(o) => self.store.set(o),
+            None => match self.foreign.binary_search(&object) {
+                Ok(_) => false,
+                Err(pos) => {
+                    self.foreign.insert(pos, object);
+                    true
+                }
+            },
+        };
+        if inserted {
             self.stored_bytes += self.sys.object_size(object).get();
             if self.count_updates {
                 self.update_load += self.sys.object(object).update_rate;
@@ -548,18 +700,19 @@ impl<'a> SiteWork<'a> {
             // Stored with zero marks until a caller flips one local — an
             // orphan candidate if none ever lands.
             self.zero_marks.push(object);
-            true
-        } else {
-            false
         }
+        inserted
     }
 
     /// The objective increase if `object` were deallocated right now
     /// (every local mark on it flipped remote). Non-mutating; exact.
     pub fn delta_d_dealloc(&self, object: ObjectId) -> f64 {
+        let Some(o) = self.local_of(object) else {
+            return 0.0;
+        };
         let size = self.sys.object_size(object);
         let mut delta = 0.0;
-        for &(idx, slot) in self.compulsory_refs(object) {
+        for &(idx, slot) in self.comp_refs_local(o) {
             let (idx, slot) = (idx as usize, slot as usize);
             if self.parts[idx].local_compulsory[slot] {
                 let before = self.streams[idx].response(&self.params);
@@ -567,10 +720,10 @@ impl<'a> SiteWork<'a> {
                 delta += self.freq[idx] * self.alpha1 * (after - before);
             }
         }
-        for &(idx, slot) in self.optional_refs(object) {
+        for &(idx, slot) in self.opt_refs_local(o) {
             let (idx, slot) = (idx as usize, slot as usize);
             if self.parts[idx].local_optional[slot] {
-                let prob = self.sys.page(self.pages[idx]).optional[slot].prob;
+                let prob = self.opt_slot_prob[self.opt_slot_off[idx] as usize + slot];
                 delta += self.freq[idx]
                     * self.alpha2
                     * self.opt_cost[idx].delta_if_flipped(prob, size, false, &self.params);
@@ -584,35 +737,50 @@ impl<'a> SiteWork<'a> {
     /// partition changed (candidates for re-partitioning).
     pub fn dealloc(&mut self, object: ObjectId) -> Vec<usize> {
         let mut affected = Vec::new();
-        // The flips below need `&mut self` while the CSR rows borrow
-        // `&self`, so stage the rows through a reusable scratch buffer.
-        let mut refs = std::mem::take(&mut self.scratch_refs);
-        refs.clear();
-        refs.extend_from_slice(self.compulsory_refs(object));
-        for &(idx, slot) in &refs {
-            let (idx, slot) = (idx as usize, slot as usize);
-            if self.parts[idx].local_compulsory[slot] {
-                self.set_compulsory(idx, slot, false);
-                affected.push(idx);
+        self.dealloc_into(object, &mut affected);
+        affected
+    }
+
+    /// [`SiteWork::dealloc`] into a caller-owned buffer (cleared first), so
+    /// the restoration loop reuses one allocation across thousands of
+    /// deallocations.
+    pub fn dealloc_into(&mut self, object: ObjectId, affected: &mut Vec<usize>) {
+        affected.clear();
+        if let Some(o) = self.local_of(object) {
+            // The flips below need `&mut self` while the CSR rows borrow
+            // `&self`, so stage the rows through a reusable scratch buffer.
+            let mut refs = std::mem::take(&mut self.scratch_refs);
+            refs.clear();
+            refs.extend_from_slice(self.comp_refs_local(o));
+            for &(idx, slot) in &refs {
+                let (idx, slot) = (idx as usize, slot as usize);
+                if self.parts[idx].local_compulsory[slot] {
+                    self.set_compulsory(idx, slot, false);
+                    affected.push(idx);
+                }
             }
-        }
-        refs.clear();
-        refs.extend_from_slice(self.optional_refs(object));
-        for &(idx, slot) in &refs {
-            let (idx, slot) = (idx as usize, slot as usize);
-            if self.parts[idx].local_optional[slot] {
-                self.set_optional(idx, slot, false);
+            refs.clear();
+            refs.extend_from_slice(self.opt_refs_local(o));
+            for &(idx, slot) in &refs {
+                let (idx, slot) = (idx as usize, slot as usize);
+                if self.parts[idx].local_optional[slot] {
+                    self.set_optional(idx, slot, false);
+                }
             }
-        }
-        self.scratch_refs = refs;
-        if self.store.remove(object) {
+            self.scratch_refs = refs;
+            if self.store.clear(o) {
+                self.stored_bytes -= self.sys.object_size(object).get();
+                if self.count_updates {
+                    self.update_load -= self.sys.object(object).update_rate;
+                }
+            }
+        } else if self.store_remove(object) {
             self.stored_bytes -= self.sys.object_size(object).get();
             if self.count_updates {
                 self.update_load -= self.sys.object(object).update_rate;
             }
         }
         debug_assert_eq!(self.marks_on(object), 0);
-        affected
     }
 
     /// Removes stored objects that no longer carry any local mark,
@@ -627,7 +795,11 @@ impl<'a> SiteWork<'a> {
         worklist.dedup();
         let mut freed = 0;
         for k in worklist.drain(..) {
-            if self.marks_on(k) != 0 || !self.store.remove(k) {
+            let removed = match self.local_of(k) {
+                Some(o) => self.mark_count[o] == 0 && self.store.clear(o),
+                None => self.store_remove(k),
+            };
+            if !removed {
                 continue;
             }
             let sz = self.sys.object_size(k).get();
@@ -647,55 +819,67 @@ impl<'a> SiteWork<'a> {
     /// adjustment). The new assignment is applied only if it improves the
     /// page's objective contribution. Returns whether anything changed.
     pub fn repartition_page(&mut self, idx: usize) -> bool {
-        let pid = self.pages[idx];
-        let page = self.sys.page(pid);
-        let p = &self.params;
+        let base = self.comp_slot_off[idx] as usize;
+        let cend = self.comp_slot_off[idx + 1] as usize;
+        let obase = self.opt_slot_off[idx] as usize;
+        let oend = self.opt_slot_off[idx + 1] as usize;
 
-        // Candidate slots: stored objects. Fixed-remote: everything else.
-        let mut candidates: Vec<usize> = Vec::new();
-        let mut fixed_remote_bytes = 0u64;
-        for (slot, &k) in page.compulsory.iter().enumerate() {
-            if self.store.contains(k) {
-                candidates.push(slot);
-            } else {
-                fixed_remote_bytes += self.sys.object_size(k).get();
+        let mut new_marks = std::mem::take(&mut self.scratch_marks);
+        let mut new_opt = std::mem::take(&mut self.scratch_opt);
+        new_marks.clear();
+        new_marks.resize(cend - base, false);
+        new_opt.clear();
+        {
+            let p = &self.params;
+
+            // Fixed-remote payload: every unstored compulsory slot.
+            let mut fixed_remote_bytes = 0u64;
+            for s in base..cend {
+                if !self.store.get(self.comp_slot_lobj[s] as usize) {
+                    fixed_remote_bytes += self.comp_slot_size[s].get();
+                }
             }
-        }
-        candidates.sort_by(|&a, &b| {
-            let sa = self.sys.object_size(page.compulsory[a]);
-            let sb = self.sys.object_size(page.compulsory[b]);
-            sb.cmp(&sa).then(a.cmp(&b))
-        });
 
-        // Verbatim greedy with the fixed-remote payload pre-charged.
-        let mut local = p.local_ovhd + page.html_size.get() as f64 / p.local_rate;
-        let mut remote = p.repo_ovhd + fixed_remote_bytes as f64 / p.repo_rate;
-        let mut new_marks = vec![false; page.n_compulsory()];
-        for &slot in &candidates {
-            let size = self.sys.object_size(page.compulsory[slot]).get() as f64;
-            let local_if = local + size / p.local_rate;
-            let remote_if = remote + size / p.repo_rate;
-            if remote_if < local_if {
-                remote = remote_if;
-            } else {
-                local = local_if;
-                new_marks[slot] = true;
+            // Verbatim greedy over the precomputed (size desc, slot asc)
+            // order, skipping unstored slots — the same candidate sequence
+            // the per-call sort used to produce — with the fixed-remote
+            // payload pre-charged.
+            let html = self.sys.page(self.pages[idx]).html_size;
+            let mut local = p.local_ovhd + html.get() as f64 / p.local_rate;
+            let mut remote = p.repo_ovhd + fixed_remote_bytes as f64 / p.repo_rate;
+            for &s in &self.comp_slot_ord[base..cend] {
+                let s = s as usize;
+                if !self.store.get(self.comp_slot_lobj[s] as usize) {
+                    continue;
+                }
+                let size = self.comp_slot_size[s].get() as f64;
+                let local_if = local + size / p.local_rate;
+                let remote_if = remote + size / p.repo_rate;
+                if remote_if < local_if {
+                    remote = remote_if;
+                } else {
+                    local = local_if;
+                    new_marks[s - base] = true;
+                }
             }
-        }
 
-        // Optional slots: local iff stored and the standalone fetch wins.
-        let new_opt: Vec<bool> = page
-            .optional
-            .iter()
-            .map(|o| {
-                self.store.contains(o.object) && p.local_fetch_wins(self.sys.object_size(o.object))
-            })
-            .collect();
+            // Optional slots: local iff stored and the standalone fetch
+            // wins (precomputed per slot).
+            new_opt.extend(
+                (obase..oend).map(|s| {
+                    self.store.get(self.opt_slot_lobj[s] as usize) && self.opt_slot_wins[s]
+                }),
+            );
+        }
 
         // Apply tentatively through the bookkeeping and keep iff better.
         let before = self.page_d(idx);
-        let old_comp = self.parts[idx].local_compulsory.clone();
-        let old_opt = self.parts[idx].local_optional.clone();
+        let mut old_comp = std::mem::take(&mut self.scratch_old_comp);
+        let mut old_opt = std::mem::take(&mut self.scratch_old_opt);
+        old_comp.clear();
+        old_comp.extend_from_slice(&self.parts[idx].local_compulsory);
+        old_opt.clear();
+        old_opt.extend_from_slice(&self.parts[idx].local_optional);
         for (slot, &mark) in new_marks.iter().enumerate() {
             self.set_compulsory(idx, slot, mark);
         }
@@ -703,7 +887,7 @@ impl<'a> SiteWork<'a> {
             self.set_optional(idx, slot, mark);
         }
         let after = self.page_d(idx);
-        if after < before - 1e-12 {
+        let changed = if after < before - 1e-12 {
             true
         } else {
             for (slot, &mark) in old_comp.iter().enumerate() {
@@ -713,7 +897,12 @@ impl<'a> SiteWork<'a> {
                 self.set_optional(idx, slot, mark);
             }
             false
-        }
+        };
+        self.scratch_marks = new_marks;
+        self.scratch_opt = new_opt;
+        self.scratch_old_comp = old_comp;
+        self.scratch_old_opt = old_opt;
+        changed
     }
 
     /// Extracts the final partitions as `(page, partition)` pairs.
@@ -906,6 +1095,30 @@ mod tests {
         assert!(freed >= sys.object_size(unmarked).get());
         assert_eq!(w.storage_used(), used - freed);
         assert!(!w.is_stored(unmarked));
+        w.validate_consistency();
+    }
+
+    #[test]
+    fn alloc_of_unreferenced_object_roundtrips() {
+        let (sys, i) = make_work(12);
+        let mut w = work_for(&sys, i);
+        // An object no local page references exercises the foreign path.
+        let foreign = sys
+            .objects()
+            .ids()
+            .find(|&k| w.compulsory_refs(k).is_empty() && w.optional_refs(k).is_empty())
+            .expect("every object referenced by site 0?");
+        assert!(!w.is_stored(foreign));
+        assert!(w.alloc(foreign));
+        assert!(!w.alloc(foreign), "double alloc must report already-stored");
+        assert!(w.is_stored(foreign));
+        assert!(w.stored_objects().contains(&foreign));
+        assert_eq!(w.marks_on(foreign), 0);
+        // dealloc must take the foreign path and restore the byte count.
+        let used = w.storage_used();
+        w.dealloc(foreign);
+        assert!(!w.is_stored(foreign));
+        assert_eq!(w.storage_used(), used - sys.object_size(foreign).get());
         w.validate_consistency();
     }
 

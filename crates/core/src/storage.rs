@@ -86,6 +86,7 @@ pub fn restore_storage_with(work: &mut SiteWork<'_>, criterion: DeallocCriterion
             .map(|k| (dealloc_key(work, k, criterion), k)),
     );
 
+    let mut affected = Vec::new();
     while work.storage_used() > capacity {
         let Some(object) =
             heap.pop_current(|k| work.is_stored(k), |k| dealloc_key(work, k, criterion))
@@ -96,12 +97,12 @@ pub fn restore_storage_with(work: &mut SiteWork<'_>, criterion: DeallocCriterion
         };
 
         let size = work.system().object_size(object).get();
-        let affected = work.dealloc(object);
+        work.dealloc_into(object, &mut affected);
         report.deallocated += 1;
         report.bytes_freed += size;
 
         // Let the pages that lost a local download re-balance.
-        for idx in affected {
+        for &idx in &affected {
             if work.repartition_page(idx) {
                 report.repartitioned += 1;
             }

@@ -171,6 +171,36 @@ proptest! {
         prop_assert_eq!(&a.report, &par.report, "threads {}", threads);
     }
 
+    /// Sharded restoration is invisible end to end: `plan_parallel` at 1,
+    /// 2 and N threads yields byte-identical `PlanOutcome`s, and the
+    /// per-site reports aggregate to the same work counters — the shards
+    /// did the *same* work, not merely equivalent work.
+    #[test]
+    fn sharded_plans_agree_on_outcome_and_work_counters(
+        seed in 0u64..200,
+        sf in 0.05f64..1.2,
+        pf in 0.05f64..1.2,
+        n in 3usize..9,
+    ) {
+        let sys = small_sys(seed)
+            .with_storage_fraction(sf)
+            .with_processing_fraction(pf);
+        let policy = ReplicationPolicy::new();
+        let aggregate = |o: &mmrepl_core::PlanOutcome| {
+            let heap_pops: u64 = o.report.storage.iter().map(|s| s.heap_pops).sum();
+            let bytes_freed: u64 = o.report.storage.iter().map(|s| s.bytes_freed).sum();
+            let orphaned: usize = o.report.storage.iter().map(|s| s.orphaned).sum();
+            (heap_pops, bytes_freed, orphaned)
+        };
+        let one = policy.plan_parallel(&sys, 1);
+        for threads in [2, n] {
+            let par = policy.plan_parallel(&sys, threads);
+            prop_assert_eq!(&one.placement, &par.placement, "threads {}", threads);
+            prop_assert_eq!(&one.report, &par.report, "threads {}", threads);
+            prop_assert_eq!(aggregate(&one), aggregate(&par), "threads {}", threads);
+        }
+    }
+
     /// Warm-starting from a partition computed on the *unconstrained*
     /// base system matches a cold plan exactly: `PARTITION` reads only
     /// rates, overheads and sizes, so capacity scaling cannot change it.

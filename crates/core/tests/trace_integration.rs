@@ -73,9 +73,11 @@ fn stage_times_sum_to_within_ten_percent_of_total() {
     let _g = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let sys = constrained_system(12);
     // Warm up (pool, allocator, page cache) so the measured run is steady.
-    ReplicationPolicy::new().plan(&sys);
+    // Pin to one thread: stage spans sum *thread* time, so the
+    // stages-partition-the-total claim only holds sequentially.
+    ReplicationPolicy::new().plan_parallel(&sys, 1);
     let trace = traced(|| {
-        ReplicationPolicy::new().plan(&sys);
+        ReplicationPolicy::new().plan_parallel(&sys, 1);
     });
     let total = trace.span("plan.total").expect("total span").total_s();
     let sum: f64 = STAGES
@@ -102,14 +104,20 @@ fn parallel_plan_trace_matches_sequential_counters() {
     let sys = constrained_system(13);
     let policy = ReplicationPolicy::new();
     let seq = traced(|| {
-        policy.plan(&sys);
+        policy.plan_parallel(&sys, 1);
     });
     let par = traced(|| {
         policy.plan_parallel(&sys, 4);
     });
     // Worker recorders flush through the pool, so the aggregate counters
-    // are identical to the sequential run's.
-    assert_eq!(seq.counters(), par.counters());
+    // are identical to the sequential run's — except the shard-imbalance
+    // diagnostic, which measures wall time and legitimately varies.
+    let algorithmic = |r: &mmrepl_obs::Recorder| {
+        let mut c = r.counters().clone();
+        c.remove("plan.restore.shard.imbalance_x100");
+        c
+    };
+    assert_eq!(algorithmic(&seq), algorithmic(&par));
     assert_eq!(seq.decisions_len(), par.decisions_len());
     // Same spans close the same number of times, whatever the threading.
     let counts = |r: &mmrepl_obs::Recorder| -> Vec<(String, u64)> {

@@ -211,6 +211,15 @@ pub fn stage_table(rec: &Recorder) -> String {
             share
         );
     }
+    // The planner's shard-imbalance diagnostic: slowest over fastest
+    // restoration shard, recorded ×100 (so 100 = perfectly balanced).
+    if let Some(&x100) = rec.counters().get("plan.restore.shard.imbalance_x100") {
+        let _ = writeln!(
+            out,
+            "shard imbalance (max/min wall time) {:.2}x",
+            x100 as f64 / 100.0
+        );
+    }
     if rec.decisions_len() > 0 || rec.decisions_dropped() > 0 {
         let _ = writeln!(
             out,
@@ -275,6 +284,20 @@ mod tests {
         let ev: EventLine = serde_json::from_str(lines[6]).unwrap();
         assert_eq!(ev.kind, "audit_divergence");
         assert_eq!(ev.site, Some(1));
+    }
+
+    #[test]
+    fn stage_table_renders_shard_imbalance_as_a_ratio() {
+        let mut r = sample();
+        r.add("plan.restore.shard.imbalance_x100", 237);
+        let table = stage_table(&r);
+        assert!(
+            table.contains("shard imbalance (max/min wall time) 2.37x"),
+            "{table}"
+        );
+        // Absent counter → no imbalance line.
+        let plain = stage_table(&sample());
+        assert!(!plain.contains("shard imbalance"), "{plain}");
     }
 
     #[test]

@@ -46,6 +46,23 @@ fresh = json.load(open(fresh_path))
 
 failures = []
 compared = 0
+
+# Parallel timings are only comparable at the same worker-thread count:
+# a baseline measured on a different core count (or a run that resolved
+# to different thread counts) must be re-recorded, not ratio-compared.
+for scale, fresh_t in sorted(fresh["scales"].items()):
+    base_t = base["scales"].get(scale)
+    if base_t is None:
+        continue
+    b_threads, f_threads = base_t.get("threads", {}), fresh_t.get("threads", {})
+    for metric in sorted(set(b_threads) & set(f_threads)):
+        if b_threads[metric] != f_threads[metric]:
+            print(f"error: {scale}.{metric} was measured with "
+                  f"{b_threads[metric]} thread(s) in the baseline but "
+                  f"{f_threads[metric]} in this run; re-record the baseline "
+                  f"on this machine (cargo run --release -p mmrepl-bench "
+                  f"--bin perfsuite)", file=sys.stderr)
+            sys.exit(1)
 for scale, fresh_t in sorted(fresh["scales"].items()):
     base_t = base["scales"].get(scale)
     if base_t is None:

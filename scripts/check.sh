@@ -50,6 +50,16 @@ if missing:
 print(f"  trace ok: {len(lines)} records, stages {sorted(want)}")
 EOF
 
+echo "==> sharded-restoration smoke (multi-thread plan == single-thread plan)"
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    plan --system "$SMOKE_OUT/system.json" --storage 0.5 --processing 0.8 \
+    --threads 1 --out "$SMOKE_OUT/placement-t1.json" >/dev/null
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    plan --system "$SMOKE_OUT/system.json" --storage 0.5 --processing 0.8 \
+    --threads 4 --out "$SMOKE_OUT/placement-t4.json" >/dev/null
+cmp "$SMOKE_OUT/placement-t1.json" "$SMOKE_OUT/placement-t4.json"
+echo "  sharded plan ok: 4-thread placement bit-identical to 1-thread"
+
 echo "==> federated-tree smoke (3-level tree plans with a selection stage)"
 cargo run --offline -p mmrepl-cli --bin mmrepl -- \
     generate --seed 7 --topology regional --out "$SMOKE_OUT/tree.json" >/dev/null

@@ -11,8 +11,9 @@
 //!
 //! Supported attributes: container `#[serde(transparent)]`; field
 //! `#[serde(skip)]`, `#[serde(default)]`, `#[serde(default = "path")]`,
-//! `#[serde(with = "module")]`. Anything else is a compile error rather
-//! than a silent misencode.
+//! `#[serde(with = "module")]`,
+//! `#[serde(skip_serializing_if = "path")]` (pair it with `default` so
+//! the absent field still deserializes).
 
 use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
 
@@ -42,6 +43,9 @@ struct Field {
     skip: bool,
     default: Option<DefaultKind>,
     with: Option<String>,
+    /// Predicate path: the field is omitted from serialized output when
+    /// `path(&self.field)` is true.
+    skip_serializing_if: Option<String>,
 }
 
 enum DefaultKind {
@@ -297,6 +301,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             skip: attrs.has("skip"),
             default,
             with: attrs.get("with").map(str::to_string),
+            skip_serializing_if: attrs.get("skip_serializing_if").map(str::to_string),
         });
     }
     fields
@@ -430,14 +435,24 @@ fn gen_ser_named(c: &Container, fields: &[Field]) -> String {
             f.name
         );
     }
-    let mut out = format!(
-        "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{}\", {}usize)?;\n",
-        c.name,
-        active.len()
-    );
+    // Fields with a `skip_serializing_if` predicate drop out of the
+    // advisory length as well as the output.
+    let mut out = format!("let mut __len = {}usize;\n", active.len());
     for f in &active {
-        if let Some(with) = &f.with {
+        if let Some(pred) = &f.skip_serializing_if {
             out.push_str(&format!(
+                "if {pred}(&self.{n}) {{ __len -= 1; }}\n",
+                n = f.name
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \"{}\", __len)?;\n",
+        c.name,
+    ));
+    for f in &active {
+        let mut emit = if let Some(with) = &f.with {
+            format!(
                 "{{\n\
                    #[allow(non_camel_case_types)]\n\
                    struct __SerdeWith_{n}<'__a>(&'__a {ty});\n\
@@ -452,13 +467,17 @@ fn gen_ser_named(c: &Container, fields: &[Field]) -> String {
                  }}\n",
                 n = f.name,
                 ty = f.ty,
-            ));
+            )
         } else {
-            out.push_str(&format!(
+            format!(
                 "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{n}\", &self.{n})?;\n",
                 n = f.name
-            ));
+            )
+        };
+        if let Some(pred) = &f.skip_serializing_if {
+            emit = format!("if !{pred}(&self.{n}) {{\n{emit}}}\n", n = f.name);
         }
+        out.push_str(&emit);
     }
     out.push_str("::serde::ser::SerializeStruct::end(__st)");
     out
