@@ -19,6 +19,7 @@
 //! cargo run -p mmrepl-bench --bin perfsuite -- --quick           # smoke test
 //! ```
 
+use mmrepl_bench::{BenchDoc, ScaleTimings, BENCH_SCHEMA};
 use mmrepl_core::{
     effective_threads, parallel_map, partition_all, restore_capacity, restore_storage,
     ReplicationPolicy, SiteWork,
@@ -33,82 +34,6 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
-
-/// The whole tracked baseline document.
-#[derive(Debug, serde::Serialize, serde::Deserialize)]
-struct BenchDoc {
-    schema: u32,
-    suite: String,
-    iters: usize,
-    note: String,
-    /// Whether the invariant-audit hooks were compiled into this run.
-    /// Tracked baselines must be measured with auditing compiled out;
-    /// `scripts/bench_regress.sh` fails if this is ever true.
-    #[serde(default)]
-    audit_hooks: bool,
-    scales: BTreeMap<String, ScaleTimings>,
-}
-
-/// Medians (seconds) for one workload scale. The `Option` metrics are
-/// absent at the 100× scale, which runs the planner-only reduced set.
-#[derive(Debug, serde::Serialize, serde::Deserialize)]
-struct ScaleTimings {
-    /// Sites × objects, for the record.
-    n_sites: usize,
-    n_objects: usize,
-    /// Full single-threaded `plan` on a storage+processing-constrained
-    /// system (`plan_parallel(sys, 1)`).
-    plan_s: f64,
-    /// The same plan through the default sharded path (auto thread
-    /// count); bit-identical output, wall time divided by the shards.
-    #[serde(default)]
-    plan_par_s: f64,
-    /// Full single-threaded `plan` on the default (unconstrained)
-    /// generated system — partition + state builds only, no restoration.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    plan_unconstrained_s: Option<f64>,
-    /// Full single-threaded `plan` on the same constrained workload
-    /// attached to an edge repository tree — ancestor selection,
-    /// channel-parameterised partition and per-node off-loading included.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    plan_tree_s: Option<f64>,
-    /// `restore_storage` summed over all sites, sequentially (state
-    /// builds untimed).
-    restore_storage_s: f64,
-    /// `restore_storage` over all sites sharded across the pool at the
-    /// auto thread count (state builds untimed).
-    #[serde(default)]
-    restore_storage_par_s: f64,
-    /// `restore_capacity` summed over all sites, on storage-restored
-    /// state.
-    restore_capacity_s: f64,
-    /// One end-to-end Figure 1 cell: workload + trace generation, every
-    /// policy planned and replayed at a single storage fraction.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    fig1_cell_s: Option<f64>,
-    /// Streaming rate-estimator ingest of one full trace (every site)
-    /// plus the per-site window closes.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    estimator_ingest_s: Option<f64>,
-    /// Single-dirty-site incremental replan on drifted estimates, warm-
-    /// started from the cached partition — the latency the controller
-    /// pays per localized drift reaction (the cold plan is `plan_s`).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    delta_replan_s: Option<f64>,
-    /// Disabled-tracer cost of one full plan as a fraction of `plan_s`:
-    /// the number of obs calls a traced plan records, times the measured
-    /// per-call cost when tracing is off (a single relaxed atomic load).
-    /// `scripts/bench_regress.sh` fails if this exceeds 2%.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    obs_overhead: Option<f64>,
-    /// Worker-thread count each parallel metric actually ran with
-    /// (resolved through `effective_threads`, so the machine's core
-    /// count is baked in). Thread-count mismatches make timings
-    /// incomparable, so `scripts/bench_regress.sh` refuses baselines
-    /// whose counts differ from the candidate run's.
-    #[serde(default)]
-    threads: BTreeMap<String, usize>,
-}
 
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
@@ -340,6 +265,12 @@ fn bench_scale(
         fig1_cell_s,
         estimator_ingest_s,
         delta_replan_s,
+        // The serving-plane route metrics are measured by the `router`
+        // bin, which amends the written document in place.
+        route_mreq_s: None,
+        route_p50_us: None,
+        route_p99_us: None,
+        route_p999_us: None,
         obs_overhead,
         threads,
     };
@@ -429,16 +360,14 @@ fn main() -> std::io::Result<()> {
     }
 
     let doc = BenchDoc {
-        schema: 2,
+        schema: BENCH_SCHEMA,
         suite: "perfsuite".into(),
         iters,
         note: "median seconds per operation; see crates/bench/src/bin/perfsuite.rs".into(),
         audit_hooks: cfg!(feature = "audit"),
         scales,
     };
-    let mut body = serde_json::to_string_pretty(&doc).expect("baseline serializes");
-    body.push('\n');
-    std::fs::write(&out, body)?;
+    doc.write(&out)?;
     println!("wrote {}", out.display());
     Ok(())
 }

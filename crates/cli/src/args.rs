@@ -55,6 +55,15 @@ commands:
              allocation vs the flat root-only policy vs LRU on identical
              traces, remote streams priced over per-link bandwidth and
              latency.
+  route      --system FILE [--placement FILE] [--seed N] [--storage F]
+             [--processing F] [--threads N] [--out FILE]
+             Plan the system (or load a --placement file), freeze the
+             result into an immutable serving snapshot and route the
+             generated request trace through it; print the
+             local/peer/repository split, the estimated served latency
+             and the misroute count (cross-checked when built with
+             --features audit), and write the routing stats as JSON to
+             --out.
   audit      [--seeds N] [--start S] [--inject] [--trace-out FILE]
              Run the three differential oracles (dense planner vs naive
              reference, unbounded delta-replan vs cold plan, DES replay
@@ -268,6 +277,24 @@ pub enum Command {
         /// Trace JSONL output path (default `trace.jsonl`).
         out: PathBuf,
     },
+    /// `mmrepl route`.
+    Route {
+        /// System JSON path.
+        system: PathBuf,
+        /// Placement JSON path (`None` = plan the system fresh).
+        placement: Option<PathBuf>,
+        /// Trace seed.
+        seed: u64,
+        /// Storage fraction override.
+        storage: Option<f64>,
+        /// Processing fraction override.
+        processing: Option<f64>,
+        /// Routing worker-thread cap (`0` = one per core). The stats
+        /// are bit-identical at any value.
+        threads: usize,
+        /// Routing-stats JSON output path (`None` = print only).
+        out: Option<PathBuf>,
+    },
     /// `mmrepl evaluate`.
     Evaluate {
         /// System JSON path.
@@ -464,6 +491,15 @@ impl Command {
                 seed: take_u64("seed", 0)?,
                 storage: take_f64("storage")?,
                 processing: take_f64("processing")?,
+            }),
+            "route" => Ok(Command::Route {
+                system: require_path("system")?,
+                placement: take("placement").map(PathBuf::from),
+                seed: take_u64("seed", 0)?,
+                storage: take_f64("storage")?,
+                processing: take_f64("processing")?,
+                threads: take_usize("threads", 0)?,
+                out: take("out").map(PathBuf::from),
             }),
             "evaluate" => {
                 let placement = take("placement").map(PathBuf::from);
@@ -687,6 +723,49 @@ mod tests {
             parse(&["federate", "--preset", "mesh"]),
             Err(ParseError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn route_parses_and_defaults() {
+        assert_eq!(
+            parse(&["route", "--system", "s.json"]).unwrap(),
+            Command::Route {
+                system: PathBuf::from("s.json"),
+                placement: None,
+                seed: 0,
+                storage: None,
+                processing: None,
+                threads: 0,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "route",
+                "--system",
+                "s.json",
+                "--placement",
+                "p.json",
+                "--seed",
+                "7",
+                "--threads",
+                "4",
+                "--out",
+                "r.json",
+            ])
+            .unwrap(),
+            Command::Route {
+                system: PathBuf::from("s.json"),
+                placement: Some(PathBuf::from("p.json")),
+                seed: 7,
+                storage: None,
+                processing: None,
+                threads: 4,
+                out: Some(PathBuf::from("r.json")),
+            }
+        );
+        // --system is required.
+        assert!(parse(&["route"]).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use mmrepl_core::{
     SiteWork,
 };
 use mmrepl_model::{Bytes, ConstraintReport, CostParams, NodeId, Placement, System};
+use mmrepl_serve::{route_traces, PlacementSnapshot, RouteStats};
 use mmrepl_sim::replay_all;
 use mmrepl_workload::{
     generate_system, generate_trace, TopologyParams, TraceConfig, WorkloadParams,
@@ -119,6 +120,23 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             processing,
             out,
         } => trace(system.as_deref(), seed, storage, processing, &out),
+        Command::Route {
+            system,
+            placement,
+            seed,
+            storage,
+            processing,
+            threads,
+            out,
+        } => route(
+            &system,
+            placement.as_deref(),
+            seed,
+            storage,
+            processing,
+            threads,
+            out.as_deref(),
+        ),
     }
 }
 
@@ -381,6 +399,85 @@ fn plan(
     let json = serde_json::to_string(&outcome.placement).map_err(|e| e.to_string())?;
     std::fs::write(out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
     println!("wrote {}", out.display());
+    Ok(())
+}
+
+/// The JSON document `mmrepl route --out` writes: the merged totals plus
+/// one [`RouteStats`] per requester site, in site-id order.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RouteDoc {
+    total: RouteStats,
+    sites: Vec<RouteStats>,
+}
+
+fn route(
+    path: &Path,
+    placement_path: Option<&Path>,
+    seed: u64,
+    storage: Option<f64>,
+    processing: Option<f64>,
+    threads: usize,
+    out: Option<&Path>,
+) -> Result<(), CliError> {
+    let system = apply_fractions(load_system(path)?, storage, processing, None);
+    let snap = match placement_path {
+        Some(p) => {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            let placement: Placement = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+            placement
+                .validate(&system)
+                .map_err(|e| format!("placement does not fit this system: {e}"))?;
+            PlacementSnapshot::build(&system, &placement, &[], 0)
+        }
+        None => {
+            let outcome = ReplicationPolicy::new().plan(&system);
+            PlacementSnapshot::from_plan(&system, &outcome, 0)
+        }
+    };
+    let snap = std::sync::Arc::new(snap);
+    let params = if system.n_sites() >= 10 {
+        WorkloadParams::paper()
+    } else {
+        WorkloadParams::small()
+    };
+    let traces = generate_trace(&system, &TraceConfig::from_params(&params), seed);
+    let (per_site, total) = route_traces(&snap, &traces, threads);
+
+    let pct = |n: u64| 100.0 * n as f64 / total.objects.max(1) as f64;
+    println!("route: seed {seed}, {} sites", per_site.len());
+    println!("  requests          : {}", total.requests);
+    println!(
+        "  objects           : {} ({:.1}% local / {:.1}% peer / {:.1}% serving node)",
+        total.objects,
+        pct(total.local),
+        pct(total.peer),
+        pct(total.repo),
+    );
+    println!("  overlay deflected : {}", total.overlay_deflected);
+    println!(
+        "  est mean latency  : {:.3} s",
+        total.est_latency_s / total.requests.max(1) as f64
+    );
+    println!(
+        "  misroutes         : {}{}",
+        total.misroutes,
+        if cfg!(feature = "audit") {
+            " (audit-verified)"
+        } else {
+            " (build with --features audit to cross-check)"
+        }
+    );
+    println!("  checksum          : {:016x}", total.checksum);
+    if let Some(out) = out {
+        let doc = RouteDoc {
+            total,
+            sites: per_site,
+        };
+        let json = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(out, json).map_err(|e| format!("writing {}: {e}", out.display()))?;
+        println!("wrote {}", out.display());
+    }
     Ok(())
 }
 
@@ -693,6 +790,60 @@ mod tests {
             seed: 5,
             storage: None,
             processing: None,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn route_reports_and_writes_stats() {
+        let sys_path = tmp("route-system.json");
+        let place_path = tmp("route-placement.json");
+        let stats_path = tmp("route-stats.json");
+        run(Command::Generate {
+            seed: 5,
+            scale: Scale::Small,
+            topology: TopologyParams::edge(),
+            out: sys_path.clone(),
+        })
+        .unwrap();
+        // Planned fresh, routed across 2 worker threads.
+        run(Command::Route {
+            system: sys_path.clone(),
+            placement: None,
+            seed: 5,
+            storage: Some(0.6),
+            processing: None,
+            threads: 2,
+            out: Some(stats_path.clone()),
+        })
+        .unwrap();
+        let doc: RouteDoc =
+            serde_json::from_str(&std::fs::read_to_string(&stats_path).unwrap()).unwrap();
+        assert!(doc.total.requests > 0);
+        assert_eq!(doc.total.misroutes, 0);
+        assert_eq!(doc.sites.len(), 3);
+
+        // And against a planned placement loaded from disk.
+        run(Command::Plan {
+            system: sys_path.clone(),
+            storage: Some(0.6),
+            processing: None,
+            central: None,
+            alpha: (2.0, 1.0),
+            ancestor: AncestorPolicy::Closest,
+            threads: 0,
+            out: place_path.clone(),
+            trace_out: None,
+        })
+        .unwrap();
+        run(Command::Route {
+            system: sys_path,
+            placement: Some(place_path),
+            seed: 5,
+            storage: Some(0.6),
+            processing: None,
+            threads: 0,
+            out: None,
         })
         .unwrap();
     }

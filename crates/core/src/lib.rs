@@ -79,7 +79,7 @@ pub use partition::{
 };
 pub use planner::{PlanOutcome, PlanReport, PlannerConfig, ReplicationPolicy};
 pub use pool::{effective_threads, parallel_map};
-pub use select::{select_ancestors, AncestorPolicy, Selection};
+pub use select::{select_ancestors, select_ancestors_with_demand, AncestorPolicy, Selection};
 pub use state::SiteWork;
 pub use storage::{restore_storage, restore_storage_with, DeallocCriterion, StorageReport};
 pub use streams::{OptionalCost, SiteParams, Streams};

@@ -29,6 +29,16 @@ pub struct PlannerConfig {
     /// stream on tree systems. Ignored (no-op) on star systems.
     #[serde(default)]
     pub ancestor: AncestorPolicy,
+    /// Tree systems only: after the restorations, re-run ancestor
+    /// selection against each site's *measured* repository load instead
+    /// of the conservative all-remote proxy, and re-restore the sites
+    /// whose serving node changes. Replication absorbs demand locally,
+    /// so the proxy systematically over-promotes under tight node
+    /// capacities; this pass walks those sites back to cheaper channels
+    /// (or promotes ones whose ancestor genuinely saturates). Off by
+    /// default; a no-op on star and single-node systems.
+    #[serde(default)]
+    pub reselect: bool,
 }
 
 /// What each stage of the pipeline did, per site where applicable.
@@ -61,6 +71,10 @@ pub struct PlanReport {
     /// Tree systems only: promotion attempts vetoed by a QoS bound.
     #[serde(default)]
     pub qos_blocked: usize,
+    /// Tree systems with [`PlannerConfig::reselect`] on: sites whose
+    /// serving node changed in the measured-demand re-selection pass.
+    #[serde(default)]
+    pub reselections: usize,
 }
 
 /// A planned placement plus its report.
@@ -149,7 +163,7 @@ impl ReplicationPolicy {
         // each site's remote stream, deriving per-site planner estimates
         // from the constrained ancestor path. Star systems skip this
         // entirely and follow the exact paper pipeline.
-        let selection: Option<Selection> = system.topology().map(|_| {
+        let mut selection: Option<Selection> = system.topology().map(|_| {
             let _s = mmrepl_obs::span("plan.select");
             select_ancestors(system, self.config.ancestor)
         });
@@ -231,6 +245,93 @@ impl ReplicationPolicy {
             works.push(w);
             storage.push(st);
             capacity.push(cap);
+        }
+
+        // Stage 3.5 (tree systems, opt-in): measured-demand re-selection.
+        // The first selection pass budgeted nodes with the conservative
+        // all-remote proxy; the restorations have since decided what is
+        // actually replicated, so each site's true repository load is
+        // known. Re-run the selection against it and rebuild the sites
+        // whose serving node changes. One pass: repartitioning under the
+        // new channel shifts demand again, but only by replicating more
+        // or less locally — the assignment stays budgeted against loads
+        // no smaller than what the final placement imposes.
+        let mut reselections = 0usize;
+        if self.config.reselect {
+            if let Some(sel) = &selection {
+                let demand: Vec<f64> = works.iter().map(|w| w.repo_load()).collect();
+                let resel = {
+                    let _s = mmrepl_obs::span("plan.select");
+                    crate::select::select_ancestors_with_demand(
+                        system,
+                        self.config.ancestor,
+                        &demand,
+                    )
+                };
+                let changed: Vec<usize> = (0..site_ids.len())
+                    .filter(|&i| resel.serving[site_ids[i]] != sel.serving[site_ids[i]])
+                    .collect();
+                if !changed.is_empty() {
+                    let mut repart = initial.clone();
+                    {
+                        let _s = mmrepl_obs::span("plan.partition");
+                        for &i in &changed {
+                            let s = site_ids[i];
+                            for &p in system.pages_of(s) {
+                                *repart.partition_mut(p) =
+                                    crate::partition::partition_page_ordered_with(
+                                        system,
+                                        p,
+                                        crate::partition::PartitionOrder::DecreasingSize,
+                                        &resel.params[s],
+                                    );
+                            }
+                        }
+                    }
+                    for &i in &changed {
+                        let s = site_ids[i];
+                        let mut w = {
+                            let _s = mmrepl_obs::span("plan.partition");
+                            SiteWork::with_params(
+                                system,
+                                s,
+                                &repart,
+                                self.config.cost,
+                                self.config.include_update_load,
+                                resel.params[s],
+                            )
+                        };
+                        #[cfg(feature = "audit")]
+                        crate::audit::assert_consistent(&w, crate::audit::AuditStage::Partition);
+                        let st = {
+                            let _s = mmrepl_obs::span("plan.storage_restore");
+                            restore_storage(&mut w)
+                        };
+                        #[cfg(feature = "audit")]
+                        crate::audit::assert_consistent(
+                            &w,
+                            crate::audit::AuditStage::StorageRestore,
+                        );
+                        let cap = {
+                            let _s = mmrepl_obs::span("plan.capacity_restore");
+                            restore_capacity(&mut w)
+                        };
+                        #[cfg(feature = "audit")]
+                        crate::audit::assert_consistent(
+                            &w,
+                            crate::audit::AuditStage::CapacityRestore,
+                        );
+                        works[i] = w;
+                        storage[i] = st;
+                        capacity[i] = cap;
+                    }
+                }
+                reselections = changed.len();
+                if mmrepl_obs::enabled() {
+                    mmrepl_obs::add("select.reselections", reselections as u64);
+                }
+                selection = Some(resel);
+            }
         }
 
         if mmrepl_obs::enabled() {
@@ -370,6 +471,7 @@ impl ReplicationPolicy {
             offload_by_node,
             promotions,
             qos_blocked,
+            reselections,
         };
         PlanOutcome { placement, report }
     }
@@ -587,6 +689,59 @@ mod tests {
         assert!(outcome.report.serving.contains(&1));
         assert!(outcome.report.serving.contains(&2));
         assert!(outcome.report.feasible);
+    }
+
+    #[test]
+    fn reselect_walks_overpromoted_sites_back_to_cheaper_ancestors() {
+        // The all-remote proxy overloads the 32 req/s edge node, so the
+        // first selection pass promotes every site to N1. With 90% of
+        // storage available the restorations replicate most demand
+        // locally, and the measured repository load fits the edge — the
+        // re-selection pass walks every site back to its attach node and
+        // the (channel-priced) objective can only improve.
+        let tree = chain_tree(
+            &small_system(11).with_storage_fraction(0.9),
+            ReqPerSec(32.0),
+        );
+        let plan = |reselect| {
+            ReplicationPolicy::with_config(PlannerConfig {
+                ancestor: AncestorPolicy::Closest,
+                reselect,
+                ..PlannerConfig::default()
+            })
+            .plan(&tree)
+        };
+        let off = plan(false);
+        let on = plan(true);
+        assert!(off.report.promotions >= 3);
+        assert!(
+            off.report.serving.iter().all(|&n| n == 1),
+            "{:?}",
+            off.report.serving
+        );
+        assert_eq!(on.report.reselections, 3);
+        assert!(
+            on.report.serving.iter().all(|&n| n == 2),
+            "{:?}",
+            on.report.serving
+        );
+        assert!(on.report.feasible);
+        assert!(
+            on.report.objective <= off.report.objective + 1e-9,
+            "reselect worsened the objective: {} vs {}",
+            on.report.objective,
+            off.report.objective
+        );
+        // The pass rides the same merge discipline as every other stage:
+        // bit-identical at any thread count.
+        let par = ReplicationPolicy::with_config(PlannerConfig {
+            ancestor: AncestorPolicy::Closest,
+            reselect: true,
+            ..PlannerConfig::default()
+        })
+        .plan_parallel(&tree, 3);
+        assert_eq!(on.placement, par.placement);
+        assert_eq!(on.report, par.report);
     }
 
     #[test]

@@ -90,6 +90,33 @@ fn remote_demand(system: &System, site: SiteId) -> f64 {
 /// Panics if the system carries no topology (star systems never reach the
 /// selection stage).
 pub fn select_ancestors(system: &System, policy: AncestorPolicy) -> Selection {
+    let demand: Vec<f64> = system
+        .sites()
+        .ids()
+        .map(|s| remote_demand(system, s))
+        .collect();
+    select_ancestors_with_demand(system, policy, &demand)
+}
+
+/// Ancestor selection against an explicit per-site remote demand (site-id
+/// order) instead of the conservative all-remote proxy.
+///
+/// The planner's re-selection pass calls this after the restorations with
+/// each site's *actual* repository load ([`crate::SiteWork::repo_load`]):
+/// replication absorbs demand locally, so sites the proxy promoted off a
+/// saturated ancestor often fit their attach node after all — and a site
+/// whose measured demand still saturates its ancestor promotes exactly as
+/// in the first pass.
+///
+/// # Panics
+/// Panics if the system carries no topology or `demand` is not one entry
+/// per site.
+pub fn select_ancestors_with_demand(
+    system: &System,
+    policy: AncestorPolicy,
+    demand: &[f64],
+) -> Selection {
+    assert_eq!(demand.len(), system.n_sites(), "one demand entry per site");
     let topo = system
         .topology()
         .expect("ancestor selection requires a tree topology");
@@ -106,12 +133,6 @@ pub fn select_ancestors(system: &System, policy: AncestorPolicy) -> Selection {
     let mut promotions = 0usize;
     let mut qos_blocked = 0usize;
     if policy == AncestorPolicy::Closest {
-        let demand: Vec<f64> = system
-            .sites()
-            .ids()
-            .map(|s| remote_demand(system, s))
-            .collect();
-
         // Deepest nodes first, so load promoted off an edge node is
         // visible when its parent's budget is checked.
         let mut order: Vec<NodeId> = topo.nodes().ids().collect();

@@ -348,6 +348,38 @@ proptest! {
             "report {} vs check {:?}", outcome.report.feasible, check.violations);
     }
 
+    /// The measured-demand re-selection knob is a strict no-op wherever
+    /// there is nothing to re-select: star systems (no topology) and
+    /// single-node trees plan bit-identically with it on or off.
+    #[test]
+    fn reselect_is_bit_identical_on_star_systems(
+        seed in 0u64..300,
+        sf in 0.3f64..1.1,
+        pf in 0.3f64..1.1,
+        wrap in any::<bool>(),
+    ) {
+        let star = small_sys(seed)
+            .with_storage_fraction(sf)
+            .with_processing_fraction(pf);
+        let sys = if wrap {
+            let topo = Topology::single_node(star.n_sites(), star.repository().capacity);
+            star.with_topology(topo).unwrap()
+        } else {
+            star
+        };
+        let plan = |reselect| {
+            ReplicationPolicy::with_config(PlannerConfig {
+                reselect,
+                ..PlannerConfig::default()
+            })
+            .plan(&sys)
+        };
+        let off = plan(false);
+        let on = plan(true);
+        prop_assert_eq!(off.placement, on.placement);
+        prop_assert_eq!(off.report, on.report);
+    }
+
     /// Storage restoration never leaves Eq. 10 violated when it claims
     /// success, and the dense bookkeeping survives the dealloc /
     /// repartition / orphan-drop churn — checked through the auditor.

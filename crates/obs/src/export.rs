@@ -173,6 +173,21 @@ fn fmt_time(s: f64) -> String {
     }
 }
 
+/// The canonical pipeline order for the stage table: planner stages in
+/// the order the planner runs them, then the serving plane. Spans not
+/// listed here (auxiliary or future stages) sort after the known ones,
+/// alphabetically, and `plan.total` always closes the table.
+const STAGE_ORDER: &[&str] = &[
+    "plan.select",
+    "plan.partition",
+    "plan.storage_restore",
+    "plan.capacity_restore",
+    "plan.restore.shard",
+    "plan.offload",
+    "plan.assemble",
+    "serve.route",
+];
+
 /// Renders a human-readable stage-breakdown table of every recorded span.
 /// When a `plan.total` span exists, each other span gets a share column
 /// relative to it.
@@ -185,15 +200,19 @@ pub fn stage_table(rec: &Recorder) -> String {
         "span", "calls", "time", "share"
     );
     let mut rows: Vec<(&String, &SpanStat)> = rec.spans().iter().collect();
-    // Total last, the rest by descending time.
+    // Pipeline order, unknown spans after the known ones by name, total
+    // last — so the table reads as the pass sequence, not as whichever
+    // insertion order the run happened to produce.
+    fn order_of(name: &str) -> usize {
+        STAGE_ORDER
+            .iter()
+            .position(|s| *s == name)
+            .unwrap_or(STAGE_ORDER.len())
+    }
     rows.sort_by(|a, b| {
-        let key = |r: &(&String, &SpanStat)| {
-            (
-                r.0.as_str() == "plan.total",
-                std::cmp::Reverse(r.1.total_ns),
-            )
-        };
-        key(a).cmp(&key(b))
+        let ka = (a.0.as_str() == "plan.total", order_of(a.0), a.0);
+        let kb = (b.0.as_str() == "plan.total", order_of(b.0), b.0);
+        ka.cmp(&kb)
     });
     for (name, stat) in rows {
         let share = match total {
@@ -298,6 +317,31 @@ mod tests {
         // Absent counter → no imbalance line.
         let plain = stage_table(&sample());
         assert!(!plain.contains("shard imbalance"), "{plain}");
+    }
+
+    #[test]
+    fn stage_table_follows_the_pipeline_order() {
+        let mut r = Recorder::with_cap(4);
+        // Scrambled insertion order, including a span the canonical
+        // list doesn't know about.
+        r.record_span_ns("serve.route", 9_000_000);
+        r.record_span_ns("plan.total", 2_000_000);
+        r.record_span_ns("zz.custom", 8_000_000);
+        r.record_span_ns("plan.storage_restore", 1_000);
+        r.record_span_ns("plan.select", 500);
+        r.record_span_ns("plan.partition", 700_000);
+        let table = stage_table(&r);
+        let pos = |name: &str| table.find(name).unwrap_or_else(|| panic!("{name} missing"));
+        // Known stages in pass order regardless of recorded time…
+        assert!(pos("plan.select") < pos("plan.partition"), "{table}");
+        assert!(
+            pos("plan.partition") < pos("plan.storage_restore"),
+            "{table}"
+        );
+        assert!(pos("plan.storage_restore") < pos("serve.route"), "{table}");
+        // …unknown spans after the known ones, total always last.
+        assert!(pos("serve.route") < pos("zz.custom"), "{table}");
+        assert!(pos("zz.custom") < pos("plan.total"), "{table}");
     }
 
     #[test]

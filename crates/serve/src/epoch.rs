@@ -1,0 +1,313 @@
+//! Epoch-swapped publication: lock-free reads, serialized writes.
+//!
+//! The online controller replans while reader threads route requests at
+//! full rate, so publication must never block a reader. [`EpochCell`] is
+//! an arc-swap in the hazard-pointer style, built on `std` only:
+//!
+//! * the cell holds one `AtomicPtr` to the current snapshot's refcount
+//!   block (an [`Arc`] leaked via [`Arc::into_raw`]);
+//! * each reader owns a *hazard slot*. To load, it copies the current
+//!   pointer into its slot, re-checks that the pointer is still current
+//!   (retrying on a race), bumps the strong count and clears the slot —
+//!   two or three uncontended atomic ops, no lock, no CAS loop under a
+//!   quiescent writer;
+//! * a publisher swaps the pointer, then spins until no hazard slot
+//!   still advertises the old pointer before dropping its reference.
+//!   The hazard re-check makes this sound: any reader that published the
+//!   old pointer into its slot *before* the swap will either observe the
+//!   re-check fail (and retry on the new pointer) or has already secured
+//!   a strong count the publisher's drop cannot release.
+//!
+//! Readers therefore always observe a fully-constructed snapshot that
+//! stays alive for as long as they hold the returned [`Arc`] — there is
+//! no torn state to observe because the only shared mutable word is one
+//! pointer. The concurrency stress test in this module hammers exactly
+//! this claim with an atomic generation check.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One reader's hazard registration.
+struct HazardSlot<T> {
+    claimed: AtomicBool,
+    ptr: AtomicPtr<T>,
+}
+
+/// An atomically publishable `Arc<T>` with lock-free reads.
+///
+/// Create with [`EpochCell::new`], hand each reader thread an
+/// [`EpochReader`] via [`EpochCell::reader`], and publish new values with
+/// [`EpochCell::publish`]. Publication is serialized internally;
+/// concurrent publishers queue on a mutex that readers never touch.
+pub struct EpochCell<T> {
+    current: AtomicPtr<T>,
+    hazards: Box<[HazardSlot<T>]>,
+    writer: Mutex<()>,
+    /// `AtomicPtr` is unconditionally `Send + Sync`; tie the cell's auto
+    /// traits to `Arc<T>`'s instead, since that is what readers get out.
+    ghost: PhantomData<Arc<T>>,
+}
+
+/// Default number of hazard slots (maximum concurrent readers).
+pub const DEFAULT_READERS: usize = 64;
+
+impl<T> EpochCell<T> {
+    /// A cell publishing `initial`, with room for
+    /// [`DEFAULT_READERS`] concurrent reader handles.
+    pub fn new(initial: Arc<T>) -> Self {
+        Self::with_readers(initial, DEFAULT_READERS)
+    }
+
+    /// A cell with room for `readers` concurrent reader handles.
+    pub fn with_readers(initial: Arc<T>, readers: usize) -> Self {
+        assert!(readers > 0, "at least one reader slot");
+        EpochCell {
+            current: AtomicPtr::new(Arc::into_raw(initial).cast_mut()),
+            hazards: (0..readers)
+                .map(|_| HazardSlot {
+                    claimed: AtomicBool::new(false),
+                    ptr: AtomicPtr::new(std::ptr::null_mut()),
+                })
+                .collect(),
+            writer: Mutex::new(()),
+            ghost: PhantomData,
+        }
+    }
+
+    /// Claims a hazard slot for one reader thread. The handle releases
+    /// the slot on drop.
+    ///
+    /// # Panics
+    /// Panics when every slot is claimed (more concurrent readers than
+    /// the cell was sized for).
+    pub fn reader(&self) -> EpochReader<'_, T> {
+        for (i, slot) in self.hazards.iter().enumerate() {
+            if slot
+                .claimed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return EpochReader {
+                    cell: self,
+                    slot: i,
+                };
+            }
+        }
+        panic!("EpochCell reader slots exhausted; size with with_readers()");
+    }
+
+    /// Publishes `next`, retiring the previous value once no in-flight
+    /// read still pins it. Safe to call while readers load concurrently;
+    /// concurrent publishers serialize.
+    pub fn publish(&self, next: Arc<T>) {
+        let _serialize = self.writer.lock().expect("publisher poisoned");
+        let old = self
+            .current
+            .swap(Arc::into_raw(next).cast_mut(), Ordering::SeqCst);
+        // Wait out readers that copied `old` into their hazard slot
+        // before the swap but have not yet secured a strong count. Any
+        // slot showing a different pointer is no obstacle: either that
+        // reader already holds a count (safe) or it will re-check and
+        // retry against the new current.
+        for slot in self.hazards.iter() {
+            let mut spins = 0u32;
+            while std::ptr::eq(slot.ptr.load(Ordering::SeqCst), old) {
+                spins += 1;
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        // SAFETY: `old` came from `Arc::into_raw` (in `new` or an earlier
+        // `publish`) and was swapped out exactly once (swaps serialize on
+        // `writer`), so this reclaims that one leaked reference. No
+        // hazard slot advertises it and it is no longer reachable from
+        // `current`, so no reader can resurrect it.
+        unsafe { drop(Arc::from_raw(old)) };
+        mmrepl_obs::add("serve.epoch_swaps", 1);
+    }
+
+    /// A one-shot load without a standing reader handle: claims a slot,
+    /// loads, releases. Prefer [`EpochCell::reader`] on hot paths.
+    pub fn load(&self) -> Arc<T> {
+        self.reader().load()
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // SAFETY: same provenance argument as in `publish`; with `&mut
+        // self` no reader or publisher is live.
+        unsafe { drop(Arc::from_raw(self.current.load(Ordering::SeqCst))) };
+    }
+}
+
+/// A claimed reader slot; [`EpochReader::load`] is the lock-free read.
+pub struct EpochReader<'a, T> {
+    cell: &'a EpochCell<T>,
+    slot: usize,
+}
+
+impl<T> EpochReader<'_, T> {
+    /// Returns the currently published value. Lock-free: retries only
+    /// while a publisher swaps the pointer mid-read.
+    pub fn load(&self) -> Arc<T> {
+        let hazard = &self.cell.hazards[self.slot].ptr;
+        loop {
+            let p = self.cell.current.load(Ordering::SeqCst);
+            hazard.store(p, Ordering::SeqCst);
+            if !std::ptr::eq(self.cell.current.load(Ordering::SeqCst), p) {
+                // A publisher swapped between our load and the hazard
+                // store; it may already have freed `p`. Retry.
+                continue;
+            }
+            // The hazard now pins `p`: the publisher that retires it must
+            // first observe our slot cleared or changed.
+            // SAFETY: `p` is the live `Arc::into_raw` pointer (the
+            // re-check proves it was current after the hazard store, and
+            // the publisher spins on our slot before releasing it), so
+            // bumping its strong count and rewrapping is sound.
+            let arc = unsafe {
+                Arc::increment_strong_count(p);
+                Arc::from_raw(p)
+            };
+            hazard.store(std::ptr::null_mut(), Ordering::SeqCst);
+            return arc;
+        }
+    }
+}
+
+impl<T> Drop for EpochReader<'_, T> {
+    fn drop(&mut self) {
+        let slot = &self.cell.hazards[self.slot];
+        slot.ptr.store(std::ptr::null_mut(), Ordering::SeqCst);
+        slot.claimed.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// A payload whose integrity is checkable: every word equals `gen`.
+    struct Payload {
+        gen: u64,
+        words: Vec<u64>,
+    }
+
+    impl Payload {
+        fn new(gen: u64) -> Arc<Self> {
+            Arc::new(Payload {
+                gen,
+                words: vec![gen; 256],
+            })
+        }
+
+        fn assert_intact(&self) {
+            assert!(
+                self.words.iter().all(|&w| w == self.gen),
+                "torn snapshot: generation {} carries foreign words",
+                self.gen
+            );
+        }
+    }
+
+    #[test]
+    fn load_returns_latest_published() {
+        let cell = EpochCell::new(Payload::new(0));
+        assert_eq!(cell.load().gen, 0);
+        cell.publish(Payload::new(1));
+        cell.publish(Payload::new(2));
+        assert_eq!(cell.load().gen, 2);
+    }
+
+    #[test]
+    fn reader_slots_release_on_drop() {
+        let cell = EpochCell::with_readers(Payload::new(0), 2);
+        let a = cell.reader();
+        let b = cell.reader();
+        drop(a);
+        let c = cell.reader();
+        assert_eq!(b.load().gen, 0);
+        assert_eq!(c.load().gen, 0);
+    }
+
+    #[test]
+    fn old_snapshots_stay_alive_while_held() {
+        let cell = EpochCell::new(Payload::new(0));
+        let held = cell.load();
+        cell.publish(Payload::new(1));
+        // The old arc is still fully usable after retirement.
+        held.assert_intact();
+        assert_eq!(held.gen, 0);
+        assert_eq!(cell.load().gen, 1);
+    }
+
+    /// The satellite concurrency test: N reader threads hammering loads
+    /// through a stream of epoch swaps never observe a torn snapshot, a
+    /// dropped (freed) snapshot, or a generation that goes backwards
+    /// relative to what the publisher already retired out of existence.
+    #[test]
+    fn concurrent_readers_never_observe_torn_or_dropped_snapshots() {
+        const READERS: usize = 4;
+        const SWAPS: u64 = 200;
+        let cell = Arc::new(EpochCell::new(Payload::new(0)));
+        // The generation floor: publish(gen) advances this *before* the
+        // swap, so any load must return gen >= floor_seen_before_load
+        // is not guaranteed (the swap lags the floor) — but a load can
+        // never return a generation *newer* than the floor, and two
+        // consecutive loads on one thread can never go backwards past a
+        // snapshot the publisher fully retired. The cheap invariant that
+        // catches use-after-free and tearing: every load's payload is
+        // internally consistent and its gen never exceeds the published
+        // ceiling.
+        let ceiling = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let ceiling = Arc::clone(&ceiling);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let handle = cell.reader();
+                    let mut last = 0u64;
+                    let mut loads = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = handle.load();
+                        snap.assert_intact();
+                        let ceil = ceiling.load(Ordering::SeqCst);
+                        assert!(
+                            snap.gen <= ceil,
+                            "load returned generation {} beyond published ceiling {}",
+                            snap.gen,
+                            ceil
+                        );
+                        assert!(
+                            snap.gen >= last,
+                            "generation went backwards: {} after {}",
+                            snap.gen,
+                            last
+                        );
+                        last = snap.gen;
+                        loads += 1;
+                    }
+                    loads
+                })
+            })
+            .collect();
+
+        for gen in 1..=SWAPS {
+            ceiling.store(gen, Ordering::SeqCst);
+            cell.publish(Payload::new(gen));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers must have made progress");
+        assert_eq!(cell.load().gen, SWAPS);
+    }
+}

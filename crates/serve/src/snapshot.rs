@@ -1,0 +1,600 @@
+//! Immutable, cache-friendly placement snapshots.
+//!
+//! A [`PlacementSnapshot`] is the serving plane's view of one planned
+//! placement: every per-page, per-object and per-site fact the router
+//! touches, flattened into dense arrays keyed by raw ids so the hot path
+//! is index arithmetic and binary searches over contiguous memory —
+//! never a hash lookup, never a pointer chase into [`System`].
+//!
+//! Snapshots are built once (off the hot path) from a [`System`] plus the
+//! planner's output and are immutable afterwards, with one deliberate
+//! exception: the embedded [`MigrationOverlay`] is a monotone atomic
+//! bitset that starts with every in-flight replica marked *pending* and
+//! only ever clears bits as transfers complete. Readers therefore never
+//! see an object as resident before it physically arrived; the worst
+//! a stale read does is route one more request remotely — the safe
+//! direction (the serving repository node always holds everything).
+
+use mmrepl_core::PlanOutcome;
+use mmrepl_model::{NodeId, ObjectId, PageId, Placement, SiteId, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel for "no node": star systems have no topology, and the root
+/// has no parent.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// The per-site facts the router reads on every request.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteLane {
+    /// The repository node serving this site's remote stream
+    /// ([`NO_NODE`] on star systems, where the single repository serves).
+    pub serving: u32,
+    /// The site's attach node ([`NO_NODE`] on star systems).
+    pub attach: u32,
+    /// `Ovhd(S_i)` — local connection overhead, seconds.
+    pub local_ovhd: f64,
+    /// `B(S_i)` — local transfer rate, bytes/second.
+    pub local_rate: f64,
+    /// The serving channel's overhead (raw `Ovhd(R, S_i)` plus path
+    /// latency), seconds.
+    pub chan_ovhd: f64,
+    /// The serving channel's rate (raw `B(R, S_i)` capped by the path
+    /// bottleneck), bytes/second.
+    pub chan_rate: f64,
+    /// Raw repository overhead `Ovhd(R, S_i)` — the peer-path base cost.
+    pub repo_ovhd: f64,
+    /// Raw repository rate `B(R, S_i)`.
+    pub repo_rate: f64,
+    /// QoS bound on connection overhead, `f64::INFINITY` when unbounded.
+    pub qos: f64,
+    /// Residual request capacity: `C(S_i)` minus the planned Eq. 8 load,
+    /// clamped at zero (`f64::INFINITY` when the site is unbounded).
+    pub residual: f64,
+}
+
+/// The per-node facts peer-path pricing walks (tree systems only).
+#[derive(Clone, Copy, Debug)]
+pub struct NodeLane {
+    /// Parent node, [`NO_NODE`] for the root.
+    pub parent: u32,
+    /// Hops from the root.
+    pub depth: u32,
+    /// Uplink bandwidth toward the parent, bytes/second (unused at root).
+    pub link_bw: f64,
+    /// Uplink latency toward the parent, seconds (unused at root).
+    pub link_lat: f64,
+}
+
+/// Objects still in flight toward their new homes: a per-(site, object)
+/// atomic bitset. Bits are *monotone* — a snapshot is built with every
+/// scheduled-but-unarrived replica pending, and [`MigrationOverlay::
+/// mark_arrived`] is the only mutation, clearing one bit. A reader that
+/// races an arrival merely routes remotely once more; it can never route
+/// to a site that does not hold the object yet.
+#[derive(Debug)]
+pub struct MigrationOverlay {
+    words_per_site: usize,
+    bits: Vec<AtomicU64>,
+    pending: AtomicU64,
+}
+
+impl MigrationOverlay {
+    /// An overlay with no pending objects.
+    pub fn empty(n_sites: usize, n_objects: usize) -> Self {
+        let words_per_site = n_objects.div_ceil(64);
+        MigrationOverlay {
+            words_per_site,
+            bits: (0..n_sites * words_per_site)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            pending: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, site: SiteId, object: ObjectId) -> (usize, u64) {
+        let k = object.index();
+        (
+            site.index() * self.words_per_site + k / 64,
+            1u64 << (k % 64),
+        )
+    }
+
+    /// Marks `object` as in flight toward `site`. Build-time only by
+    /// convention (it is atomically safe at any time, but setting bits
+    /// after publication would violate monotonicity for readers that
+    /// already routed locally).
+    pub fn set_pending(&self, site: SiteId, object: ObjectId) {
+        let (w, m) = self.slot(site, object);
+        if self.bits[w].fetch_or(m, Ordering::Relaxed) & m == 0 {
+            self.pending.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Clears the pending bit: the replica physically arrived and may now
+    /// serve. Safe to call from any thread while readers route.
+    pub fn mark_arrived(&self, site: SiteId, object: ObjectId) {
+        let (w, m) = self.slot(site, object);
+        if self.bits[w].fetch_and(!m, Ordering::Release) & m != 0 {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether `object` is still in flight toward `site` (not yet
+    /// servable there).
+    #[inline]
+    pub fn is_pending(&self, site: SiteId, object: ObjectId) -> bool {
+        let (w, m) = self.slot(site, object);
+        self.bits[w].load(Ordering::Acquire) & m != 0
+    }
+
+    /// Number of (site, object) pairs still pending.
+    pub fn pending_count(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+}
+
+/// An immutable flat-array view of one planned placement, ready to route
+/// against. See the module docs for the layout rationale.
+#[derive(Debug)]
+pub struct PlacementSnapshot {
+    epoch: u64,
+    n_sites: usize,
+    n_pages: usize,
+    n_objects: usize,
+
+    // Per-page CSR over compulsory and optional slots. `*_local` mirrors
+    // the placement's X/X' marks; `*_obj` the referenced object ids.
+    page_site: Vec<u32>,
+    html_bytes: Vec<u64>,
+    comp_off: Vec<u32>,
+    comp_obj: Vec<u32>,
+    comp_local: Vec<bool>,
+    opt_off: Vec<u32>,
+    opt_obj: Vec<u32>,
+    opt_local: Vec<bool>,
+
+    // Object sizes, dense by object id.
+    obj_bytes: Vec<u64>,
+
+    // Replica CSR: object id → ascending list of sites whose stored set
+    // (the union of local marks across their pages) contains it.
+    rep_off: Vec<u32>,
+    rep_site: Vec<u32>,
+
+    lanes: Vec<SiteLane>,
+    nodes: Vec<NodeLane>,
+    overlay: MigrationOverlay,
+}
+
+impl PlacementSnapshot {
+    /// Builds a snapshot of `placement` over `system`. `serving` is the
+    /// planner's per-site serving-node assignment
+    /// ([`mmrepl_core::PlanReport::serving`]); pass an empty slice for
+    /// star systems (or to default tree sites to their attach nodes).
+    pub fn build(system: &System, placement: &Placement, serving: &[u32], epoch: u64) -> Self {
+        let n_sites = system.n_sites();
+        let n_pages = system.n_pages();
+        let n_objects = system.n_objects();
+        assert!(
+            serving.is_empty() || serving.len() == n_sites,
+            "serving assignment must cover every site"
+        );
+
+        let mut page_site = Vec::with_capacity(n_pages);
+        let mut html_bytes = Vec::with_capacity(n_pages);
+        let mut comp_off = Vec::with_capacity(n_pages + 1);
+        let mut opt_off = Vec::with_capacity(n_pages + 1);
+        let mut comp_obj = Vec::new();
+        let mut comp_local = Vec::new();
+        let mut opt_obj = Vec::new();
+        let mut opt_local = Vec::new();
+        comp_off.push(0);
+        opt_off.push(0);
+        for (pid, page) in system.pages().iter() {
+            let row = placement.partition(pid);
+            page_site.push(page.site.raw());
+            html_bytes.push(page.html_size.get());
+            for (slot, &k) in page.compulsory.iter().enumerate() {
+                comp_obj.push(k.raw());
+                comp_local.push(row.local_compulsory[slot]);
+            }
+            for (slot, o) in page.optional.iter().enumerate() {
+                opt_obj.push(o.object.raw());
+                opt_local.push(row.local_optional[slot]);
+            }
+            comp_off.push(comp_obj.len() as u32);
+            opt_off.push(opt_obj.len() as u32);
+        }
+
+        let obj_bytes: Vec<u64> = system.objects().iter().map(|(_, o)| o.size.get()).collect();
+
+        // Replica CSR in two passes: count, prefix-sum, fill. Sites are
+        // visited ascending, so each object's replica list is sorted.
+        let stored: Vec<_> = system
+            .sites()
+            .ids()
+            .map(|s| placement.stored_set(system, s))
+            .collect();
+        let mut rep_off = vec![0u32; n_objects + 1];
+        for set in &stored {
+            for k in set.iter() {
+                rep_off[k.index() + 1] += 1;
+            }
+        }
+        for i in 0..n_objects {
+            rep_off[i + 1] += rep_off[i];
+        }
+        let mut cursor = rep_off.clone();
+        let mut rep_site = vec![0u32; rep_off[n_objects] as usize];
+        for (s, set) in stored.iter().enumerate() {
+            for k in set.iter() {
+                let c = &mut cursor[k.index()];
+                rep_site[*c as usize] = s as u32;
+                *c += 1;
+            }
+        }
+
+        let topo = system.topology();
+        let lanes: Vec<SiteLane> = system
+            .sites()
+            .iter()
+            .map(|(sid, site)| {
+                let (serving_node, attach, qos) = match topo {
+                    None => (NO_NODE, NO_NODE, f64::INFINITY),
+                    Some(t) => {
+                        let att = t.attachment(sid);
+                        let node = if serving.is_empty() {
+                            att.node.raw()
+                        } else {
+                            serving[sid.index()]
+                        };
+                        (
+                            node,
+                            att.node.raw(),
+                            att.qos.map_or(f64::INFINITY, |q| q.get()),
+                        )
+                    }
+                };
+                let (chan_ovhd, chan_rate) = if serving_node == NO_NODE {
+                    (site.repo_ovhd.get(), site.repo_rate.get())
+                } else {
+                    let ch = system
+                        .serving_channel(sid, NodeId::new(serving_node))
+                        .expect("serving node is an ancestor of the attach node");
+                    (ch.ovhd.get(), ch.rate.get())
+                };
+                let cap = site.capacity.get();
+                let residual = if cap.is_finite() {
+                    (cap - placement.site_load(system, sid).get()).max(0.0)
+                } else {
+                    f64::INFINITY
+                };
+                SiteLane {
+                    serving: serving_node,
+                    attach,
+                    local_ovhd: site.local_ovhd.get(),
+                    local_rate: site.local_rate.get(),
+                    chan_ovhd,
+                    chan_rate,
+                    repo_ovhd: site.repo_ovhd.get(),
+                    repo_rate: site.repo_rate.get(),
+                    qos,
+                    residual,
+                }
+            })
+            .collect();
+
+        let nodes: Vec<NodeLane> = match topo {
+            None => Vec::new(),
+            Some(t) => t
+                .nodes()
+                .ids()
+                .map(|n| match t.parent(n) {
+                    None => NodeLane {
+                        parent: NO_NODE,
+                        depth: t.depth(n) as u32,
+                        link_bw: f64::INFINITY,
+                        link_lat: 0.0,
+                    },
+                    Some((p, link)) => NodeLane {
+                        parent: p.raw(),
+                        depth: t.depth(n) as u32,
+                        link_bw: link.bandwidth.get(),
+                        link_lat: link.latency.get(),
+                    },
+                })
+                .collect(),
+        };
+
+        PlacementSnapshot {
+            epoch,
+            n_sites,
+            n_pages,
+            n_objects,
+            page_site,
+            html_bytes,
+            comp_off,
+            comp_obj,
+            comp_local,
+            opt_off,
+            opt_obj,
+            opt_local,
+            obj_bytes,
+            rep_off,
+            rep_site,
+            lanes,
+            nodes,
+            overlay: MigrationOverlay::empty(n_sites, n_objects),
+        }
+    }
+
+    /// Builds a snapshot straight from a plan outcome, adopting its
+    /// serving-node assignment.
+    pub fn from_plan(system: &System, outcome: &PlanOutcome, epoch: u64) -> Self {
+        Self::build(system, &outcome.placement, &outcome.report.serving, epoch)
+    }
+
+    /// The publication epoch this snapshot carries (monotonically
+    /// increasing across [`crate::EpochCell::publish`] calls by
+    /// convention; the cell itself only swaps pointers).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of sites.
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Number of pages.
+    pub fn n_pages(&self) -> usize {
+        self.n_pages
+    }
+
+    /// Number of media objects.
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// The migration overlay embedded in this snapshot.
+    #[inline]
+    pub fn overlay(&self) -> &MigrationOverlay {
+        &self.overlay
+    }
+
+    /// The site hosting `page`.
+    #[inline]
+    pub fn page_host(&self, page: PageId) -> SiteId {
+        SiteId::new(self.page_site[page.index()])
+    }
+
+    /// The page's base HTML size in bytes.
+    #[inline]
+    pub fn page_html_bytes(&self, page: PageId) -> u64 {
+        self.html_bytes[page.index()]
+    }
+
+    /// The page's compulsory slots: `(object id, locally marked)` pairs.
+    #[inline]
+    pub fn compulsory(&self, page: PageId) -> impl Iterator<Item = (ObjectId, bool)> + '_ {
+        let (a, b) = (
+            self.comp_off[page.index()] as usize,
+            self.comp_off[page.index() + 1] as usize,
+        );
+        (a..b).map(move |i| (ObjectId::new(self.comp_obj[i]), self.comp_local[i]))
+    }
+
+    /// One optional slot of the page: `(object id, locally marked)`.
+    #[inline]
+    pub fn optional_slot(&self, page: PageId, slot: u32) -> (ObjectId, bool) {
+        let base = self.opt_off[page.index()] as usize;
+        let end = self.opt_off[page.index() + 1] as usize;
+        let i = base + slot as usize;
+        assert!(i < end, "optional slot out of range for page");
+        (ObjectId::new(self.opt_obj[i]), self.opt_local[i])
+    }
+
+    /// The object's size in bytes.
+    #[inline]
+    pub fn object_bytes(&self, object: ObjectId) -> u64 {
+        self.obj_bytes[object.index()]
+    }
+
+    /// The sites whose stored set contains `object`, ascending.
+    #[inline]
+    pub fn replicas(&self, object: ObjectId) -> &[u32] {
+        let (a, b) = (
+            self.rep_off[object.index()] as usize,
+            self.rep_off[object.index() + 1] as usize,
+        );
+        &self.rep_site[a..b]
+    }
+
+    /// Whether `site`'s stored set contains `object` (placement marks
+    /// only — the overlay is consulted separately).
+    #[inline]
+    pub fn stored(&self, site: SiteId, object: ObjectId) -> bool {
+        self.replicas(object).binary_search(&site.raw()).is_ok()
+    }
+
+    /// The per-site serving lane.
+    #[inline]
+    pub fn lane(&self, site: SiteId) -> &SiteLane {
+        &self.lanes[site.index()]
+    }
+
+    /// Per-node topology lanes (empty on star systems).
+    pub fn node_lanes(&self) -> &[NodeLane] {
+        &self.nodes
+    }
+
+    /// Prices the peer channel `from` would fetch over if `peer` served
+    /// one of its replicas: `(overhead seconds, rate bytes/sec)`, or
+    /// `None` on star systems (the paper's model has no site-to-site
+    /// transfers) and when either endpoint is detached. The path walks
+    /// `attach(from)` and `attach(peer)` up to their lowest common
+    /// ancestor: overhead is the requester's raw repository overhead plus
+    /// the summed link latency, rate the peer's local rate capped by the
+    /// path's bottleneck bandwidth.
+    pub fn peer_channel(&self, from: SiteId, peer: SiteId) -> Option<(f64, f64)> {
+        if self.nodes.is_empty() || from == peer {
+            return None;
+        }
+        let (mut a, mut b) = (
+            self.lanes[from.index()].attach,
+            self.lanes[peer.index()].attach,
+        );
+        if a == NO_NODE || b == NO_NODE {
+            return None;
+        }
+        let mut latency = 0.0f64;
+        let mut bottleneck = f64::INFINITY;
+        let mut step = |n: &mut u32| {
+            let lane = &self.nodes[*n as usize];
+            latency += lane.link_lat;
+            bottleneck = bottleneck.min(lane.link_bw);
+            *n = lane.parent;
+        };
+        while self.nodes[a as usize].depth > self.nodes[b as usize].depth {
+            step(&mut a);
+        }
+        while self.nodes[b as usize].depth > self.nodes[a as usize].depth {
+            step(&mut b);
+        }
+        while a != b {
+            step(&mut a);
+            step(&mut b);
+        }
+        let req = &self.lanes[from.index()];
+        let rate = self.lanes[peer.index()].local_rate.min(bottleneck);
+        Some((req.repo_ovhd + latency, rate))
+    }
+
+    /// Seeds the overlay from per-site lists of in-flight objects (the
+    /// migration queues' scheduled-but-unarrived fetches). Call before
+    /// publishing the snapshot.
+    pub fn seed_overlay<I: IntoIterator<Item = ObjectId>>(
+        &self,
+        per_site: impl IntoIterator<Item = (SiteId, I)>,
+    ) {
+        for (site, objects) in per_site {
+            for k in objects {
+                self.overlay.set_pending(site, k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmrepl_core::ReplicationPolicy;
+    use mmrepl_workload::{generate_system, TopologyParams, WorkloadParams};
+
+    fn snap(seed: u64) -> (System, Placement, PlacementSnapshot) {
+        let sys = generate_system(&WorkloadParams::small(), seed)
+            .unwrap()
+            .with_storage_fraction(0.6);
+        let outcome = ReplicationPolicy::new().plan(&sys);
+        let snap = PlacementSnapshot::from_plan(&sys, &outcome, 1);
+        (sys, outcome.placement, snap)
+    }
+
+    #[test]
+    fn replica_lists_match_stored_sets() {
+        let (sys, placement, snap) = snap(41);
+        for s in sys.sites().ids() {
+            let set = placement.stored_set(&sys, s);
+            for k in sys.objects().ids() {
+                assert_eq!(
+                    snap.stored(s, k),
+                    set.contains(k),
+                    "site {s:?} object {k:?}"
+                );
+            }
+        }
+        for k in sys.objects().ids() {
+            let reps = snap.replicas(k);
+            assert!(reps.windows(2).all(|w| w[0] < w[1]), "sorted replica list");
+        }
+    }
+
+    #[test]
+    fn marks_match_placement_rows() {
+        let (sys, placement, snap) = snap(42);
+        for (pid, page) in sys.pages().iter() {
+            let row = placement.partition(pid);
+            assert_eq!(snap.page_host(pid), page.site);
+            let comp: Vec<bool> = snap.compulsory(pid).map(|(_, l)| l).collect();
+            assert_eq!(comp, row.local_compulsory);
+            for slot in 0..page.optional.len() {
+                let (k, local) = snap.optional_slot(pid, slot as u32);
+                assert_eq!(k, page.optional[slot].object);
+                assert_eq!(local, row.local_optional[slot]);
+            }
+        }
+    }
+
+    #[test]
+    fn star_lanes_use_raw_repo_channel_and_have_no_peers() {
+        let (sys, _, snap) = snap(43);
+        for (sid, site) in sys.sites().iter() {
+            let lane = snap.lane(sid);
+            assert_eq!(lane.serving, NO_NODE);
+            assert_eq!(lane.chan_ovhd.to_bits(), site.repo_ovhd.get().to_bits());
+            assert_eq!(lane.chan_rate.to_bits(), site.repo_rate.get().to_bits());
+        }
+        let a = SiteId::new(0);
+        let b = SiteId::new(1);
+        assert!(snap.peer_channel(a, b).is_none());
+    }
+
+    #[test]
+    fn tree_lanes_carry_serving_channels_and_peer_paths() {
+        let mut params = WorkloadParams::small();
+        params.topology = TopologyParams::regional();
+        let sys = generate_system(&params, 44)
+            .unwrap()
+            .with_storage_fraction(0.6);
+        let outcome = ReplicationPolicy::new().plan(&sys);
+        let snap = PlacementSnapshot::from_plan(&sys, &outcome, 7);
+        assert_eq!(snap.epoch(), 7);
+        assert!(!snap.node_lanes().is_empty());
+        for (i, sid) in sys.sites().ids().enumerate() {
+            let lane = snap.lane(sid);
+            assert_eq!(lane.serving, outcome.report.serving[i]);
+            let ch = sys
+                .serving_channel(sid, NodeId::new(lane.serving))
+                .expect("planner picked an ancestor");
+            assert_eq!(lane.chan_ovhd.to_bits(), ch.ovhd.get().to_bits());
+            assert_eq!(lane.chan_rate.to_bits(), ch.rate.get().to_bits());
+        }
+        // Peer channels are symmetric in latency and bounded by both
+        // endpoints' constraints.
+        let a = SiteId::new(0);
+        let b = SiteId::new(sys.n_sites() as u32 - 1);
+        if let Some((ovhd, rate)) = snap.peer_channel(a, b) {
+            assert!(ovhd >= snap.lane(a).repo_ovhd);
+            assert!(rate <= snap.lane(b).local_rate);
+            assert!(rate > 0.0);
+        }
+    }
+
+    #[test]
+    fn overlay_bits_are_monotone_and_counted() {
+        let (_, _, snap) = snap(45);
+        let s = SiteId::new(0);
+        let k = ObjectId::new(3);
+        assert!(!snap.overlay().is_pending(s, k));
+        snap.overlay().set_pending(s, k);
+        snap.overlay().set_pending(s, k);
+        assert!(snap.overlay().is_pending(s, k));
+        assert_eq!(snap.overlay().pending_count(), 1);
+        snap.overlay().mark_arrived(s, k);
+        snap.overlay().mark_arrived(s, k);
+        assert!(!snap.overlay().is_pending(s, k));
+        assert_eq!(snap.overlay().pending_count(), 0);
+    }
+}

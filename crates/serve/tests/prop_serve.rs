@@ -1,0 +1,198 @@
+//! Property tests for the serving plane.
+//!
+//! The load-bearing guarantee (ISSUE acceptance criterion): **every
+//! routed request during a migration replay hits a site that actually
+//! holds the object at that instant.** The replay drives real
+//! [`mmrepl_online::MigrationQueue`]s in bounded-budget steps between
+//! routing bursts; ground truth is the queues' residency, which the
+//! router never sees directly — it only reads the snapshot's marks and
+//! the [`MigrationOverlay`] bits the harness clears as replicas land.
+
+use mmrepl_core::ReplicationPolicy;
+use mmrepl_model::{ObjectId, Placement, System};
+use mmrepl_online::{MigrationQueue, SiteMigration};
+use mmrepl_serve::{PlacementSnapshot, RouteTarget, Router};
+use mmrepl_workload::{generate_trace, DriftModel, TopologyParams, TraceConfig, WorkloadParams};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A constrained system; tree topologies exercise peer routing, stars
+/// exercise the local-or-repository degenerate case.
+fn system(seed: u64, frac: f64, tree: bool) -> System {
+    let mut params = WorkloadParams::small();
+    if tree {
+        params.topology = TopologyParams::regional();
+    }
+    mmrepl_workload::generate_system(&params, seed)
+        .expect("valid params")
+        .with_storage_fraction(frac)
+        .with_processing_fraction(f64::INFINITY)
+}
+
+/// The physical delta between two placements, in the online plane's
+/// vocabulary: per site, which objects must be fetched and which are
+/// dropped (deletion is free and immediate).
+fn migrations_between(sys: &System, from: &Placement, to: &Placement) -> Vec<SiteMigration> {
+    sys.sites()
+        .ids()
+        .map(|s| {
+            let a = from.stored_set(sys, s);
+            let b = to.stored_set(sys, s);
+            let fetches = sys
+                .objects()
+                .ids()
+                .filter(|&k| b.contains(k) && !a.contains(k))
+                .map(|k| (k, sys.object_size(k)))
+                .collect();
+            let drops = sys
+                .objects()
+                .ids()
+                .filter(|&k| a.contains(k) && !b.contains(k))
+                .collect();
+            SiteMigration {
+                site: s,
+                fetches,
+                drops,
+            }
+        })
+        .collect()
+}
+
+/// Replays a migration from placement `from` toward the published
+/// snapshot of placement `to`, routing a burst of real requests between
+/// every budgeted drain step, and asserts each Local/Peer decision
+/// targets a site whose queue says the object is physically resident at
+/// that instant.
+fn replay(sys: &System, seed: u64, budget: f64) -> Result<(), TestCaseError> {
+    let from = ReplicationPolicy::new().plan(sys).placement;
+    let drifted = DriftModel::new(0.5).apply(sys, seed ^ 0xA11CE);
+    let to_outcome = ReplicationPolicy::new().plan(&drifted);
+
+    // Publish the *target* plan as the routing snapshot while the sites
+    // physically still hold `from` — the mid-migration window.
+    let snap = Arc::new(PlacementSnapshot::from_plan(&drifted, &to_outcome, 1));
+    let mut queues: Vec<MigrationQueue> = sys
+        .sites()
+        .ids()
+        .map(|s| MigrationQueue::new(from.stored_set(sys, s)))
+        .collect();
+    for m in migrations_between(sys, &from, &to_outcome.placement) {
+        queues[m.site.index()].enqueue(&m);
+    }
+    // Overlay: promised-but-not-arrived, straight from ground truth.
+    snap.seed_overlay(sys.sites().ids().map(|s| {
+        let q = &queues[s.index()];
+        let pend: Vec<ObjectId> = sys
+            .objects()
+            .ids()
+            .filter(|&k| snap.stored(s, k) && !q.is_resident(k))
+            .collect();
+        (s, pend)
+    }));
+
+    let traces = generate_trace(
+        &drifted,
+        &TraceConfig::from_params(&WorkloadParams::small()),
+        seed,
+    );
+    let mut routed = 0u64;
+    let mut deflected = 0u64;
+    for step in 0..64 {
+        // Route a burst at the current instant on every site.
+        for t in &traces {
+            let mut router = Router::new(Arc::clone(&snap), t.site);
+            let lo = (step * t.requests.len()) / 64;
+            let hi = ((step + 1) * t.requests.len()) / 64;
+            for req in &t.requests[lo..hi] {
+                let mut bad = None;
+                router.route_with(req, |k, target| {
+                    let holds = match target {
+                        RouteTarget::Local => queues[t.site.index()].is_resident(k),
+                        RouteTarget::Peer(p) => queues[p.index()].is_resident(k),
+                        // The serving repository node holds everything.
+                        RouteTarget::Serving => true,
+                    };
+                    if !holds && bad.is_none() {
+                        bad = Some((k, target));
+                    }
+                });
+                prop_assert!(
+                    bad.is_none(),
+                    "step {step}: site {:?} routed {:?} to a non-resident target",
+                    t.site,
+                    bad
+                );
+                routed += 1;
+            }
+            let st = router.stats();
+            prop_assert_eq!(st.misroutes, 0, "audit cross-check flagged a misroute");
+            deflected += st.overlay_deflected;
+        }
+        // Advance the physical world one budgeted window, then clear the
+        // overlay bits for replicas that have now landed.
+        let mut still_pending = false;
+        for s in sys.sites().ids() {
+            let q = &mut queues[s.index()];
+            q.drain(budget);
+            for k in sys.objects().ids() {
+                if snap.overlay().is_pending(s, k) && q.is_resident(k) {
+                    snap.overlay().mark_arrived(s, k);
+                }
+            }
+            still_pending |= q.pending_bytes() > 0.0;
+        }
+        if !still_pending && step > 2 {
+            break;
+        }
+    }
+    prop_assert!(routed > 0);
+    // Once every queue drained, the overlay must be empty and routing
+    // must agree with the plain target plan: no deflections remain.
+    for q in &mut queues {
+        q.drain_all();
+    }
+    for s in sys.sites().ids() {
+        for k in sys.objects().ids() {
+            if snap.overlay().is_pending(s, k) && queues[s.index()].is_resident(k) {
+                snap.overlay().mark_arrived(s, k);
+            }
+        }
+    }
+    prop_assert_eq!(snap.overlay().pending_count(), 0);
+    for t in &traces {
+        let mut router = Router::new(Arc::clone(&snap), t.site);
+        let stats = router.route_all(&t.requests);
+        prop_assert_eq!(stats.overlay_deflected, 0);
+        prop_assert_eq!(stats.misroutes, 0);
+    }
+    let _ = deflected; // tree cases usually deflect; stars with tiny deltas may not
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mid-migration routing on star systems never targets a site that
+    /// has not received the object yet.
+    #[test]
+    fn star_migration_replay_never_routes_to_a_missing_replica(
+        seed in 0u64..300,
+        frac in 0.45f64..0.85,
+        budget in 20_000.0f64..2_000_000.0,
+    ) {
+        let sys = system(seed, frac, false);
+        replay(&sys, seed, budget)?;
+    }
+
+    /// Same guarantee on tree topologies, where peer-replica routing and
+    /// QoS vetoes are live.
+    #[test]
+    fn tree_migration_replay_never_routes_to_a_missing_replica(
+        seed in 0u64..300,
+        frac in 0.45f64..0.85,
+        budget in 20_000.0f64..2_000_000.0,
+    ) {
+        let sys = system(seed, frac, true);
+        replay(&sys, seed, budget)?;
+    }
+}

@@ -26,11 +26,13 @@ use crate::par::parallel_map;
 use crate::replay::replay_all;
 use mmrepl_baselines::{LruRouter, StaticRouter};
 use mmrepl_core::ReplicationPolicy;
-use mmrepl_model::{Secs, System};
+use mmrepl_model::{ObjectId, Secs, System};
 use mmrepl_online::{ChurnBudget, OnlineConfig, OnlineController, OnlineReplayOutcome};
+use mmrepl_serve::{route_traces, EpochCell, PlacementSnapshot};
 use mmrepl_workload::{generate_trace, DriftModel, SiteTrace, TraceConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One epoch's results.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -43,6 +45,15 @@ pub struct OnlineEpoch {
     pub online_migrated_bytes: f64,
     /// Mean incremental replans the controller ran during the epoch.
     pub online_replans: f64,
+    /// Mean estimated serving-plane latency per request (seconds) when
+    /// the epoch's traces are routed through the [`PlacementSnapshot`]
+    /// the controller publishes at the epoch boundary.
+    #[serde(default)]
+    pub served_latency_s: f64,
+    /// Mean per-epoch count of requests the snapshot's migration
+    /// overlay deflected away from a promised-but-unarrived local copy.
+    #[serde(default)]
+    pub served_overlay_deflects: f64,
 }
 
 /// The whole study.
@@ -82,16 +93,21 @@ impl OnlineStudy {
         for n in &names {
             out.push_str(&format!("{n:>14}"));
         }
-        out.push_str(&format!("{:>14}{:>10}\n", "moved MiB", "replans"));
+        out.push_str(&format!(
+            "{:>14}{:>10}{:>12}{:>10}\n",
+            "moved MiB", "replans", "serve ms", "deflects"
+        ));
         for e in &self.epochs {
             out.push_str(&format!("{:>8}", e.epoch));
             for n in &names {
                 out.push_str(&format!("{:>13.1}%", e.series[*n]));
             }
             out.push_str(&format!(
-                "{:>14.1}{:>10.1}\n",
+                "{:>14.1}{:>10.1}{:>12.3}{:>10.1}\n",
                 e.online_migrated_bytes / (1024.0 * 1024.0),
-                e.online_replans
+                e.online_replans,
+                e.served_latency_s * 1e3,
+                e.served_overlay_deflects
             ));
         }
         out
@@ -144,9 +160,11 @@ pub fn online_study(
 ) -> OnlineStudy {
     assert!(windows_per_epoch > 0, "at least one window per epoch");
     let drift = DriftModel::new(rotation);
-    /// One epoch of one run: the per-strategy % series plus the
-    /// controller's migrated bytes and replan count.
-    type RunEpoch = (BTreeMap<String, f64>, u64, u64);
+    /// One epoch of one run: the per-strategy % series, the controller's
+    /// migrated bytes and replan count, and the serving-plane estimate
+    /// (mean routed latency, overlay deflections) from the epoch's
+    /// published snapshot.
+    type RunEpoch = (BTreeMap<String, f64>, u64, u64, f64, f64);
     let per_run: Vec<Vec<RunEpoch>> = parallel_map(cfg.runs, cfg.threads, |run| {
         let seed = cfg
             .base_seed
@@ -171,6 +189,15 @@ pub fn online_study(
         }
         let mut ctl = OnlineController::new(&base, ReplicationPolicy::new(), controller_cfg);
         let mut lru = LruRouter::new(&base);
+
+        // The serving plane reads whatever snapshot the controller last
+        // published; epoch 0 starts from the off-line plan.
+        let cell = EpochCell::new(Arc::new(PlacementSnapshot::build(
+            &base,
+            &stale_plan,
+            &[],
+            0,
+        )));
 
         let mut system = base.clone();
         (0..=epochs)
@@ -217,6 +244,24 @@ pub fn online_study(
                     ctl.end_window(&durations);
                 }
 
+                // Publish the controller's post-epoch placement as an
+                // immutable snapshot, overlay-marking every replica its
+                // migration queues have promised but not yet delivered,
+                // and price the epoch's traffic through the routed view.
+                let snap = PlacementSnapshot::build(&system, ctl.placement(), &[], epoch as u64);
+                snap.seed_overlay(system.sites().ids().map(|s| {
+                    let q = ctl.queue(s);
+                    let pend: Vec<ObjectId> = system
+                        .objects()
+                        .ids()
+                        .filter(|&k| snap.stored(s, k) && !q.is_resident(k))
+                        .collect();
+                    (s, pend)
+                }));
+                cell.publish(Arc::new(snap));
+                let (_, served) = route_traces(&cell.load(), &traces, 1);
+                let served_latency = served.est_latency_s / served.requests.max(1) as f64;
+
                 let pct = |v: f64| (v / baseline - 1.0) * 100.0;
                 let mut m = BTreeMap::new();
                 m.insert("stale".to_string(), pct(stale));
@@ -227,6 +272,8 @@ pub fn online_study(
                     m,
                     ctl.bytes_scheduled() - bytes_before,
                     ctl.replans() - replans_before,
+                    served_latency,
+                    served.overlay_deflected as f64,
                 )
             })
             .collect()
@@ -238,12 +285,16 @@ pub fn online_study(
             let mut series: BTreeMap<String, f64> = BTreeMap::new();
             let mut bytes = 0.0;
             let mut replans = 0.0;
+            let mut served = 0.0;
+            let mut deflects = 0.0;
             for run in &per_run {
                 for (k, v) in &run[epoch].0 {
                     *series.entry(k.clone()).or_insert(0.0) += v;
                 }
                 bytes += run[epoch].1 as f64;
                 replans += run[epoch].2 as f64;
+                served += run[epoch].3;
+                deflects += run[epoch].4;
             }
             for v in series.values_mut() {
                 *v /= n;
@@ -253,6 +304,8 @@ pub fn online_study(
                 series,
                 online_migrated_bytes: bytes / n,
                 online_replans: replans / n,
+                served_latency_s: served / n,
+                served_overlay_deflects: deflects / n,
             }
         })
         .collect();
@@ -372,5 +425,28 @@ mod tests {
         assert!(t.contains("stale"));
         assert!(t.contains("online"));
         assert!(t.contains("replans"));
+        assert!(t.contains("serve ms"));
+        assert!(t.contains("deflects"));
+    }
+
+    /// Every epoch must price its traffic through the snapshot the
+    /// controller published at the epoch boundary: the routed latency is
+    /// strictly positive, and it is finite even while migrations are
+    /// still in flight (the overlay deflects those requests instead of
+    /// serving a replica that has not arrived).
+    #[test]
+    fn published_snapshots_price_served_latency_every_epoch() {
+        let mut cfg = ExperimentConfig::quick();
+        cfg.runs = 2;
+        let study = online_study(&cfg, 2, 0.8, 4, 0.25, &study_online_config());
+        for e in &study.epochs {
+            assert!(
+                e.served_latency_s > 0.0 && e.served_latency_s.is_finite(),
+                "epoch {}: served latency {}",
+                e.epoch,
+                e.served_latency_s
+            );
+            assert!(e.served_overlay_deflects >= 0.0);
+        }
     }
 }

@@ -26,6 +26,12 @@ fi
 cargo run --release --offline -p mmrepl-bench --bin perfsuite -- \
     --out "$FRESH" "$@"
 
+# The router bin amends the freshly written document in place with the
+# serving-plane metrics (route_mreq_s, route_p*_us) so the comparison
+# below sees the same metric set the committed baseline carries.
+cargo run --release --offline -p mmrepl-bench --bin router -- \
+    --out "$FRESH" "$@"
+
 # Baselines must be measured with the invariant auditor compiled out —
 # perfsuite stamps the feature state into the document.
 python3 - "$FRESH" <<'EOF'
@@ -68,6 +74,17 @@ for scale, fresh_t in sorted(fresh["scales"].items()):
     if base_t is None:
         print(f"  {scale}: not in baseline, skipping")
         continue
+    # A metric the baseline tracks but this run did not produce is a
+    # hard failure: a silently skipped comparison would let a bin that
+    # stopped emitting a metric (or a suite that stopped running it)
+    # pass the gate while the coverage quietly eroded.
+    for metric, old in sorted(base_t.items()):
+        if metric.startswith("n_") or not isinstance(old, float):
+            continue
+        if metric not in fresh_t:
+            failures.append(
+                f"{scale}.{metric}: present in baseline but missing from this run")
+            print(f"  {scale}.{metric}: MISSING from candidate run")
     for metric, new in sorted(fresh_t.items()):
         old = base_t.get(metric)
         # obs_overhead is a fraction, not a timing; it gets its own
@@ -75,16 +92,35 @@ for scale, fresh_t in sorted(fresh["scales"].items()):
         if metric.startswith("n_") or metric == "obs_overhead" or not isinstance(old, float):
             continue
         compared += 1
-        # Guard against ~0s metrics where ratios are all noise.
-        if old < 1e-4 and new < 1e-4:
-            print(f"  {scale}.{metric}: {old:.6f}s -> {new:.6f}s (sub-0.1ms, skipped)")
+        # Throughputs (route_mreq_s) run the other way: a regression is
+        # a DROP below the baseline, and the unit is Mreq/s not seconds.
+        if metric.endswith("_mreq_s"):
+            pct = (1.0 - new / old) * 100.0
+            verdict = "ok"
+            if pct > threshold:
+                verdict = "REGRESSED"
+                failures.append(
+                    f"{scale}.{metric}: {old:.3f} -> {new:.3f} Mreq/s ({-pct:+.1f}%)")
+            print(f"  {scale}.{metric}: {old:.3f} -> {new:.3f} Mreq/s "
+                  f"({-pct:+.1f}%) {verdict}")
             continue
+        # Guard against ~0s metrics where ratios are all noise. The
+        # latency percentiles are microseconds; scale their guard too.
+        unit, tiny = ("s", 1e-4)
+        if metric.endswith("_us"):
+            unit, tiny = ("us", 1e-1)
+        if old < tiny and new < tiny:
+            print(f"  {scale}.{metric}: {old:.6f}{unit} -> {new:.6f}{unit} (tiny, skipped)")
+            continue
+        # Percentile tails jitter far more than medians on a shared box;
+        # hold them to a 4x-looser bar than the timing medians.
+        lim = threshold * 4.0 if metric.endswith("_us") else threshold
         pct = (new / old - 1.0) * 100.0
         verdict = "ok"
-        if pct > threshold:
+        if pct > lim:
             verdict = "REGRESSED"
-            failures.append(f"{scale}.{metric}: {old:.4f}s -> {new:.4f}s ({pct:+.1f}%)")
-        print(f"  {scale}.{metric}: {old:.4f}s -> {new:.4f}s ({pct:+.1f}%) {verdict}")
+            failures.append(f"{scale}.{metric}: {old:.4f}{unit} -> {new:.4f}{unit} ({pct:+.1f}%)")
+        print(f"  {scale}.{metric}: {old:.4f}{unit} -> {new:.4f}{unit} ({pct:+.1f}%) {verdict}")
 
 # Absolute gate on the disabled-tracer cost model: the obs calls one
 # traced plan makes, priced at the measured disabled-path per-call cost,

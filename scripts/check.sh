@@ -18,7 +18,7 @@ cargo test --workspace -q --offline
 
 echo "==> cargo test with invariant-audit hooks compiled in"
 cargo test -q --offline --features audit \
-    -p mmrepl-core -p mmrepl-online -p mmrepl-sim
+    -p mmrepl-core -p mmrepl-online -p mmrepl-sim -p mmrepl-serve
 
 echo "==> differential-oracle fuzz smoke (deterministic seeds)"
 cargo run --offline -p mmrepl-bench --bin fuzz -- --seeds 4
@@ -77,5 +77,33 @@ if "plan.select" not in spans:
     sys.exit(1)
 print(f"  tree trace ok: {len(lines)} records, ancestor-selection span present")
 EOF
+
+echo "==> router smoke (audit-checked routing reports zero misroutes)"
+cargo run --offline -p mmrepl-cli --bin mmrepl --features audit -- \
+    route --system "$SMOKE_OUT/tree.json" --storage 0.65 \
+    --out "$SMOKE_OUT/route.json" >/dev/null
+python3 - "$SMOKE_OUT/route.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if doc["total"]["requests"] <= 0:
+    print("error: router routed no requests", file=sys.stderr)
+    sys.exit(1)
+if doc["total"]["misroutes"] != 0:
+    print(f"error: audit found {doc['total']['misroutes']} misroute(s)",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"  route ok: {doc['total']['requests']} requests, "
+      f"{doc['total']['objects']} objects, 0 misroutes (audit-verified)")
+EOF
+
+echo "==> router bench determinism (1-thread summary == 4-thread summary)"
+cargo run --release --offline -p mmrepl-bench --bin router -- \
+    --quick --iters 1 --threads 1 --summary-only \
+    --summary-out "$SMOKE_OUT/route-sum-t1.json" >/dev/null
+cargo run --release --offline -p mmrepl-bench --bin router -- \
+    --quick --iters 1 --threads 4 --summary-only \
+    --summary-out "$SMOKE_OUT/route-sum-t4.json" >/dev/null
+cmp "$SMOKE_OUT/route-sum-t1.json" "$SMOKE_OUT/route-sum-t4.json"
+echo "  router bench ok: 4-thread routing stats bit-identical to 1-thread"
 
 echo "OK"
