@@ -55,6 +55,15 @@ commands:
              allocation vs the flat root-only policy vs LRU on identical
              traces, remote streams priced over per-link bandwidth and
              latency.
+  negotiate  [--central F] [--runs N] [--seed S] [--paper] [--out FILE]
+             [--trace-out FILE]
+             Run the E-X7 control-plane negotiation study: the
+             asynchronous proposal/counter-proposal off-loading protocol
+             under every strategy (greedy, deadline, auction) × fault
+             scenario (reliable, lossy, chaos) grid cell, reporting
+             protocol cost, resilience counters and placement agreement
+             with the synchronous planner. --central squeezes the
+             repository to that fraction of its capacity (default 0.3).
   route      --system FILE [--placement FILE] [--seed N] [--storage F]
              [--processing F] [--threads N] [--out FILE]
              Plan the system (or load a --placement file), freeze the
@@ -241,6 +250,21 @@ pub enum Command {
         /// Tree preset the study runs on.
         preset: TopologyParams,
         /// Runs to average.
+        runs: usize,
+        /// Base seed (`None` = the experiment config's default).
+        seed: Option<u64>,
+        /// Full Table 1 scale instead of the quick workload.
+        paper: bool,
+        /// Output JSON path.
+        out: PathBuf,
+        /// Structured-trace JSONL path (`None` = tracing stays off).
+        trace_out: Option<PathBuf>,
+    },
+    /// `mmrepl negotiate`.
+    Negotiate {
+        /// Repository capacity fraction the runs are squeezed to.
+        central: f64,
+        /// Runs to average per grid cell.
         runs: usize,
         /// Base seed (`None` = the experiment config's default).
         seed: Option<u64>,
@@ -471,6 +495,24 @@ impl Command {
                     .unwrap_or_else(|| PathBuf::from("federate.json")),
                 trace_out: take("trace-out").map(PathBuf::from),
             }),
+            "negotiate" => {
+                let central = take_f64("central")?.unwrap_or(0.3);
+                if !(0.0..=1.0).contains(&central) {
+                    return Err(format!("--central must be in [0, 1], got {central}").into());
+                }
+                Ok(Command::Negotiate {
+                    central,
+                    runs: take_usize("runs", 3)?.max(1),
+                    seed: take("seed")
+                        .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+                        .transpose()?,
+                    paper: take("paper").is_some(),
+                    out: take("out")
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("negotiate.json")),
+                    trace_out: take("trace-out").map(PathBuf::from),
+                })
+            }
             "audit" => Ok(Command::Audit {
                 seeds: take_u64("seeds", 16)?.max(1),
                 start: take_u64("start", 0)?,
@@ -853,6 +895,48 @@ mod tests {
         ));
         assert!(parse(&["online", "--rotation", "1.5"]).is_err());
         assert!(parse(&["online", "--budget", "-0.1"]).is_err());
+    }
+
+    #[test]
+    fn negotiate_parses_and_defaults() {
+        assert_eq!(
+            parse(&["negotiate"]).unwrap(),
+            Command::Negotiate {
+                central: 0.3,
+                runs: 3,
+                seed: None,
+                paper: false,
+                out: PathBuf::from("negotiate.json"),
+                trace_out: None,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "negotiate",
+                "--central",
+                "0.1",
+                "--runs",
+                "5",
+                "--seed",
+                "9",
+                "--paper",
+                "--out",
+                "n.json",
+            ])
+            .unwrap(),
+            Command::Negotiate {
+                central: 0.1,
+                runs: 5,
+                seed: Some(9),
+                paper: true,
+                out: PathBuf::from("n.json"),
+                trace_out: None,
+            }
+        );
+        assert!(matches!(
+            parse(&["negotiate", "--central", "1.5"]),
+            Err(ParseError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -107,6 +107,14 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             out,
             trace_out,
         } => federate(preset, runs, seed, paper, &out, trace_out.as_deref()),
+        Command::Negotiate {
+            central,
+            runs,
+            seed,
+            paper,
+            out,
+            trace_out,
+        } => negotiate(central, runs, seed, paper, &out, trace_out.as_deref()),
         Command::Audit {
             seeds,
             start,
@@ -728,6 +736,34 @@ fn federate(
     Ok(())
 }
 
+fn negotiate(
+    central: f64,
+    runs: usize,
+    seed: Option<u64>,
+    paper: bool,
+    out: &Path,
+    trace_out: Option<&Path>,
+) -> Result<(), CliError> {
+    let mut cfg = if paper {
+        mmrepl_sim::ExperimentConfig::paper()
+    } else {
+        mmrepl_sim::ExperimentConfig::quick()
+    };
+    cfg.runs = runs;
+    if let Some(s) = seed {
+        cfg.base_seed = s;
+    }
+    let study = with_trace(trace_out, || mmrepl_sim::negotiate_study(&cfg, central))?;
+    print!("{}", study.to_table());
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&study).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -967,6 +1003,26 @@ mod tests {
         assert!(study.mean_response.contains_key("closest"));
         assert!(study.mean_response.contains_key("flat"));
         assert!(study.mean_response.contains_key("lru"));
+    }
+
+    #[test]
+    fn negotiate_writes_study_json() {
+        let out = tmp("negotiate-study.json");
+        run(Command::Negotiate {
+            central: 0.1,
+            runs: 1,
+            seed: Some(11),
+            paper: false,
+            out: out.clone(),
+            trace_out: None,
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let study: mmrepl_sim::NegotiateStudy = serde_json::from_str(&text).unwrap();
+        assert_eq!(study.runs, 1);
+        let cell = study.cell("greedy", "reliable").expect("cell present");
+        assert_eq!(cell.placements_match, 1);
+        assert!(study.cell("auction", "chaos").is_some());
     }
 
     #[test]

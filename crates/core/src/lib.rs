@@ -53,6 +53,7 @@ pub mod audit;
 pub mod bits;
 pub mod capacity;
 pub mod lazyheap;
+pub mod negotiate;
 pub mod offload;
 pub mod partition;
 pub mod planner;
@@ -69,9 +70,13 @@ pub use audit::{
 pub use bits::DenseBits;
 pub use capacity::{restore_capacity, CapacityReport};
 pub use lazyheap::LazyMinHeap;
+pub use negotiate::{
+    run_negotiation, run_negotiation_with, NegotiateConfig, NegotiateMsg, NegotiateOutcome,
+    NegotiateReport, Negotiator, RoundCtx, StrategyKind,
+};
 pub use offload::{
-    absorb_workload, run_offload, AssignmentRule, OffloadConfig, OffloadError, OffloadOutcome,
-    OffloadReport,
+    absorb_workload, paper_round_plan, run_offload, Assignment, AssignmentRule, OffloadConfig,
+    OffloadError, OffloadOutcome, OffloadReport, RoundPlan,
 };
 pub use partition::{
     optimal_partition, partition_all, partition_all_ordered, partition_all_with, partition_page,

@@ -2,7 +2,8 @@
 //! restore local capacity → off-load the repository.
 
 use crate::capacity::{restore_capacity, CapacityReport};
-use crate::offload::{run_offload, OffloadConfig, OffloadReport};
+use crate::negotiate::{run_negotiation, NegotiateConfig, NegotiateReport};
+use crate::offload::{run_offload, OffloadConfig, OffloadOutcome, OffloadReport};
 use crate::partition::partition_all;
 use crate::select::{select_ancestors, AncestorPolicy, Selection};
 use crate::state::SiteWork;
@@ -39,6 +40,14 @@ pub struct PlannerConfig {
     /// default; a no-op on star and single-node systems.
     #[serde(default)]
     pub reselect: bool,
+    /// Run stage 4 as the asynchronous proposal/counter-proposal
+    /// protocol ([`crate::negotiate`]) instead of the synchronous
+    /// reference rounds. With the default (reliable, greedy) knobs the
+    /// placement is bit-identical to the synchronous protocol; seeded
+    /// fault injection and alternative strategies live behind this knob.
+    /// `None` (the default) keeps the synchronous path.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub negotiation: Option<NegotiateConfig>,
 }
 
 /// What each stage of the pipeline did, per site where applicable.
@@ -75,6 +84,12 @@ pub struct PlanReport {
     /// serving node changed in the measured-demand re-selection pass.
     #[serde(default)]
     pub reselections: usize,
+    /// Present when stage 4 ran as the asynchronous negotiation
+    /// ([`PlannerConfig::negotiation`]): protocol-level accounting
+    /// (retries, timeouts, degraded sites, bus fault counters). The
+    /// [`PlanReport::offload`] summary is derived from it either way.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub negotiation: Option<NegotiateReport>,
 }
 
 /// A planned placement plus its report.
@@ -378,17 +393,44 @@ impl ReplicationPolicy {
         // protocol, bit-identical to before the tree refactor). On tree
         // systems each serving node negotiates with its own client group
         // against the node's Eq. 9 budget.
-        let (offload, offload_by_node) = match &selection {
+        // Either protocol fills the same per-group slot: the synchronous
+        // reference rounds, or (when configured) the asynchronous
+        // proposal/counter-proposal negotiation, whose richer report is
+        // carried alongside the derived offload summary.
+        let negotiate_cfg = self.config.negotiation;
+        let offload_cfg = self.config.offload;
+        let offload_group =
+            |ws: &mut [SiteWork<'_>], cap: f64| -> (OffloadOutcome, Option<NegotiateReport>) {
+                match &negotiate_cfg {
+                    Some(ncfg) => {
+                        let out = run_negotiation(ws, cap, &offload_cfg, ncfg);
+                        (
+                            OffloadOutcome {
+                                report: out.report.as_offload(),
+                                changed: out.changed,
+                            },
+                            Some(out.report),
+                        )
+                    }
+                    None => (run_offload(ws, cap, &offload_cfg), None),
+                }
+            };
+        let stage_span = if negotiate_cfg.is_some() {
+            "plan.negotiate"
+        } else {
+            "plan.offload"
+        };
+        let (offload, offload_by_node, negotiation) = match &selection {
             None => {
                 let repo_cap = system.repository().capacity.get();
-                let out = {
-                    let _s = mmrepl_obs::span("plan.offload");
-                    run_offload(&mut works, repo_cap, &self.config.offload)
+                let (out, neg) = {
+                    let _s = mmrepl_obs::span(stage_span);
+                    offload_group(&mut works, repo_cap)
                 };
-                (out.report, Vec::new())
+                (out.report, Vec::new(), neg)
             }
             Some(sel) => {
-                let _s = mmrepl_obs::span("plan.offload");
+                let _s = mmrepl_obs::span(stage_span);
                 let topo = system.topology().expect("selection implies topology");
                 // Group the per-site states contiguously by serving node
                 // (ascending node, then site id — deterministic). The
@@ -396,6 +438,7 @@ impl ReplicationPolicy {
                 // works is placement-neutral.
                 works.sort_by_key(|w| (sel.serving[w.site()].index(), w.site()));
                 let mut by_node = Vec::new();
+                let mut neg_by_node = Vec::new();
                 let mut start = 0;
                 while start < works.len() {
                     let node = sel.serving[works[start].site()];
@@ -404,11 +447,16 @@ impl ReplicationPolicy {
                         end += 1;
                     }
                     let cap = topo.node(node).capacity.get();
-                    let out = run_offload(&mut works[start..end], cap, &self.config.offload);
+                    let (out, neg) = offload_group(&mut works[start..end], cap);
                     by_node.push(out.report);
+                    if let Some(neg) = neg {
+                        neg_by_node.push(neg);
+                    }
                     start = end;
                 }
-                (aggregate_offload(&by_node), by_node)
+                let negotiation =
+                    (!neg_by_node.is_empty()).then(|| NegotiateReport::aggregate(&neg_by_node));
+                (aggregate_offload(&by_node), by_node, negotiation)
             }
         };
 
@@ -472,6 +520,7 @@ impl ReplicationPolicy {
             promotions,
             qos_blocked,
             reselections,
+            negotiation,
         };
         PlanOutcome { placement, report }
     }
@@ -586,6 +635,57 @@ mod tests {
             assert_eq!(b.report.offload_by_node.len(), 1);
             assert_eq!(b.report.promotions, 0);
         }
+    }
+
+    #[test]
+    fn reliable_negotiation_plan_is_bit_identical_to_synchronous() {
+        // A squeezed repository forces a real multi-round off-loading, so
+        // the comparison exercises the whole protocol, not the trivial
+        // zero-round exit.
+        let sys = small_system(13)
+            .with_processing_fraction(1.5)
+            .with_central_fraction(0.1);
+        let sync = ReplicationPolicy::new().plan(&sys);
+        let neg = ReplicationPolicy::with_config(PlannerConfig {
+            negotiation: Some(crate::negotiate::NegotiateConfig::default()),
+            ..PlannerConfig::default()
+        })
+        .plan(&sys);
+        assert_eq!(sync.placement, neg.placement);
+        assert_eq!(
+            sync.report.objective.to_bits(),
+            neg.report.objective.to_bits()
+        );
+        assert_eq!(sync.report.feasible, neg.report.feasible);
+        let nrep = neg.report.negotiation.expect("negotiation report present");
+        assert!(
+            sync.report.offload.rounds > 0,
+            "comparison must be non-trivial"
+        );
+        assert_eq!(nrep.rounds, sync.report.offload.rounds);
+        assert_eq!(nrep.swaps, sync.report.offload.swaps);
+        assert!((nrep.absorbed - sync.report.offload.absorbed).abs() < 1e-12);
+        assert_eq!(nrep.retries, 0);
+        assert_eq!(nrep.timeouts, 0);
+        assert!(sync.report.negotiation.is_none());
+    }
+
+    #[test]
+    fn negotiated_tree_plan_matches_synchronous_per_node() {
+        let tree = chain_tree(&small_system(14), ReqPerSec::INFINITE);
+        let sync = ReplicationPolicy::new().plan(&tree);
+        let neg = ReplicationPolicy::with_config(PlannerConfig {
+            negotiation: Some(crate::negotiate::NegotiateConfig::default()),
+            ..PlannerConfig::default()
+        })
+        .plan(&tree);
+        assert_eq!(sync.placement, neg.placement);
+        assert_eq!(sync.report.feasible, neg.report.feasible);
+        assert_eq!(
+            neg.report.offload_by_node.len(),
+            sync.report.offload_by_node.len()
+        );
+        assert!(neg.report.negotiation.is_some());
     }
 
     #[test]

@@ -5,10 +5,11 @@
 
 use mmrepl_core::{
     audit_site, check_repo_constraint, check_site_constraints, partition_all, restore_capacity,
-    restore_storage, run_offload, AncestorPolicy, AuditStage, OffloadConfig, PlannerConfig,
-    ReplicationPolicy, SiteWork,
+    restore_storage, run_negotiation, run_offload, AncestorPolicy, AuditStage, NegotiateConfig,
+    OffloadConfig, PlannerConfig, ReplicationPolicy, SiteWork, StrategyKind,
 };
-use mmrepl_model::{ConstraintReport, CostParams, IdVec, NodeId, SiteId, Topology};
+use mmrepl_model::{ConstraintReport, CostParams, IdVec, NodeId, Secs, SiteId, Topology};
+use mmrepl_netsim::FaultConfig;
 use mmrepl_workload::{generate_system, TopologyParams, WorkloadParams};
 use proptest::prelude::*;
 
@@ -146,6 +147,123 @@ proptest! {
                 "Eq. 10 broken at {}", w.site());
             w.validate_consistency();
         }
+    }
+
+    /// Acceptance property 1: under a reliable bus the asynchronous
+    /// proposal/counter-proposal negotiation (paper strategy) converges
+    /// to **exactly** the synchronous `OFF_LOADING_REPOSITORY` placement
+    /// — same per-site load/storage bit patterns, same rounds, same
+    /// absorbed workload, same feasibility verdict.
+    #[test]
+    fn reliable_negotiation_is_bit_identical_to_synchronous_offload(
+        seed in 0u64..300,
+        cap_frac in 0.0f64..1.2,
+        headroom in 1.0f64..1.6,
+    ) {
+        let sys = small_sys(seed).with_processing_fraction(headroom);
+        let placement = partition_all(&sys);
+        let build = || -> Vec<SiteWork<'_>> {
+            sys.sites()
+                .ids()
+                .map(|s| {
+                    let mut w = SiteWork::new(&sys, s, &placement, CostParams::default());
+                    restore_storage(&mut w);
+                    restore_capacity(&mut w);
+                    w
+                })
+                .collect()
+        };
+        let mut sync_works = build();
+        let before: f64 = sync_works.iter().map(|w| w.repo_load()).sum();
+        let cap = before * cap_frac;
+        let sync = run_offload(&mut sync_works, cap, &OffloadConfig::default());
+
+        let mut neg_works = build();
+        let neg = run_negotiation(
+            &mut neg_works,
+            cap,
+            &OffloadConfig::default(),
+            &NegotiateConfig::default(),
+        );
+
+        for (a, b) in sync_works.iter().zip(&neg_works) {
+            prop_assert_eq!(a.site(), b.site());
+            prop_assert_eq!(a.load().to_bits(), b.load().to_bits(), "site {}", a.site());
+            prop_assert_eq!(a.repo_load().to_bits(), b.repo_load().to_bits(),
+                "site {}", a.site());
+            prop_assert_eq!(a.space_left(), b.space_left(), "site {}", a.site());
+            prop_assert_eq!(a.total_d().to_bits(), b.total_d().to_bits(),
+                "site {}", a.site());
+        }
+        prop_assert_eq!(neg.report.rounds, sync.report.rounds);
+        prop_assert!((neg.report.absorbed - sync.report.absorbed).abs() < 1e-12);
+        prop_assert_eq!(neg.report.swaps, sync.report.swaps);
+        prop_assert_eq!(neg.report.feasible, sync.report.feasible);
+        prop_assert_eq!(neg.changed, sync.changed);
+        prop_assert_eq!(neg.report.retries, 0);
+        prop_assert_eq!(neg.report.timeouts, 0);
+        prop_assert_eq!(neg.report.degraded_sites, 0);
+    }
+
+    /// Acceptance property 2: under seeded loss / reorder / duplication /
+    /// jitter, any strategy's negotiation always terminates and its final
+    /// placement satisfies Eq. 8 and Eq. 10 at every site, with Eq. 9
+    /// feasibility reported from the authoritative final state (not the
+    /// protocol's possibly stale belief). `validate_consistency` audits
+    /// the full derived-state bookkeeping site by site.
+    #[test]
+    fn faulty_negotiation_terminates_with_feasible_placement(
+        seed in 0u64..200,
+        fault_seed in any::<u64>(),
+        drop in 0.0f64..0.9,
+        duplicate in 0.0f64..0.9,
+        reorder in 0.0f64..0.9,
+        jitter in 0.0f64..0.5,
+        strategy_pick in 0u8..3,
+        cap_frac in 0.0f64..1.2,
+        headroom in 1.0f64..1.6,
+    ) {
+        let sys = small_sys(seed).with_processing_fraction(headroom);
+        let placement = partition_all(&sys);
+        let mut works: Vec<SiteWork<'_>> = sys
+            .sites()
+            .ids()
+            .map(|s| {
+                let mut w = SiteWork::new(&sys, s, &placement, CostParams::default());
+                restore_storage(&mut w);
+                restore_capacity(&mut w);
+                w
+            })
+            .collect();
+        let before: f64 = works.iter().map(|w| w.repo_load()).sum();
+        let cap = before * cap_frac;
+        let strategy = match strategy_pick {
+            0 => StrategyKind::GreedyProportional,
+            1 => StrategyKind::DeadlineBounded,
+            _ => StrategyKind::Auction,
+        };
+        let config = NegotiateConfig {
+            strategy,
+            faults: FaultConfig { drop, duplicate, reorder, jitter: Secs(jitter), seed: fault_seed },
+            ..NegotiateConfig::default()
+        };
+        let neg = run_negotiation(&mut works, cap, &OffloadConfig::default(), &config);
+
+        prop_assert!(neg.report.rounds <= OffloadConfig::default().max_rounds);
+        let after: f64 = works.iter().map(|w| w.repo_load()).sum();
+        prop_assert!(after <= before + 1e-6, "repository load grew");
+        prop_assert!((neg.report.final_repo_load - after).abs() < 1e-9,
+            "final_repo_load not authoritative");
+        prop_assert_eq!(neg.report.feasible, after <= cap + 1e-9);
+        for w in &works {
+            prop_assert!(w.load() <= w.capacity() + 1e-6, "Eq. 8 broken at {}", w.site());
+            prop_assert!(w.storage_used() <= w.storage_capacity(),
+                "Eq. 10 broken at {}", w.site());
+            w.validate_consistency();
+        }
+        // The bus fault ledger closes after the protocol's closing drain.
+        let st = neg.report.bus;
+        prop_assert_eq!(st.sent + st.duplicated_extra, st.delivered + st.dropped);
     }
 
     /// The dense (CSR) per-site state yields the same plan every time and

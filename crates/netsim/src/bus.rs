@@ -7,6 +7,19 @@
 //! exchange — rather than calling a function — keeps the algorithm honest
 //! about what information each party actually has, and lets experiments
 //! report protocol cost (messages, rounds, elapsed control-plane time).
+//!
+//! The bus is also the **fault-injection surface** for the asynchronous
+//! negotiation (`mmrepl_core::negotiate`): a seeded [`FaultConfig`] makes
+//! it drop, duplicate, reorder and jitter messages deterministically, and
+//! [`BusStats`] counts every fate so accounting closes exactly:
+//!
+//! ```text
+//! sent + duplicated_extra == delivered + dropped + in_flight
+//! ```
+//!
+//! (each `send` produces one envelope, a duplication fault produces one
+//! *extra* envelope, and every scheduled envelope is eventually delivered
+//! or still in flight; drops consume a send without scheduling anything).
 
 use crate::event::{EventQueue, SimTime};
 use mmrepl_model::{Secs, SiteId};
@@ -37,6 +50,9 @@ pub struct Envelope<M> {
     pub from: Endpoint,
     /// Receiver.
     pub to: Endpoint,
+    /// Bus-assigned sequence number, unique per `send` call and shared by
+    /// fault-injected duplicate copies — receivers dedup on it.
+    pub seq: u64,
     /// When the sender posted it.
     pub sent_at: SimTime,
     /// When it arrives at the receiver.
@@ -45,53 +61,257 @@ pub struct Envelope<M> {
     pub payload: M,
 }
 
-/// Aggregate protocol cost.
+/// Aggregate protocol cost and fault accounting.
+///
+/// Conservation law (property-tested):
+/// `sent + duplicated_extra == delivered + dropped + in_flight`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BusStats {
-    /// Messages posted.
+    /// Messages posted (`send` calls).
     pub sent: u64,
-    /// Messages delivered so far.
+    /// Envelopes delivered so far (duplicate copies count individually).
     pub delivered: u64,
+    /// Sends swallowed by a drop fault (nothing was scheduled).
+    #[serde(default)]
+    pub dropped: u64,
+    /// *Extra* envelope copies scheduled by duplication faults.
+    #[serde(default)]
+    pub duplicated_extra: u64,
+    /// Envelopes whose delivery was pushed past at least one later send
+    /// by a reorder fault.
+    #[serde(default)]
+    pub reordered: u64,
+    /// Envelopes that picked up a nonzero jitter delay.
+    #[serde(default)]
+    pub jittered: u64,
+}
+
+/// Seeded control-plane fault knobs. All probabilities are per-`send`
+/// rolls on a deterministic [splitmix64] stream, so a scenario replays
+/// bit-identically from its seed.
+///
+/// [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability a sent message is silently lost.
+    pub drop: f64,
+    /// Probability an extra copy of the message is delivered too.
+    pub duplicate: f64,
+    /// Probability the message is held back long enough for later sends
+    /// to overtake it (delivery delayed by 1–2 extra latencies).
+    pub reorder: f64,
+    /// Maximum extra uniform delivery delay, seconds (0 = no jitter).
+    pub jitter: Secs,
+    /// RNG seed for the fault stream.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all — the deterministic fixed-latency bus.
+    pub fn reliable() -> Self {
+        FaultConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            jitter: Secs(0.0),
+            seed: 0,
+        }
+    }
+
+    /// A mildly lossy WAN: occasional loss, duplication and reordering
+    /// with sub-latency jitter.
+    pub fn lossy(seed: u64) -> Self {
+        FaultConfig {
+            drop: 0.10,
+            duplicate: 0.05,
+            reorder: 0.10,
+            jitter: Secs(0.05),
+            seed,
+        }
+    }
+
+    /// An adversarial control plane: heavy loss, duplication, reordering
+    /// and multi-latency jitter.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            drop: 0.25,
+            duplicate: 0.15,
+            reorder: 0.25,
+            jitter: Secs(0.2),
+            seed,
+        }
+    }
+
+    /// Whether every knob is zero (the reliable fast path).
+    pub fn is_reliable(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0 && self.jitter.get() == 0.0
+    }
+
+    /// Validates the knobs: probabilities in `[0, 1)` (a drop rate of 1
+    /// would make every protocol spin forever) and finite non-negative
+    /// jitter.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop", self.drop),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+        ] {
+            if !(0.0..1.0).contains(&p) {
+                return Err(format!("fault {name} probability {p} not in [0, 1)"));
+            }
+        }
+        if !self.jitter.is_valid() {
+            return Err(format!("invalid fault jitter {:?}", self.jitter));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+/// splitmix64 — tiny, seedable, std-only; good enough to decorrelate
+/// fault rolls and fully deterministic per seed.
+#[derive(Clone, Copy, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
 /// An in-memory, deterministic message bus with fixed one-way latency per
-/// hop. Messages between the same pair preserve order (equal-time delivery
-/// is FIFO via the event queue's stable ordering).
+/// hop and optional seeded fault injection. Messages between the same
+/// pair preserve order on a reliable bus (equal-time delivery is FIFO via
+/// the event queue's `(time, seq)` ordering); a faulty bus may drop,
+/// duplicate, reorder or delay them — deterministically per seed.
 pub struct MessageBus<M> {
     queue: EventQueue<Envelope<M>>,
     latency: Secs,
     stats: BusStats,
+    faults: FaultConfig,
+    rng: SplitMix64,
+    next_seq: u64,
 }
 
-impl<M> MessageBus<M> {
+impl<M: Clone> MessageBus<M> {
     /// A bus where every hop takes `latency` seconds one-way. The Table 1
     /// estimates put client-repository RTT at 200 ms, so 100 ms one-way is
     /// the natural default for site-repository control traffic.
     pub fn new(latency: Secs) -> Self {
+        Self::with_faults(latency, FaultConfig::reliable())
+    }
+
+    /// A bus with seeded fault injection on top of the base latency.
+    pub fn with_faults(latency: Secs, faults: FaultConfig) -> Self {
         assert!(latency.is_valid(), "invalid bus latency {latency:?}");
+        faults
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid bus faults: {e}"));
         MessageBus {
             queue: EventQueue::new(),
             latency,
             stats: BusStats::default(),
+            faults,
+            rng: SplitMix64(faults.seed ^ 0x6D6D_7265_706C_0B05),
+            next_seq: 0,
         }
     }
 
-    /// Posts `payload` from `from` to `to`; it will arrive one latency
-    /// later.
-    pub fn send(&mut self, from: Endpoint, to: Endpoint, payload: M) {
-        let sent_at = self.queue.now();
-        let deliver_at = sent_at.after(self.latency.get());
+    /// Posts `payload` from `from` to `to`. On a reliable bus it arrives
+    /// exactly one latency later; with faults configured it may be
+    /// dropped, duplicated, reordered past later sends, or jittered.
+    /// Returns the bus-assigned sequence number (fault copies share it).
+    pub fn send(&mut self, from: Endpoint, to: Endpoint, payload: M) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.stats.sent += 1;
+        let sent_at = self.queue.now();
+
+        if self.faults.is_reliable() {
+            let deliver_at = sent_at.after(self.latency.get());
+            self.queue.schedule(
+                deliver_at,
+                Envelope {
+                    from,
+                    to,
+                    seq,
+                    sent_at,
+                    deliver_at,
+                    payload,
+                },
+            );
+            return seq;
+        }
+
+        // Fault rolls happen in a fixed order per send — drop, jitter,
+        // reorder, duplicate — so the stream stays aligned across replays
+        // regardless of which faults fire.
+        let drop_roll = self.rng.next_f64();
+        let jitter_roll = self.rng.next_f64();
+        let reorder_roll = self.rng.next_f64();
+        let dup_roll = self.rng.next_f64();
+        let dup_offset_roll = self.rng.next_f64();
+
+        if drop_roll < self.faults.drop {
+            self.stats.dropped += 1;
+            return seq;
+        }
+
+        let mut delay = self.latency.get();
+        let jitter = self.faults.jitter.get() * jitter_roll;
+        if self.faults.jitter.get() > 0.0 && jitter > 0.0 {
+            self.stats.jittered += 1;
+            delay += jitter;
+        }
+        if reorder_roll < self.faults.reorder {
+            // Hold the message back past its own latency window so any
+            // message sent within the next 1–2 latencies overtakes it.
+            self.stats.reordered += 1;
+            delay += self.latency.get() * (1.0 + reorder_roll / self.faults.reorder.max(1e-12));
+        }
+        let deliver_at = sent_at.after(delay);
         self.queue.schedule(
             deliver_at,
             Envelope {
                 from,
                 to,
+                seq,
                 sent_at,
                 deliver_at,
-                payload,
+                payload: payload.clone(),
             },
         );
+        if dup_roll < self.faults.duplicate {
+            // The copy trails the original by a fraction of a latency.
+            self.stats.duplicated_extra += 1;
+            let copy_at = deliver_at.after(self.latency.get() * (0.1 + 0.9 * dup_offset_roll));
+            self.queue.schedule(
+                copy_at,
+                Envelope {
+                    from,
+                    to,
+                    seq,
+                    sent_at,
+                    deliver_at: copy_at,
+                    payload,
+                },
+            );
+        }
+        seq
     }
 
     /// Delivers the next message in time order, advancing the clock.
@@ -101,12 +321,38 @@ impl<M> MessageBus<M> {
         Some(env)
     }
 
-    /// Delivers every message currently in flight (messages sent *during*
-    /// the drain are delivered too), applying `f` to each.
-    pub fn drain(&mut self, mut f: impl FnMut(&mut Self, Envelope<M>)) {
-        while let Some(env) = self.deliver_next() {
-            f(self, env);
+    /// Delivers up to `fuel` messages in time order, applying `f` to
+    /// each; messages sent *during* the drain are eligible too. Returns
+    /// the number still in flight when the fuel ran out (0 = drained).
+    ///
+    /// The fuel bound is what keeps reply-producing handlers safe: an
+    /// unbounded drain over a ping-pong exchange (every delivery sends a
+    /// new message) never observes an empty queue and livelocks. Callers
+    /// that know their protocol quiesces can size `fuel` generously and
+    /// treat a nonzero return as the protocol failing to settle.
+    pub fn drain(&mut self, fuel: usize, mut f: impl FnMut(&mut Self, Envelope<M>)) -> usize {
+        for _ in 0..fuel {
+            match self.deliver_next() {
+                Some(env) => f(self, env),
+                None => return 0,
+            }
         }
+        self.in_flight()
+    }
+
+    /// Delivery time of the next in-flight message, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Advances the bus clock to `at` without delivering anything — the
+    /// timeout primitive: a negotiator that gives up waiting for a reply
+    /// still pays the waited control-plane time.
+    ///
+    /// # Panics
+    /// Panics if a message would be delivered before `at`.
+    pub fn advance_to(&mut self, at: SimTime) {
+        self.queue.advance_to(at);
     }
 
     /// Current bus time.
@@ -128,6 +374,11 @@ impl<M> MessageBus<M> {
     pub fn latency(&self) -> Secs {
         self.latency
     }
+
+    /// The configured fault knobs.
+    pub fn faults(&self) -> FaultConfig {
+        self.faults
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +395,7 @@ mod tests {
         );
         let env = bus.deliver_next().unwrap();
         assert_eq!(env.payload, "status");
+        assert_eq!(env.seq, 0);
         assert_eq!(env.sent_at, SimTime::ZERO);
         assert!((env.deliver_at.get() - 0.1).abs() < 1e-12);
         assert!((bus.now().get() - 0.1).abs() < 1e-12);
@@ -186,20 +438,49 @@ mod tests {
             bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(i)), "req");
         }
         let mut acks = 0;
-        bus.drain(|bus, env| match env.payload {
-            "req" => bus.send(env.to, env.from, "ack"),
+        let left = bus.drain(64, |bus, env| match env.payload {
+            "req" => {
+                bus.send(env.to, env.from, "ack");
+            }
             "ack" => acks += 1,
             _ => unreachable!(),
         });
+        assert_eq!(left, 0);
         assert_eq!(acks, 3);
         assert_eq!(
             bus.stats(),
             BusStats {
                 sent: 6,
-                delivered: 6
+                delivered: 6,
+                ..BusStats::default()
             }
         );
         assert_eq!(bus.in_flight(), 0);
+    }
+
+    /// The livelock regression: a ping-pong handler (every delivery sends
+    /// a reply) means the queue never empties. The fuel bound must stop
+    /// the drain and report the in-flight remainder instead of spinning
+    /// forever.
+    #[test]
+    fn drain_fuel_bounds_a_ping_pong_livelock() {
+        let mut bus: MessageBus<u64> = MessageBus::new(Secs(0.01));
+        let site = Endpoint::Site(SiteId::new(0));
+        bus.send(Endpoint::Repository, site, 0);
+        let mut deliveries = 0u64;
+        let left = bus.drain(100, |bus, env| {
+            deliveries += 1;
+            // Pong: reply forever.
+            bus.send(env.to, env.from, env.payload + 1);
+        });
+        assert_eq!(deliveries, 100, "fuel must cap deliveries exactly");
+        assert_eq!(left, 1, "the last pong is still in flight");
+        assert_eq!(bus.in_flight(), 1);
+        // The bound is per-call: a fresh drain picks the exchange back up.
+        let left = bus.drain(10, |bus, env| {
+            bus.send(env.to, env.from, env.payload + 1);
+        });
+        assert_eq!(left, 1);
     }
 
     #[test]
@@ -224,5 +505,111 @@ mod tests {
     #[should_panic(expected = "invalid bus latency")]
     fn rejects_negative_latency() {
         let _: MessageBus<()> = MessageBus::new(Secs(-0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bus faults")]
+    fn rejects_certain_drop() {
+        let _: MessageBus<()> = MessageBus::with_faults(
+            Secs(0.1),
+            FaultConfig {
+                drop: 1.0,
+                ..FaultConfig::reliable()
+            },
+        );
+    }
+
+    #[test]
+    fn seeded_faults_replay_bit_identically() {
+        let run = |seed: u64| -> (BusStats, Vec<(u64, f64)>) {
+            let mut bus: MessageBus<u32> =
+                MessageBus::with_faults(Secs(0.1), FaultConfig::chaos(seed));
+            for i in 0..50 {
+                bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(i % 4)), i);
+            }
+            let mut seen = Vec::new();
+            while let Some(env) = bus.deliver_next() {
+                seen.push((env.seq, env.deliver_at.get()));
+            }
+            (bus.stats(), seen)
+        };
+        let (sa, da) = run(7);
+        let (sb, db) = run(7);
+        assert_eq!(sa, sb);
+        assert_eq!(da, db);
+        // A different seed must actually change the fault pattern.
+        let (sc, dc) = run(8);
+        assert!(da != dc || sa != sc);
+    }
+
+    #[test]
+    fn fault_accounting_closes() {
+        let mut bus: MessageBus<u32> = MessageBus::with_faults(Secs(0.1), FaultConfig::chaos(42));
+        for i in 0..200 {
+            bus.send(Endpoint::Site(SiteId::new(i % 3)), Endpoint::Repository, i);
+        }
+        // Deliver half, leave the rest in flight: the ledger must close
+        // mid-stream too.
+        for _ in 0..bus.in_flight() / 2 {
+            bus.deliver_next();
+        }
+        let st = bus.stats();
+        assert!(st.dropped > 0, "chaos config never dropped in 200 sends");
+        assert!(st.duplicated_extra > 0);
+        assert!(st.reordered > 0);
+        assert_eq!(
+            st.sent + st.duplicated_extra,
+            st.delivered + st.dropped + bus.in_flight() as u64
+        );
+    }
+
+    #[test]
+    fn duplicates_share_the_original_seq() {
+        let cfg = FaultConfig {
+            duplicate: 0.999,
+            ..FaultConfig::reliable()
+        };
+        let mut bus: MessageBus<&str> = MessageBus::with_faults(Secs(0.1), cfg);
+        bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(0)), "m");
+        let first = bus.deliver_next().unwrap();
+        let copy = bus.deliver_next().unwrap();
+        assert_eq!(first.seq, copy.seq);
+        assert_eq!(first.payload, copy.payload);
+        assert!(copy.deliver_at > first.deliver_at);
+        assert_eq!(bus.stats().duplicated_extra, 1);
+    }
+
+    #[test]
+    fn reorder_lets_later_sends_overtake() {
+        // Force a reorder on the first send only by making the roll
+        // deterministic: with reorder = 0.999 every message reorders, so
+        // send one reorderable message then switch to checking that its
+        // delivery trails a later message's.
+        let cfg = FaultConfig {
+            reorder: 0.999,
+            ..FaultConfig::reliable()
+        };
+        let mut bus: MessageBus<u32> = MessageBus::with_faults(Secs(0.1), cfg);
+        bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(0)), 0);
+        let mut order = Vec::new();
+        while let Some(env) = bus.deliver_next() {
+            order.push(env.payload);
+        }
+        assert_eq!(order, vec![0]);
+        assert_eq!(bus.stats().reordered, 1);
+        // Delivery took more than one latency: a message sent in that
+        // window would have overtaken it.
+        assert!(bus.now().get() > 0.2 - 1e-12);
+    }
+
+    #[test]
+    fn advance_to_models_timeouts() {
+        let mut bus: MessageBus<()> = MessageBus::new(Secs(0.1));
+        bus.advance_to(SimTime::new(1.5));
+        assert_eq!(bus.now(), SimTime::new(1.5));
+        // Sends after the wait depart from the advanced clock.
+        bus.send(Endpoint::Repository, Endpoint::Site(SiteId::new(0)), ());
+        let env = bus.deliver_next().unwrap();
+        assert!((env.deliver_at.get() - 1.6).abs() < 1e-12);
     }
 }

@@ -170,6 +170,26 @@ impl<E> EventQueue<E> {
         self.schedule(self.now.after(dt), event);
     }
 
+    /// Advances the clock to `at` without popping anything — the idle-wait
+    /// primitive timeout-driven protocols need (a negotiator giving up on
+    /// a reply must burn the waited time even though no event fired).
+    ///
+    /// # Panics
+    /// Panics if an event is pending before `at`: skipping over scheduled
+    /// history would silently reorder it.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at <= self.now {
+            return;
+        }
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next >= at,
+                "advancing past a pending event: {next:?} < {at:?}"
+            );
+        }
+        self.now = at;
+    }
+
     /// Pops the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
@@ -286,6 +306,59 @@ mod tests {
         assert_eq!(seen, vec![(1.0, 3), (2.0, 2), (3.0, 1), (4.0, 0)]);
         assert_eq!(end, SimTime::new(4.0));
         assert_eq!(q.processed(), 4);
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_without_events() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::new(3.0));
+        assert_eq!(q.now(), SimTime::new(3.0));
+        // Never moves backwards.
+        q.advance_to(SimTime::new(1.0));
+        assert_eq!(q.now(), SimTime::new(3.0));
+        q.schedule(SimTime::new(5.0), ());
+        // Up to (and onto) the next event is fine.
+        q.advance_to(SimTime::new(5.0));
+        assert_eq!(q.now(), SimTime::new(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "advancing past a pending event")]
+    fn advance_past_pending_event_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(2.0), ());
+        q.advance_to(SimTime::new(4.0));
+    }
+
+    /// Two events scheduled at the *identical* `SimTime` must replay in
+    /// the same order on every run: the heap keys on `(time, seq)` with a
+    /// monotonic per-queue sequence, so equal-time delivery is scheduling
+    /// order, never heap-internal order. Seeded fault scenarios (which
+    /// routinely jitter two messages onto the same timestamp) rely on
+    /// this for bit-identical replay.
+    #[test]
+    fn identical_simtime_ties_replay_bit_identically() {
+        let replay = |labels: &[&'static str]| -> Vec<&'static str> {
+            let mut q = EventQueue::new();
+            // Interleave an unrelated earlier event so the tie sits in a
+            // non-trivial heap, then pop everything.
+            q.schedule(SimTime::new(1.0), "early");
+            for &l in labels {
+                q.schedule(SimTime::new(2.5), l);
+            }
+            std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect()
+        };
+        let a = replay(&["first", "second"]);
+        let b = replay(&["first", "second"]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec!["early", "first", "second"]);
+        // The tie-break is the explicit sequence, not the payload: swap
+        // the scheduling order and the delivery order swaps with it,
+        // deterministically.
+        assert_eq!(
+            replay(&["second", "first"]),
+            vec!["early", "second", "first"]
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod server;
 pub mod session;
 pub mod transfer;
 
-pub use bus::{BusStats, Endpoint, Envelope, MessageBus};
+pub use bus::{BusStats, Endpoint, Envelope, FaultConfig, MessageBus};
 pub use event::{EventQueue, SimTime};
 pub use metrics::{Histogram, ResponseStats};
 pub use server::{QueueingServer, ServiceOutcome};

@@ -184,6 +184,7 @@ const STAGE_ORDER: &[&str] = &[
     "plan.capacity_restore",
     "plan.restore.shard",
     "plan.offload",
+    "plan.negotiate",
     "plan.assemble",
     "serve.route",
 ];

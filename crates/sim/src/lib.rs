@@ -30,6 +30,11 @@
 //!   trees — closest allocation vs the flat root-only policy vs LRU on
 //!   identical traces, remote streams priced over per-link bandwidth
 //!   and latency;
+//! * [`negotiate`] — E-X7: the asynchronous off-loading negotiation
+//!   under control-plane faults — negotiation strategies × seeded
+//!   drop/duplicate/reorder/jitter scenarios, reporting protocol cost,
+//!   resilience counters and placement agreement with the synchronous
+//!   reference;
 //! * [`des`] — an event-driven replay twin that must agree exactly with
 //!   the analytic queueing replay;
 //! * [`breakdown`] — per-site result reporting (regional asymmetry).
@@ -55,6 +60,7 @@ pub mod differential;
 pub mod drift;
 pub mod experiment;
 pub mod federate;
+pub mod negotiate;
 pub mod online;
 pub mod par;
 pub mod queueing;
@@ -70,6 +76,7 @@ pub use differential::{
 };
 pub use drift::{drift_study, DriftEpoch, DriftStudy};
 pub use federate::{federate_study, FederateStudy};
+pub use negotiate::{negotiate_study, NegotiateCell, NegotiateStudy};
 pub use online::{online_study, study_online_config, OnlineEpoch, OnlineStudy};
 pub use updates::{update_study, UpdatePoint, UpdateStudy};
 

@@ -96,6 +96,60 @@ print(f"  route ok: {doc['total']['requests']} requests, "
       f"{doc['total']['objects']} objects, 0 misroutes (audit-verified)")
 EOF
 
+echo "==> negotiation smoke (reliable bus: async placement == synchronous planner)"
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    negotiate --central 0.1 --runs 2 --seed 11 \
+    --out "$SMOKE_OUT/negotiate.json" >/dev/null
+python3 - "$SMOKE_OUT/negotiate.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+runs = doc["runs"]
+for cell in doc["cells"]:
+    if cell["scenario"] == "reliable" and cell["strategy"] == "greedy":
+        if cell["placements_match"] != runs:
+            print(f"error: greedy/reliable matched only "
+                  f"{cell['placements_match']}/{runs} synchronous placements",
+                  file=sys.stderr)
+            sys.exit(1)
+        if cell["retries"] or cell["timeouts"] or cell["degraded_sites"]:
+            print("error: reliable bus reported protocol faults", file=sys.stderr)
+            sys.exit(1)
+greedy = [c for c in doc["cells"]
+          if c["scenario"] == "reliable" and c["strategy"] == "greedy"]
+if not greedy or greedy[0]["rounds"] < 1:
+    print("error: the squeeze produced no negotiation rounds", file=sys.stderr)
+    sys.exit(1)
+print(f"  negotiate ok: greedy/reliable bit-identical over {runs} run(s), "
+      f"{greedy[0]['rounds']:.1f} rounds")
+EOF
+
+echo "==> lossy negotiation smoke (termination + Eq. 8-10, audit hooks in)"
+cargo run --offline -p mmrepl-cli --bin mmrepl --features audit -- \
+    negotiate --central 0.1 --runs 2 --seed 11 \
+    --out "$SMOKE_OUT/negotiate-audit.json" >/dev/null
+python3 - "$SMOKE_OUT/negotiate-audit.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+runs = doc["runs"]
+for cell in doc["cells"]:
+    tag = f"{cell['strategy']}/{cell['scenario']}"
+    if cell["rounds"] > 32:
+        print(f"error: {tag} exceeded the round bound", file=sys.stderr)
+        sys.exit(1)
+    if cell["feasible_runs"] != runs:
+        print(f"error: {tag} feasible in only "
+              f"{cell['feasible_runs']}/{runs} runs", file=sys.stderr)
+        sys.exit(1)
+faulty = [c for c in doc["cells"] if c["scenario"] in ("lossy", "chaos")]
+stressed = sum(c["retries"] + c["timeouts"] + c["duplicates_ignored"]
+               for c in faulty)
+if stressed == 0:
+    print("error: fault injection exercised no resilience path", file=sys.stderr)
+    sys.exit(1)
+print(f"  lossy negotiate ok: {len(doc['cells'])} cells terminated feasible "
+      f"under audit (resilience events: {stressed:.0f})")
+EOF
+
 echo "==> router bench determinism (1-thread summary == 4-thread summary)"
 cargo run --release --offline -p mmrepl-bench --bin router -- \
     --quick --iters 1 --threads 1 --summary-only \
