@@ -26,6 +26,7 @@ use mmrepl_core::{
 };
 use mmrepl_model::{CostParams, Secs, SiteId};
 use mmrepl_online::{ChurnBudget, DeltaPlanner, EstimatorConfig, RateEstimator};
+use mmrepl_serve::{route_traces, PlacementSnapshot};
 use mmrepl_sim::{figure1, ExperimentConfig};
 use mmrepl_workload::{
     generate_system, generate_trace, DriftModel, TopologyParams, TraceConfig, WorkloadParams,
@@ -137,6 +138,35 @@ fn bench_scale(
         }
         let per_op_disabled_s = t.elapsed().as_secs_f64() / NOOP_CALLS as f64;
         Some(obs_ops as f64 * per_op_disabled_s / plan_s)
+    } else {
+        None
+    };
+
+    // Live-telemetry cost model, same shape for the serving plane: how
+    // many time-series publications one fully routed trace makes,
+    // priced at the measured disabled-path cost per call, as a fraction
+    // of the untraced routing time.
+    let telemetry_overhead = if full {
+        let outcome = policy.plan(&system);
+        let snap = std::sync::Arc::new(PlacementSnapshot::from_plan(&system, &outcome, 0));
+        let traces = generate_trace(&system, &TraceConfig::from_params(params), seed);
+        let route_s = time_median(iters, || {
+            std::hint::black_box(route_traces(&snap, &traces, 1));
+        });
+        mmrepl_obs::reset();
+        mmrepl_obs::set_enabled(true);
+        mmrepl_obs::register_core_metrics();
+        route_traces(&snap, &traces, 1);
+        mmrepl_obs::set_enabled(false);
+        let ts_ops = mmrepl_obs::ts_ops();
+        mmrepl_obs::reset();
+        const NOOP_CALLS: u64 = 10_000_000;
+        let t = Instant::now();
+        for i in 0..NOOP_CALLS {
+            mmrepl_obs::counter_add("bench.noop", std::hint::black_box(i));
+        }
+        let per_op_disabled_s = t.elapsed().as_secs_f64() / NOOP_CALLS as f64;
+        Some(ts_ops as f64 * per_op_disabled_s / route_s)
     } else {
         None
     };
@@ -288,6 +318,7 @@ fn bench_scale(
         route_p99_us: None,
         route_p999_us: None,
         obs_overhead,
+        telemetry_overhead,
         threads,
     };
     let opt = |v: Option<f64>| match v {
@@ -302,7 +333,8 @@ fn bench_scale(
         "{label:>6}: plan {:.4}s  plan(par,{auto_threads}t) {:.4}s  \
          plan(unconstrained) {}  plan(tree) {}  \
          storage {:.4}s  storage(par,{auto_threads}t) {:.4}s  capacity {:.4}s  \
-         fig1 cell {}  est ingest {}  delta replan {}  negotiate {}  obs overhead {}",
+         fig1 cell {}  est ingest {}  delta replan {}  negotiate {}  obs overhead {}  \
+         telemetry overhead {}",
         t.plan_s,
         t.plan_par_s,
         opt(t.plan_unconstrained_s),
@@ -315,6 +347,7 @@ fn bench_scale(
         opt(t.delta_replan_s),
         opt(t.negotiate_s),
         pct(t.obs_overhead),
+        pct(t.telemetry_overhead),
     );
     t
 }

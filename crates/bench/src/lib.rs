@@ -16,9 +16,9 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 
 /// The tracked baseline schema version. Bumped whenever the shape of
-/// `BENCH_PLANNER.json` changes (4 = the asynchronous off-loading
-/// negotiation timing joined the planner timings).
-pub const BENCH_SCHEMA: u32 = 4;
+/// `BENCH_PLANNER.json` changes (5 = the live-telemetry disabled-path
+/// overhead joined the planner timings).
+pub const BENCH_SCHEMA: u32 = 5;
 
 /// The whole tracked baseline document (`BENCH_PLANNER.json`). Written
 /// by the `perfsuite` bin, amended in place by the `router` bin, and
@@ -135,6 +135,13 @@ pub struct ScaleTimings {
     /// `scripts/bench_regress.sh` fails if this exceeds 2%.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub obs_overhead: Option<f64>,
+    /// Disabled-telemetry cost of one full routed trace as a fraction of
+    /// the untraced routing time: the number of time-series publications
+    /// an instrumented routing pass makes, times the measured per-call
+    /// cost when telemetry is off (a single relaxed atomic load).
+    /// `scripts/bench_regress.sh` fails if this exceeds 2%.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry_overhead: Option<f64>,
     /// Worker-thread count each parallel metric actually ran with
     /// (resolved through `effective_threads`, so the machine's core
     /// count is baked in). Thread-count mismatches make timings

@@ -44,6 +44,7 @@ commands:
              --paper) and write it as JSON.
   online     [--epochs N] [--rotation F] [--windows N] [--budget F]
              [--runs N] [--seed S] [--paper] [--out FILE] [--trace-out FILE]
+             [--expose ADDR|FILE] [--scrape-interval S]
              Run the E-X5 online-controller study: stale plan vs per-epoch
              full replan vs the streaming estimate/detect/delta-replan
              controller vs LRU, on identical drift traces. --budget is the
@@ -56,7 +57,7 @@ commands:
              traces, remote streams priced over per-link bandwidth and
              latency.
   negotiate  [--central F] [--runs N] [--seed S] [--paper] [--out FILE]
-             [--trace-out FILE]
+             [--trace-out FILE] [--expose ADDR|FILE] [--scrape-interval S]
              Run the E-X7 control-plane negotiation study: the
              asynchronous proposal/counter-proposal off-loading protocol
              under every strategy (greedy, deadline, auction) × fault
@@ -66,6 +67,7 @@ commands:
              repository to that fraction of its capacity (default 0.3).
   route      --system FILE [--placement FILE] [--seed N] [--storage F]
              [--processing F] [--threads N] [--out FILE]
+             [--expose ADDR|FILE] [--scrape-interval S]
              Plan the system (or load a --placement file), freeze the
              result into an immutable serving snapshot and route the
              generated request trace through it; print the
@@ -88,12 +90,27 @@ commands:
              print the per-stage breakdown table and write the full trace
              (spans, counters, histograms, decision provenance, events)
              as JSON Lines to --out (default trace.jsonl).
+  top        [--study online|route|negotiate] [--refresh MS] [--frames N]
+             [--dump DIR] [--seed S]
+             Run a quick study on a background thread and render a live
+             telemetry dashboard from the in-process registry while it
+             executes: routing throughput, latency quantiles, epoch
+             swaps, negotiation counters, migration-queue depth and SLO
+             burn-rate alerts. --refresh is the frame period in
+             milliseconds (default 500, floor 50); --frames sets a
+             minimum frame count; --dump writes each frame's Prometheus
+             scrape to DIR/scrape-N.prom.
 
 Fractions F scale the derived 100% points (full storage demand /
 all-local load / all-remote load), exactly like the paper's sweeps.
 
 --trace-out FILE enables the same structured tracer around the planner /
-experiment run and writes its trace as JSON Lines to FILE.";
+experiment run and writes its trace as JSON Lines to FILE.
+
+--expose ADDR|FILE starts the live telemetry exporter for the run:
+host:port serves Prometheus text exposition at /metrics over HTTP, any
+other value is a file path rewritten atomically every --scrape-interval
+seconds (default 1).";
 
 /// A typed argument-parsing failure.
 ///
@@ -140,6 +157,27 @@ pub enum Scale {
     Small,
     /// The full Table 1 configuration.
     Paper,
+}
+
+/// Which study `mmrepl top` drives in the background.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StudyName {
+    /// The E-X5 online-controller study.
+    Online,
+    /// Snapshot routing in a loop.
+    Route,
+    /// The E-X7 negotiation study.
+    Negotiate,
+}
+
+impl fmt::Display for StudyName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StudyName::Online => "online",
+            StudyName::Route => "route",
+            StudyName::Negotiate => "negotiate",
+        })
+    }
 }
 
 /// Which policy `evaluate` runs.
@@ -244,6 +282,11 @@ pub enum Command {
         out: PathBuf,
         /// Structured-trace JSONL path (`None` = tracing stays off).
         trace_out: Option<PathBuf>,
+        /// Telemetry exporter target (`host:port` or a scrape-file
+        /// path; `None` = exporter stays off).
+        expose: Option<String>,
+        /// Seconds between exporter flushes.
+        scrape_interval: f64,
     },
     /// `mmrepl federate`.
     Federate {
@@ -274,6 +317,11 @@ pub enum Command {
         out: PathBuf,
         /// Structured-trace JSONL path (`None` = tracing stays off).
         trace_out: Option<PathBuf>,
+        /// Telemetry exporter target (`host:port` or a scrape-file
+        /// path; `None` = exporter stays off).
+        expose: Option<String>,
+        /// Seconds between exporter flushes.
+        scrape_interval: f64,
     },
     /// `mmrepl audit`.
     Audit {
@@ -318,6 +366,11 @@ pub enum Command {
         threads: usize,
         /// Routing-stats JSON output path (`None` = print only).
         out: Option<PathBuf>,
+        /// Telemetry exporter target (`host:port` or a scrape-file
+        /// path; `None` = exporter stays off).
+        expose: Option<String>,
+        /// Seconds between exporter flushes.
+        scrape_interval: f64,
     },
     /// `mmrepl evaluate`.
     Evaluate {
@@ -333,6 +386,20 @@ pub enum Command {
         storage: Option<f64>,
         /// Processing fraction override.
         processing: Option<f64>,
+    },
+    /// `mmrepl top`.
+    Top {
+        /// Which study the dashboard drives.
+        study: StudyName,
+        /// Frame period in milliseconds.
+        refresh_ms: u64,
+        /// Minimum number of frames to render.
+        frames: usize,
+        /// Directory receiving one `scrape-N.prom` file per frame
+        /// (`None` = render only).
+        dump: Option<PathBuf>,
+        /// Base seed (`None` = the study's default).
+        seed: Option<u64>,
     },
 }
 
@@ -363,6 +430,13 @@ impl Command {
             take(key)
                 .map(PathBuf::from)
                 .ok_or_else(|| format!("missing required --{key}"))
+        };
+        let take_scrape_interval = || -> Result<f64, String> {
+            let v = take_f64("scrape-interval")?.unwrap_or(1.0);
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("--scrape-interval must be positive, got {v}"));
+            }
+            Ok(v)
         };
 
         match cmd.as_str() {
@@ -473,6 +547,8 @@ impl Command {
                         .map(PathBuf::from)
                         .unwrap_or_else(|| PathBuf::from("online.json")),
                     trace_out: take("trace-out").map(PathBuf::from),
+                    expose: take("expose"),
+                    scrape_interval: take_scrape_interval()?,
                 })
             }
             "federate" => Ok(Command::Federate {
@@ -511,6 +587,8 @@ impl Command {
                         .map(PathBuf::from)
                         .unwrap_or_else(|| PathBuf::from("negotiate.json")),
                     trace_out: take("trace-out").map(PathBuf::from),
+                    expose: take("expose"),
+                    scrape_interval: take_scrape_interval()?,
                 })
             }
             "audit" => Ok(Command::Audit {
@@ -542,6 +620,8 @@ impl Command {
                 processing: take_f64("processing")?,
                 threads: take_usize("threads", 0)?,
                 out: take("out").map(PathBuf::from),
+                expose: take("expose"),
+                scrape_interval: take_scrape_interval()?,
             }),
             "evaluate" => {
                 let placement = take("placement").map(PathBuf::from);
@@ -565,6 +645,25 @@ impl Command {
                     processing: take_f64("processing")?,
                 })
             }
+            "top" => Ok(Command::Top {
+                study: match take("study").as_deref() {
+                    None | Some("online") => StudyName::Online,
+                    Some("route") => StudyName::Route,
+                    Some("negotiate") => StudyName::Negotiate,
+                    Some(other) => {
+                        return Err(format!(
+                            "--study must be online, route or negotiate, got {other:?}"
+                        )
+                        .into())
+                    }
+                },
+                refresh_ms: take_u64("refresh", 500)?.max(50),
+                frames: take_usize("frames", 0)?,
+                dump: take("dump").map(PathBuf::from),
+                seed: take("seed")
+                    .map(|v| v.parse::<u64>().map_err(|e| format!("--seed: {e}")))
+                    .transpose()?,
+            }),
             "--help" | "-h" | "help" => Err(ParseError::Help),
             other => Err(ParseError::UnknownCommand(other.to_string())),
         }
@@ -779,6 +878,8 @@ mod tests {
                 processing: None,
                 threads: 0,
                 out: None,
+                expose: None,
+                scrape_interval: 1.0,
             }
         );
         assert_eq!(
@@ -804,6 +905,8 @@ mod tests {
                 processing: None,
                 threads: 4,
                 out: Some(PathBuf::from("r.json")),
+                expose: None,
+                scrape_interval: 1.0,
             }
         );
         // --system is required.
@@ -882,6 +985,8 @@ mod tests {
                 paper: false,
                 out: PathBuf::from("online.json"),
                 trace_out: None,
+                expose: None,
+                scrape_interval: 1.0,
             }
         );
         // Defaults.
@@ -908,6 +1013,8 @@ mod tests {
                 paper: false,
                 out: PathBuf::from("negotiate.json"),
                 trace_out: None,
+                expose: None,
+                scrape_interval: 1.0,
             }
         );
         assert_eq!(
@@ -931,6 +1038,8 @@ mod tests {
                 paper: true,
                 out: PathBuf::from("n.json"),
                 trace_out: None,
+                expose: None,
+                scrape_interval: 1.0,
             }
         );
         assert!(matches!(
@@ -1016,6 +1125,95 @@ mod tests {
         };
         assert_eq!(trace_out, Some(PathBuf::from("t.jsonl")));
         assert!(parse(&["plan", "--system", "s.json", "--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn top_parses_and_defaults() {
+        assert_eq!(
+            parse(&["top"]).unwrap(),
+            Command::Top {
+                study: StudyName::Online,
+                refresh_ms: 500,
+                frames: 0,
+                dump: None,
+                seed: None,
+            }
+        );
+        assert_eq!(
+            parse(&[
+                "top",
+                "--study",
+                "negotiate",
+                "--refresh",
+                "200",
+                "--frames",
+                "3",
+                "--dump",
+                "frames",
+                "--seed",
+                "7",
+            ])
+            .unwrap(),
+            Command::Top {
+                study: StudyName::Negotiate,
+                refresh_ms: 200,
+                frames: 3,
+                dump: Some(PathBuf::from("frames")),
+                seed: Some(7),
+            }
+        );
+        // The refresh period floors at 50 ms so the render loop never
+        // busy-spins against the registry.
+        assert!(matches!(
+            parse(&["top", "--refresh", "1"]).unwrap(),
+            Command::Top { refresh_ms: 50, .. }
+        ));
+        assert!(matches!(
+            parse(&["top", "--study", "federate"]),
+            Err(ParseError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn expose_rides_along_on_online_route_and_negotiate() {
+        let Command::Online {
+            expose,
+            scrape_interval,
+            ..
+        } = parse(&[
+            "online",
+            "--expose",
+            "127.0.0.1:0",
+            "--scrape-interval",
+            "0.2",
+        ])
+        .unwrap()
+        else {
+            unreachable!("online input parses to Command::Online")
+        };
+        assert_eq!(expose.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(scrape_interval, 0.2);
+        let Command::Route { expose, .. } =
+            parse(&["route", "--system", "s.json", "--expose", "m.prom"]).unwrap()
+        else {
+            unreachable!("route input parses to Command::Route")
+        };
+        assert_eq!(expose.as_deref(), Some("m.prom"));
+        let Command::Negotiate { expose, .. } =
+            parse(&["negotiate", "--expose", "m.prom"]).unwrap()
+        else {
+            unreachable!("negotiate input parses to Command::Negotiate")
+        };
+        assert_eq!(expose.as_deref(), Some("m.prom"));
+        // A non-positive flush period can never scrape.
+        assert!(matches!(
+            parse(&["online", "--scrape-interval", "0"]),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&["online", "--scrape-interval", "-1"]),
+            Err(ParseError::Invalid(_))
+        ));
     }
 
     #[test]

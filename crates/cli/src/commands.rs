@@ -1,6 +1,6 @@
 //! Command implementations for the `mmrepl` binary.
 
-use crate::args::{Command, PolicyName, Scale};
+use crate::args::{Command, PolicyName, Scale, StudyName};
 use mmrepl_baselines::{GdsRouter, LfuRouter, LruRouter, StaticRouter};
 use mmrepl_core::{
     audit_site, partition_all, AncestorPolicy, AuditStage, PlannerConfig, ReplicationPolicy,
@@ -13,7 +13,11 @@ use mmrepl_workload::{
     generate_system, generate_trace, TopologyParams, TraceConfig, WorkloadParams,
 };
 use std::fmt::Write as _;
+use std::io::IsTerminal as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A CLI-level error: message plus context, printed to stderr.
 pub type CliError = String;
@@ -88,6 +92,8 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             paper,
             out,
             trace_out,
+            expose,
+            scrape_interval,
         } => online(
             epochs,
             rotation,
@@ -98,6 +104,8 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             paper,
             &out,
             trace_out.as_deref(),
+            expose.as_deref(),
+            scrape_interval,
         ),
         Command::Federate {
             preset,
@@ -114,7 +122,18 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             paper,
             out,
             trace_out,
-        } => negotiate(central, runs, seed, paper, &out, trace_out.as_deref()),
+            expose,
+            scrape_interval,
+        } => negotiate(
+            central,
+            runs,
+            seed,
+            paper,
+            &out,
+            trace_out.as_deref(),
+            expose.as_deref(),
+            scrape_interval,
+        ),
         Command::Audit {
             seeds,
             start,
@@ -136,6 +155,8 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             processing,
             threads,
             out,
+            expose,
+            scrape_interval,
         } => route(
             &system,
             placement.as_deref(),
@@ -144,25 +165,188 @@ pub fn run(cmd: Command) -> Result<(), CliError> {
             processing,
             threads,
             out.as_deref(),
+            expose.as_deref(),
+            scrape_interval,
         ),
+        Command::Top {
+            study,
+            refresh_ms,
+            frames,
+            dump,
+            seed,
+        } => top(study, refresh_ms, frames, dump.as_deref(), seed),
     }
+}
+
+/// The observability envelope around one command: structured tracing to
+/// `trace_out` and/or the live telemetry exporter on `expose` (a
+/// `host:port` HTTP endpoint or a scrape-file path, flushed every
+/// `scrape_interval` seconds). With both `None` the closure runs
+/// untouched — the disabled-path cost is a single relaxed atomic load
+/// per call site.
+fn with_obs<T>(
+    trace_out: Option<&Path>,
+    expose: Option<&str>,
+    scrape_interval: f64,
+    f: impl FnOnce() -> T,
+) -> Result<T, CliError> {
+    if trace_out.is_none() && expose.is_none() {
+        return Ok(f());
+    }
+    // Parse the exporter target before touching global state so a bad
+    // --expose spec fails cleanly.
+    let target = expose
+        .map(str::parse::<mmrepl_obs::ScrapeTarget>)
+        .transpose()
+        .map_err(|e| format!("--expose: {e}"))?;
+    mmrepl_obs::reset();
+    mmrepl_obs::set_enabled(true);
+    let exporter = target
+        .map(|t| {
+            mmrepl_obs::register_core_metrics();
+            let exp = mmrepl_obs::Exporter::start(t, Duration::from_secs_f64(scrape_interval))
+                .map_err(|e| format!("starting telemetry exporter: {e}"))?;
+            println!("telemetry exposition at {}", exp.endpoint());
+            Ok::<_, CliError>(exp)
+        })
+        .transpose()?;
+    let value = f();
+    if let Some(exp) = exporter {
+        exp.stop();
+    }
+    mmrepl_obs::set_enabled(false);
+    if let Some(path) = trace_out {
+        let rec = mmrepl_obs::take();
+        mmrepl_obs::write_jsonl(&rec, path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        print!("{}", mmrepl_obs::stage_table(&rec));
+        println!("wrote trace {}", path.display());
+    }
+    Ok(value)
 }
 
 /// Runs `f` with the structured tracer enabled, writes the drained trace
 /// as JSON Lines to `out`, and prints the per-stage breakdown table.
-/// With `out == None` the tracer stays off and `f` runs untouched — the
-/// disabled-path cost is a single relaxed atomic load per call site.
 fn with_trace<T>(out: Option<&Path>, f: impl FnOnce() -> T) -> Result<T, CliError> {
-    let Some(path) = out else { return Ok(f()) };
+    with_obs(out, None, 1.0, f)
+}
+
+/// `mmrepl top`: drive a quick study on a background thread and render
+/// the live telemetry registry until it finishes.
+///
+/// The render loop owns the exposition clock (`slo_tick` +
+/// `advance_windows` once per frame); no [`mmrepl_obs::Exporter`] runs
+/// concurrently, so the windowed rates and SLO burn windows advance
+/// exactly once per refresh period.
+fn top(
+    study: StudyName,
+    refresh_ms: u64,
+    frames: usize,
+    dump: Option<&Path>,
+    seed: Option<u64>,
+) -> Result<(), CliError> {
+    if let Some(dir) = dump {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
     mmrepl_obs::reset();
     mmrepl_obs::set_enabled(true);
-    let value = f();
+    mmrepl_obs::register_core_metrics();
+    let done = Arc::new(AtomicBool::new(false));
+    let runner = {
+        let done = Arc::clone(&done);
+        std::thread::Builder::new()
+            .name("mmrepl-top-study".into())
+            .spawn(move || {
+                run_top_study(study, seed);
+                done.store(true, Ordering::SeqCst);
+            })
+            .map_err(|e| format!("spawning the study thread: {e}"))?
+    };
+
+    let refresh = Duration::from_millis(refresh_ms);
+    let dt = refresh.as_secs_f64();
+    let ansi = std::io::stdout().is_terminal();
+    let mut prev: Option<mmrepl_obs::TelemetrySnapshot> = None;
+    let mut frame = 0usize;
+    loop {
+        std::thread::sleep(refresh);
+        mmrepl_obs::slo_tick();
+        mmrepl_obs::advance_windows(dt);
+        let cur = mmrepl_obs::gather();
+        let screen = crate::dash::render_dashboard(prev.as_ref(), &cur, dt);
+        if ansi {
+            // Clear and home between frames; plain appended frames when
+            // piped so the output stays greppable.
+            print!("\x1b[2J\x1b[H{screen}");
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        } else {
+            println!("--- frame {frame} ---");
+            print!("{screen}");
+        }
+        if let Some(dir) = dump {
+            let path = dir.join(format!("scrape-{frame}.prom"));
+            mmrepl_obs::write_atomic(&path, mmrepl_obs::to_prometheus(&cur).as_bytes())
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        prev = Some(cur);
+        frame += 1;
+        if done.load(Ordering::SeqCst) && frame >= frames.max(1) {
+            break;
+        }
+    }
+    runner
+        .join()
+        .map_err(|_| "the study thread panicked".to_string())?;
     mmrepl_obs::set_enabled(false);
-    let rec = mmrepl_obs::take();
-    mmrepl_obs::write_jsonl(&rec, path).map_err(|e| format!("writing {}: {e}", path.display()))?;
-    print!("{}", mmrepl_obs::stage_table(&rec));
-    println!("wrote trace {}", path.display());
-    Ok(value)
+    println!("{study} study finished after {frame} frame(s)");
+    mmrepl_obs::reset();
+    Ok(())
+}
+
+/// The background workload one `mmrepl top` invocation watches: a
+/// single quick-scale run of the named study, publishing into the live
+/// registry as it goes.
+fn run_top_study(study: StudyName, seed: Option<u64>) {
+    let quick = |seed: Option<u64>| {
+        let mut cfg = mmrepl_sim::ExperimentConfig::quick();
+        cfg.runs = 1;
+        if let Some(s) = seed {
+            cfg.base_seed = s;
+        }
+        cfg
+    };
+    match study {
+        StudyName::Online => {
+            mmrepl_sim::online_study(
+                &quick(seed),
+                2,
+                0.5,
+                2,
+                0.25,
+                &mmrepl_sim::study_online_config(),
+            );
+        }
+        StudyName::Negotiate => {
+            mmrepl_sim::negotiate_study(&quick(seed), 0.3);
+        }
+        StudyName::Route => {
+            let seed = seed.unwrap_or(0);
+            let Ok(system) = generate_system(&WorkloadParams::small(), seed) else {
+                return;
+            };
+            let outcome = ReplicationPolicy::new().plan(&system);
+            let snap = std::sync::Arc::new(PlacementSnapshot::from_plan(&system, &outcome, 0));
+            mmrepl_serve::register_latency_slo(&snap);
+            let traces = generate_trace(
+                &system,
+                &TraceConfig::from_params(&WorkloadParams::small()),
+                seed,
+            );
+            for _ in 0..40 {
+                route_traces(&snap, &traces, 1);
+            }
+        }
+    }
 }
 
 /// `mmrepl trace`: plan + DES replay of one system under the tracer.
@@ -418,6 +602,7 @@ struct RouteDoc {
     sites: Vec<RouteStats>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn route(
     path: &Path,
     placement_path: Option<&Path>,
@@ -426,6 +611,8 @@ fn route(
     processing: Option<f64>,
     threads: usize,
     out: Option<&Path>,
+    expose: Option<&str>,
+    scrape_interval: f64,
 ) -> Result<(), CliError> {
     let system = apply_fractions(load_system(path)?, storage, processing, None);
     let snap = match placement_path {
@@ -450,7 +637,12 @@ fn route(
         WorkloadParams::small()
     };
     let traces = generate_trace(&system, &TraceConfig::from_params(&params), seed);
-    let (per_site, total) = route_traces(&snap, &traces, threads);
+    let (per_site, total) = with_obs(None, expose, scrape_interval, || {
+        if mmrepl_obs::enabled() {
+            mmrepl_serve::register_latency_slo(&snap);
+        }
+        route_traces(&snap, &traces, threads)
+    })?;
 
     let pct = |n: u64| 100.0 * n as f64 / total.objects.max(1) as f64;
     println!("route: seed {seed}, {} sites", per_site.len());
@@ -678,6 +870,8 @@ fn online(
     paper: bool,
     out: &Path,
     trace_out: Option<&Path>,
+    expose: Option<&str>,
+    scrape_interval: f64,
 ) -> Result<(), CliError> {
     let mut cfg = if paper {
         mmrepl_sim::ExperimentConfig::paper()
@@ -688,7 +882,7 @@ fn online(
     if let Some(s) = seed {
         cfg.base_seed = s;
     }
-    let study = with_trace(trace_out, || {
+    let study = with_obs(trace_out, expose, scrape_interval, || {
         mmrepl_sim::online_study(
             &cfg,
             epochs,
@@ -736,6 +930,7 @@ fn federate(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn negotiate(
     central: f64,
     runs: usize,
@@ -743,6 +938,8 @@ fn negotiate(
     paper: bool,
     out: &Path,
     trace_out: Option<&Path>,
+    expose: Option<&str>,
+    scrape_interval: f64,
 ) -> Result<(), CliError> {
     let mut cfg = if paper {
         mmrepl_sim::ExperimentConfig::paper()
@@ -753,7 +950,9 @@ fn negotiate(
     if let Some(s) = seed {
         cfg.base_seed = s;
     }
-    let study = with_trace(trace_out, || mmrepl_sim::negotiate_study(&cfg, central))?;
+    let study = with_obs(trace_out, expose, scrape_interval, || {
+        mmrepl_sim::negotiate_study(&cfg, central)
+    })?;
     print!("{}", study.to_table());
     std::fs::write(
         out,
@@ -851,6 +1050,8 @@ mod tests {
             processing: None,
             threads: 2,
             out: Some(stats_path.clone()),
+            expose: None,
+            scrape_interval: 1.0,
         })
         .unwrap();
         let doc: RouteDoc =
@@ -880,6 +1081,8 @@ mod tests {
             processing: None,
             threads: 0,
             out: None,
+            expose: None,
+            scrape_interval: 1.0,
         })
         .unwrap();
     }
@@ -977,6 +1180,8 @@ mod tests {
             paper: false,
             out: out.clone(),
             trace_out: None,
+            expose: None,
+            scrape_interval: 1.0,
         })
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -1015,6 +1220,8 @@ mod tests {
             paper: false,
             out: out.clone(),
             trace_out: None,
+            expose: None,
+            scrape_interval: 1.0,
         })
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -1165,6 +1372,82 @@ mod tests {
             text.contains("\"kind\":\"audit_divergence\""),
             "no divergence event in {text}"
         );
+    }
+
+    #[test]
+    fn online_expose_writes_a_parseable_scrape_file() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let out = tmp("expose-online.json");
+        let scrape = tmp("expose-online.prom");
+        let _ = std::fs::remove_file(&scrape);
+        run(Command::Online {
+            epochs: 1,
+            rotation: 0.5,
+            windows: 2,
+            budget: 0.25,
+            runs: 1,
+            seed: Some(7),
+            paper: false,
+            out,
+            trace_out: None,
+            expose: Some(scrape.to_string_lossy().into_owned()),
+            scrape_interval: 0.05,
+        })
+        .unwrap();
+        // The exporter flushes once more on stop, so even a run shorter
+        // than the interval leaves a final scrape behind.
+        let text = std::fs::read_to_string(&scrape).unwrap();
+        for needle in [
+            "# TYPE mmrepl_serve_route_requests_total counter",
+            "mmrepl_serve_route_latency_s{quantile=\"0.99\"}",
+            "mmrepl_negotiate_rounds_total",
+            "mmrepl_slo_burn_rate{slo=\"serve.latency\",window=\"short\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        mmrepl_obs::reset();
+    }
+
+    #[test]
+    fn expose_rejects_an_empty_target() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let err = run(Command::Negotiate {
+            central: 0.3,
+            runs: 1,
+            seed: None,
+            paper: false,
+            out: tmp("expose-bad.json"),
+            trace_out: None,
+            expose: Some(String::new()),
+            scrape_interval: 1.0,
+        })
+        .unwrap_err();
+        assert!(err.contains("--expose"), "{err}");
+    }
+
+    #[test]
+    fn top_dumps_one_scrape_per_frame() {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = tmp("top-frames");
+        let _ = std::fs::remove_dir_all(&dir);
+        run(Command::Top {
+            study: crate::args::StudyName::Route,
+            refresh_ms: 50,
+            frames: 2,
+            dump: Some(dir.clone()),
+            seed: Some(3),
+        })
+        .unwrap();
+        for frame in 0..2 {
+            let text = std::fs::read_to_string(dir.join(format!("scrape-{frame}.prom")))
+                .unwrap_or_else(|e| panic!("frame {frame} missing: {e}"));
+            assert!(text.contains("# TYPE"), "frame {frame} not exposition");
+            assert!(
+                text.contains("mmrepl_serve_route_requests_total"),
+                "frame {frame} lacks the routing counter:\n{text}"
+            );
+        }
+        mmrepl_obs::reset();
     }
 
     #[test]

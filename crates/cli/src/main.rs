@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod dash;
 
 use std::process::ExitCode;
 

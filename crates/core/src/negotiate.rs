@@ -627,6 +627,7 @@ pub fn run_negotiation_with(
             }
             RoundPlan::Assign(a) => a,
         };
+        let _round_span = mmrepl_obs::span("negotiate.round");
 
         repo.current_round = rounds;
         repo.round_absorbed = 0.0;
@@ -709,6 +710,7 @@ pub fn run_negotiation_with(
     // still-in-flight duplicated offer can trigger one cached-counter
     // replay each, so the cascade is one level deep and the fuel bound
     // is belt-and-braces.
+    let settle_span = mmrepl_obs::span("negotiate.settle");
     let closing = if believed_feasible {
         NegotiateMsg::Accept
     } else {
@@ -727,6 +729,7 @@ pub fn run_negotiation_with(
         offload,
         fuel,
     );
+    drop(settle_span);
 
     // The report's final view is authoritative, not the protocol's
     // belief: recompute Eq. 9 from the actual site states.
@@ -757,6 +760,13 @@ pub fn run_negotiation_with(
         mmrepl_obs::add("negotiate.duplicates_ignored", report.duplicates_ignored);
         mmrepl_obs::add("negotiate.messages", report.messages);
         mmrepl_obs::record_value("negotiate.absorbed_reqps", report.absorbed);
+        // Live mirrors of the same tallies for the telemetry plane.
+        mmrepl_obs::counter_add("negotiate.rounds", report.rounds as u64);
+        mmrepl_obs::counter_add("negotiate.retries", report.retries);
+        mmrepl_obs::counter_add("negotiate.timeouts", report.timeouts);
+        mmrepl_obs::counter_add("negotiate.degraded_sites", report.degraded_sites);
+        mmrepl_obs::counter_add("negotiate.duplicates_ignored", report.duplicates_ignored);
+        mmrepl_obs::counter_add("negotiate.messages", report.messages);
     }
     NegotiateOutcome {
         report,

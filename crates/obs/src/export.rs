@@ -8,7 +8,8 @@
 use crate::{Recorder, SpanStat};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Trace schema version stamped into the `meta` line.
 pub const TRACE_SCHEMA: u32 = 1;
@@ -158,9 +159,39 @@ pub fn to_jsonl(rec: &Recorder) -> String {
     out
 }
 
-/// Writes [`to_jsonl`] output to a file.
+/// Writes [`to_jsonl`] output to a file, crash-safely: an interrupted
+/// run never leaves a truncated trace behind (see [`write_atomic`]).
 pub fn write_jsonl(rec: &Recorder, path: &Path) -> std::io::Result<()> {
-    std::fs::write(path, to_jsonl(rec))
+    write_atomic(path, to_jsonl(rec).as_bytes())
+}
+
+/// Writes `bytes` to `path` via a sibling `<path>.tmp` file renamed
+/// over the target only once fully written, so readers (and restarts)
+/// only ever see a complete file. On failure the previous content of
+/// `path`, if any, is left untouched and the temp file is removed.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    write_atomic_with(path, |w| w.write_all(bytes))
+}
+
+fn write_atomic_with(
+    path: &Path,
+    f: impl FnOnce(&mut std::fs::File) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_owned();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let written = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        f(&mut file)?;
+        file.flush()
+    })();
+    match written {
+        Ok(()) => std::fs::rename(&tmp, path),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
 }
 
 fn fmt_time(s: f64) -> String {
@@ -174,9 +205,10 @@ fn fmt_time(s: f64) -> String {
 }
 
 /// The canonical pipeline order for the stage table: planner stages in
-/// the order the planner runs them, then the serving plane. Spans not
-/// listed here (auxiliary or future stages) sort after the known ones,
-/// alphabetically, and `plan.total` always closes the table.
+/// the order the planner runs them — with the negotiation sub-spans
+/// under `plan.negotiate`, where they execute — then the serving plane.
+/// Spans not listed here (auxiliary or future stages) sort after the
+/// known ones, alphabetically, and `plan.total` always closes the table.
 const STAGE_ORDER: &[&str] = &[
     "plan.select",
     "plan.partition",
@@ -185,6 +217,8 @@ const STAGE_ORDER: &[&str] = &[
     "plan.restore.shard",
     "plan.offload",
     "plan.negotiate",
+    "negotiate.round",
+    "negotiate.settle",
     "plan.assemble",
     "serve.route",
 ];
@@ -239,6 +273,22 @@ pub fn stage_table(rec: &Recorder) -> String {
             "shard imbalance (max/min wall time) {:.2}x",
             x100 as f64 / 100.0
         );
+    }
+    // Serving-plane tail latency, when the router recorded its
+    // per-request response-time histogram.
+    if let Some(h) = rec.hists().get("serve.route.latency_s") {
+        if let (Some(p50), Some(p99), Some(p999)) =
+            (h.quantile(0.5), h.quantile(0.99), h.quantile(0.999))
+        {
+            let _ = writeln!(
+                out,
+                "serve.route latency p50 {} p99 {} p999 {} ({} requests)",
+                fmt_time(p50).trim(),
+                fmt_time(p99).trim(),
+                fmt_time(p999).trim(),
+                h.count()
+            );
+        }
     }
     if rec.decisions_len() > 0 || rec.decisions_dropped() > 0 {
         let _ = writeln!(
@@ -343,6 +393,80 @@ mod tests {
         // …unknown spans after the known ones, total always last.
         assert!(pos("serve.route") < pos("zz.custom"), "{table}");
         assert!(pos("zz.custom") < pos("plan.total"), "{table}");
+    }
+
+    #[test]
+    fn stage_table_orders_negotiation_and_serving_spans_fed_in_reverse() {
+        // Feed every canonical stage in exactly reversed order: the
+        // table must still come out in pipeline order, with the
+        // negotiation sub-spans sitting under plan.negotiate.
+        let mut r = Recorder::with_cap(4);
+        for (i, name) in STAGE_ORDER.iter().rev().enumerate() {
+            r.record_span_ns(name, 1_000 * (i as u64 + 1));
+        }
+        let table = stage_table(&r);
+        let pos = |name: &str| table.find(name).unwrap_or_else(|| panic!("{name} missing"));
+        for pair in STAGE_ORDER.windows(2) {
+            assert!(
+                pos(pair[0]) < pos(pair[1]),
+                "{} before {}:\n{table}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert!(pos("plan.negotiate") < pos("negotiate.round"), "{table}");
+        assert!(pos("negotiate.round") < pos("negotiate.settle"), "{table}");
+        assert!(pos("negotiate.settle") < pos("serve.route"), "{table}");
+    }
+
+    #[test]
+    fn stage_table_prints_route_tail_latency_when_recorded() {
+        let mut r = sample();
+        let mut h = crate::Histogram::for_response_times();
+        for _ in 0..99 {
+            h.record(0.010);
+        }
+        h.record(2.0);
+        r.merge_histogram("serve.route.latency_s", &h);
+        let table = stage_table(&r);
+        assert!(table.contains("serve.route latency p50"), "{table}");
+        assert!(table.contains("p99"), "{table}");
+        assert!(table.contains("(100 requests)"), "{table}");
+        // Without the histogram there is no footer.
+        assert!(
+            !stage_table(&sample()).contains("serve.route latency"),
+            "footer must be conditional"
+        );
+    }
+
+    #[test]
+    fn write_jsonl_is_atomic_under_partial_writes() {
+        let dir = std::env::temp_dir().join("mmrepl-export-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        std::fs::write(&path, "original contents\n").unwrap();
+
+        // A writer that dies mid-stream must leave the previous file
+        // intact and clean up its temp file.
+        let err = write_atomic_with(&path, |w| {
+            w.write_all(b"partial garbage")?;
+            Err(std::io::Error::other("disk full"))
+        });
+        assert!(err.is_err());
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "original contents\n",
+            "interrupted write clobbered the target"
+        );
+        let tmp = dir.join("trace.jsonl.tmp");
+        assert!(!tmp.exists(), "temp file leaked");
+
+        // A successful write replaces the file wholesale…
+        write_jsonl(&sample(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.contains("\"record\":\"meta\""));
+        // …and leaves no temp file either.
+        assert!(!tmp.exists(), "temp file leaked after success");
     }
 
     #[test]

@@ -1,0 +1,421 @@
+//! Prometheus text-format exposition of the live telemetry registry.
+//!
+//! [`gather`] snapshots the time-series registry and the SLO trackers;
+//! [`to_prometheus`] renders that snapshot as Prometheus text format
+//! 0.0.4 (`# HELP`/`# TYPE` comments, `_total` counters, summary
+//! quantiles). [`Exporter`] runs a background ticker that advances the
+//! metric windows and either answers HTTP `GET`s on a bound address or
+//! atomically rewrites a scrape file every interval — the
+//! `--expose <addr|file>` flag on `mmrepl online`/`route`/`negotiate`.
+//!
+//! Exactly one clock may drive [`crate::slo_tick`] and
+//! [`crate::advance_windows`] at a time: the [`Exporter`] owns it when
+//! running, and `mmrepl top` drives it from its render loop instead of
+//! starting an exporter.
+
+use crate::slo::{slo_tick, SloStatus};
+use crate::timeseries::{advance_windows, ts_snapshot, TsSnapshot};
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One coherent view of everything the telemetry plane tracks.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Counters, gauges and latency reservoirs.
+    pub series: TsSnapshot,
+    /// SLO burn-rate statuses.
+    pub slos: Vec<SloStatus>,
+}
+
+/// Snapshots the registry and the SLO trackers together.
+pub fn gather() -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        series: ts_snapshot(),
+        slos: crate::slo::slo_statuses(),
+    }
+}
+
+/// `serve.route.latency_s` → `mmrepl_serve_route_latency_s`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("mmrepl_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    if !help.is_empty() {
+        let _ = writeln!(out, "# HELP {name} {help}");
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders a snapshot as Prometheus text exposition format 0.0.4.
+/// Deterministic: identical snapshots render to identical bytes, and
+/// series appear in name order within each section.
+pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.series.counters {
+        let name = prom_name(&c.name);
+        header(&mut out, &format!("{name}_total"), &c.help, "counter");
+        let _ = writeln!(out, "{name}_total {}", c.value);
+        header(
+            &mut out,
+            &format!("{name}_per_s"),
+            "windowed rate of the matching _total counter",
+            "gauge",
+        );
+        let _ = writeln!(out, "{name}_per_s {}", c.rate_per_s);
+    }
+    for g in &snap.series.gauges {
+        let name = prom_name(&g.name);
+        header(&mut out, &name, &g.help, "gauge");
+        let _ = writeln!(out, "{name} {}", g.value);
+    }
+    for r in &snap.series.reservoirs {
+        let name = prom_name(&r.name);
+        header(&mut out, &name, &r.help, "summary");
+        for (q, v) in [
+            ("0.5", r.p50),
+            ("0.9", r.p90),
+            ("0.99", r.p99),
+            ("0.999", r.p999),
+        ] {
+            let v = v.unwrap_or(f64::NAN);
+            let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{name}_sum {}", r.sum_s);
+        let _ = writeln!(out, "{name}_count {}", r.count);
+    }
+    if !snap.slos.is_empty() {
+        header(
+            &mut out,
+            "mmrepl_slo_burn_rate",
+            "error-budget burn rate over the labelled window",
+            "gauge",
+        );
+        for s in &snap.slos {
+            let _ = writeln!(
+                out,
+                "mmrepl_slo_burn_rate{{slo=\"{}\",window=\"short\"}} {}",
+                s.name, s.short_burn
+            );
+            let _ = writeln!(
+                out,
+                "mmrepl_slo_burn_rate{{slo=\"{}\",window=\"long\"}} {}",
+                s.name, s.long_burn
+            );
+        }
+        header(
+            &mut out,
+            "mmrepl_slo_alerting",
+            "1 while both burn windows exceed the alert threshold",
+            "gauge",
+        );
+        for s in &snap.slos {
+            let _ = writeln!(
+                out,
+                "mmrepl_slo_alerting{{slo=\"{}\"}} {}",
+                s.name,
+                u8::from(s.alerting)
+            );
+        }
+        header(
+            &mut out,
+            "mmrepl_slo_alerts_total",
+            "times the SLO entered the alerting state",
+            "counter",
+        );
+        for s in &snap.slos {
+            let _ = writeln!(
+                out,
+                "mmrepl_slo_alerts_total{{slo=\"{}\"}} {}",
+                s.name, s.alerts
+            );
+        }
+        header(
+            &mut out,
+            "mmrepl_slo_good_total",
+            "requests that met the SLO latency target",
+            "counter",
+        );
+        for s in &snap.slos {
+            let _ = writeln!(
+                out,
+                "mmrepl_slo_good_total{{slo=\"{}\"}} {}",
+                s.name, s.good
+            );
+        }
+        header(
+            &mut out,
+            "mmrepl_slo_requests_total",
+            "requests the SLO judged",
+            "counter",
+        );
+        for s in &snap.slos {
+            let _ = writeln!(
+                out,
+                "mmrepl_slo_requests_total{{slo=\"{}\"}} {}",
+                s.name, s.total
+            );
+        }
+    }
+    out
+}
+
+/// Where the exporter publishes scrapes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScrapeTarget {
+    /// Serve `GET /metrics` (any path, in fact) on this address.
+    Http(SocketAddr),
+    /// Atomically rewrite this file every interval.
+    File(PathBuf),
+}
+
+impl FromStr for ScrapeTarget {
+    type Err = String;
+
+    /// Anything that parses as a socket address (`127.0.0.1:9184`)
+    /// serves HTTP; everything else is a scrape-file path.
+    fn from_str(s: &str) -> Result<ScrapeTarget, String> {
+        if s.is_empty() {
+            return Err("empty --expose target".into());
+        }
+        match s.parse::<SocketAddr>() {
+            Ok(addr) => Ok(ScrapeTarget::Http(addr)),
+            Err(_) => Ok(ScrapeTarget::File(PathBuf::from(s))),
+        }
+    }
+}
+
+/// Background scrape publisher: ticks the telemetry clock every
+/// interval and exposes [`to_prometheus`] output at its target.
+pub struct Exporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    endpoint: String,
+}
+
+impl Exporter {
+    /// Starts the publisher thread. Binding errors (HTTP target) and
+    /// thread-spawn errors surface here, before anything runs.
+    pub fn start(target: ScrapeTarget, interval: Duration) -> std::io::Result<Exporter> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let interval = interval.max(Duration::from_millis(10));
+        let builder = std::thread::Builder::new().name("mmrepl-expose".into());
+        let (endpoint, handle) = match target {
+            ScrapeTarget::File(path) => {
+                let endpoint = path.display().to_string();
+                let handle = builder.spawn(move || file_loop(&path, interval, &flag))?;
+                (endpoint, handle)
+            }
+            ScrapeTarget::Http(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                let endpoint = format!("http://{}/metrics", listener.local_addr()?);
+                let handle = builder.spawn(move || http_loop(&listener, interval, &flag))?;
+                (endpoint, handle)
+            }
+        };
+        Ok(Exporter {
+            stop,
+            handle: Some(handle),
+            endpoint,
+        })
+    }
+
+    /// Where scrapes are served: `http://addr/metrics` or a file path.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Stops the publisher and joins its thread. A file target gets one
+    /// final flush, so even a sub-interval run leaves a complete scrape
+    /// behind.
+    pub fn stop(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Closes one telemetry window: SLO ticks first, then metric windows.
+fn tick(dt_s: f64) {
+    slo_tick();
+    advance_windows(dt_s);
+}
+
+fn file_loop(path: &Path, interval: Duration, stop: &AtomicBool) {
+    let mut last = Instant::now();
+    loop {
+        let stopping = stop.load(Ordering::SeqCst);
+        if last.elapsed() >= interval || stopping {
+            tick(last.elapsed().as_secs_f64());
+            last = Instant::now();
+            let body = to_prometheus(&gather());
+            let _ = crate::export::write_atomic(path, body.as_bytes());
+        }
+        if stopping {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn http_loop(listener: &TcpListener, interval: Duration, stop: &AtomicBool) {
+    let mut last = Instant::now();
+    loop {
+        if last.elapsed() >= interval {
+            tick(last.elapsed().as_secs_f64());
+            last = Instant::now();
+        }
+        match listener.accept() {
+            Ok((mut conn, _)) => {
+                // Drain the request head; any GET gets the exposition.
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+                let mut buf = [0u8; 1024];
+                let _ = conn.read(&mut buf);
+                let body = to_prometheus(&gather());
+                let _ = write!(
+                    conn,
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+                     charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                );
+                let _ = conn.write_all(body.as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::{register_slo, slo_record, SloSpec};
+    use crate::timeseries::{counter_add, gauge_set, observe, register_counter};
+
+    #[test]
+    fn scrape_target_parses_addresses_and_paths() {
+        assert_eq!(
+            "127.0.0.1:9184".parse::<ScrapeTarget>(),
+            Ok(ScrapeTarget::Http("127.0.0.1:9184".parse().unwrap()))
+        );
+        assert_eq!(
+            "out/metrics.prom".parse::<ScrapeTarget>(),
+            Ok(ScrapeTarget::File(PathBuf::from("out/metrics.prom")))
+        );
+        assert!("".parse::<ScrapeTarget>().is_err());
+    }
+
+    #[test]
+    fn exposition_carries_every_metric_kind() {
+        let _g = crate::TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        crate::set_enabled(true);
+        register_counter("ex.requests", "requests routed");
+        counter_add("ex.requests", 41);
+        gauge_set("ex.depth", 3.5);
+        observe("ex.latency_s", 0.25);
+        register_slo(SloSpec::from_qos("ex.slo", 1.0));
+        // All good: burn 0, not alerting (a 99.9% objective fires on
+        // nearly any miss).
+        slo_record("ex.slo", 10, 10);
+        crate::slo::slo_tick();
+        crate::set_enabled(false);
+        let text = to_prometheus(&gather());
+        assert!(text.contains("# HELP mmrepl_ex_requests_total requests routed"));
+        assert!(text.contains("# TYPE mmrepl_ex_requests_total counter"));
+        assert!(text.contains("mmrepl_ex_requests_total 41"));
+        assert!(text.contains("mmrepl_ex_depth 3.5"));
+        assert!(text.contains("# TYPE mmrepl_ex_latency_s summary"));
+        assert!(text.contains("mmrepl_ex_latency_s{quantile=\"0.999\"}"));
+        assert!(text.contains("mmrepl_ex_latency_s_count 1"));
+        assert!(text.contains("mmrepl_slo_burn_rate{slo=\"ex.slo\",window=\"short\"}"));
+        assert!(text.contains("mmrepl_slo_burn_rate{slo=\"ex.slo\",window=\"long\"}"));
+        assert!(text.contains("mmrepl_slo_alerting{slo=\"ex.slo\"} 0"));
+        assert!(text.contains("mmrepl_slo_requests_total{slo=\"ex.slo\"} 10"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "NaN",
+                "bad sample value in {line}"
+            );
+            assert!(parts.next().is_some(), "no name in {line}");
+        }
+        crate::reset();
+    }
+
+    #[test]
+    fn file_exporter_flushes_on_stop_even_before_the_interval() {
+        let _g = crate::TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        crate::set_enabled(true);
+        counter_add("ex.file", 7);
+        let dir = std::env::temp_dir().join("mmrepl-expose-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scrape.prom");
+        let _ = std::fs::remove_file(&path);
+        let exporter =
+            Exporter::start(ScrapeTarget::File(path.clone()), Duration::from_secs(3600)).unwrap();
+        assert_eq!(exporter.endpoint(), path.display().to_string());
+        exporter.stop();
+        crate::set_enabled(false);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("mmrepl_ex_file_total 7"), "{text}");
+        crate::reset();
+    }
+
+    #[test]
+    fn http_exporter_answers_a_scrape() {
+        let _g = crate::TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::reset();
+        crate::set_enabled(true);
+        counter_add("ex.http", 3);
+        let exporter = Exporter::start(
+            ScrapeTarget::Http("127.0.0.1:0".parse().unwrap()),
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        let addr = exporter
+            .endpoint()
+            .trim_start_matches("http://")
+            .trim_end_matches("/metrics")
+            .to_owned();
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        write!(conn, "GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n").unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+        assert!(response.contains("mmrepl_ex_http_total 3"), "{response}");
+        exporter.stop();
+        crate::set_enabled(false);
+        crate::reset();
+    }
+}

@@ -108,6 +108,15 @@ impl Histogram {
         }
     }
 
+    /// Samples at or below `v`, bucket-granular: every sample sharing
+    /// `v`'s bucket counts, so the answer can overshoot by at most one
+    /// bucket's worth (~2 % relative for the response-time layout).
+    /// This is the "good" count for a latency objective.
+    pub fn count_below(&self, v: f64) -> u64 {
+        let b = self.bucket_of(v);
+        self.buckets[..=b].iter().sum()
+    }
+
     /// True when the two histograms share a bucket layout and may be
     /// merged.
     pub fn compatible(&self, other: &Histogram) -> bool {
@@ -197,6 +206,59 @@ mod tests {
         let mut h = h_ref;
         h.record(max);
         assert_eq!(h.quantile(0.5), Some(max));
+    }
+
+    #[test]
+    fn merge_of_two_empty_histograms_stays_empty() {
+        let mut a = Histogram::new(1.0, 100.0, 10);
+        let b = Histogram::new(1.0, 100.0, 10);
+        a.merge(&b);
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.5), None);
+        assert_eq!(a.quantile(1.0), None);
+    }
+
+    #[test]
+    fn merge_accumulates_overflow_and_underflow_buckets() {
+        let mut a = Histogram::new(1.0, 100.0, 10);
+        let mut b = Histogram::new(1.0, 100.0, 10);
+        a.record(1e6); // overflow
+        b.record(1e7); // overflow
+        b.record(0.1); // underflow
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        // Both overflow samples saturate at `max`, the underflow at `min`.
+        assert_eq!(a.quantile(1.0), Some(100.0));
+        assert_eq!(a.quantile(0.0), Some(1.0));
+        assert_eq!(a.count_below(0.5), 1, "only the underflow sample");
+        assert_eq!(a.count_below(1e9), 3, "everything, overflow included");
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_identically() {
+        let mut h = Histogram::new(1.0, 100.0, 10);
+        h.record(7.0);
+        let v = h.quantile(0.5).unwrap();
+        for q in [0.0, 0.25, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(v), "quantile {q} disagrees");
+        }
+        // The merge of a single-sample histogram into an empty one
+        // preserves that behaviour.
+        let mut empty = Histogram::new(1.0, 100.0, 10);
+        empty.merge(&h);
+        assert_eq!(empty.quantile(0.999), Some(v));
+    }
+
+    #[test]
+    fn count_below_is_a_cumulative_bucket_sum() {
+        let mut h = Histogram::new(1.0, 100.0, 10);
+        for v in [0.5, 2.0, 5.0, 50.0, 500.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count_below(0.1), 1, "underflow bucket always counts");
+        assert_eq!(h.count_below(10.0), 3);
+        assert_eq!(h.count_below(99.0), 4);
+        assert_eq!(h.count_below(1e9), 5);
     }
 
     #[test]

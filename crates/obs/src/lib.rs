@@ -30,13 +30,32 @@
 //! ```
 
 mod export;
+mod expose;
 mod hist;
 mod recorder;
+mod slo;
+mod timeseries;
 
-pub use export::{stage_table, to_jsonl, write_jsonl, TRACE_SCHEMA};
+pub use export::{stage_table, to_jsonl, write_atomic, write_jsonl, TRACE_SCHEMA};
+pub use expose::{gather, to_prometheus, Exporter, ScrapeTarget, TelemetrySnapshot};
 pub use hist::Histogram;
 pub use recorder::{
     add, decision, enabled, event, flush_thread, merge_histogram, provenance_cap, record_value,
     reset, set_enabled, set_provenance_cap, snapshot, span, take, Decision, Event, Recorder, Span,
     SpanStat, DEFAULT_PROVENANCE_CAP, EVENT_CAP,
 };
+pub use slo::{
+    register_slo, reset_slo, slo_record, slo_record_latencies, slo_statuses, slo_tick,
+    take_slo_events, SloEvent, SloEventKind, SloSpec, SloStatus, DEFAULT_LATENCY_TARGET_S,
+};
+pub use timeseries::{
+    advance_windows, counter_add, gauge_set, observe, observe_hist, register_core_metrics,
+    register_counter, register_gauge, register_reservoir, reset_timeseries, ts_ops, ts_snapshot,
+    TsCounter, TsGauge, TsReservoir, TsSnapshot, RESERVOIR_WINDOWS,
+};
+
+/// Serialises tests that toggle the process-wide enabled flag or read
+/// the global sink/registry: the whole crate's stateful tests share one
+/// lock so parallel test threads can't interleave global state.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());

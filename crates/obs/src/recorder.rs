@@ -448,12 +448,16 @@ pub fn take() -> Recorder {
     std::mem::take(&mut *sink().lock().unwrap())
 }
 
-/// Clears the calling thread's recorder and the global sink. Recorders
-/// on other threads are expected to already be flushed (the pool flushes
-/// after every dispatch).
+/// Clears the calling thread's recorder, the global sink, and the live
+/// telemetry plane (time-series registry and SLO trackers), so
+/// back-to-back studies in one process cannot leak metrics between
+/// runs. Recorders on other threads are expected to already be flushed
+/// (the pool flushes after every dispatch).
 pub fn reset() {
     TLS.with(|r| *r.borrow_mut() = Recorder::new());
     *sink().lock().unwrap() = Recorder::new();
+    crate::timeseries::reset_timeseries();
+    crate::slo::reset_slo();
 }
 
 #[cfg(test)]
@@ -461,9 +465,10 @@ mod tests {
     use super::*;
 
     // The global enabled flag and sink are process-wide; tests that use
-    // them serialise on this lock so they cannot observe each other's
-    // state. (Tests touching only owned `Recorder`s need no lock.)
-    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+    // them serialise on the crate-wide lock so they cannot observe each
+    // other's state — including the timeseries/slo/expose test modules.
+    // (Tests touching only owned `Recorder`s need no lock.)
+    use crate::TEST_LOCK as GLOBAL_LOCK;
 
     #[test]
     fn disabled_records_nothing() {

@@ -272,6 +272,9 @@ impl DeltaPlanner {
             if let Some(limit) = budget.bytes_per_replan {
                 mmrepl_obs::add("replan.churn_budget_bytes", limit);
             }
+            // Live mirrors for the telemetry plane.
+            mmrepl_obs::counter_add("online.replans", 1);
+            mmrepl_obs::counter_add("online.migrated_bytes", report.bytes_migrated);
         }
         DeltaOutcome { report, migrations }
     }

@@ -128,6 +128,7 @@ impl<T> EpochCell<T> {
         // `current`, so no reader can resurrect it.
         unsafe { drop(Arc::from_raw(old)) };
         mmrepl_obs::add("serve.epoch_swaps", 1);
+        mmrepl_obs::counter_add("serve.epoch_swaps", 1);
     }
 
     /// A one-shot load without a standing reader handle: claims a slot,
@@ -267,16 +268,26 @@ mod tests {
         // ceiling.
         let ceiling = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
+        // On a single-core box the publisher can burn through every swap
+        // before the OS ever schedules a reader thread, leaving the
+        // progress assertion below vacuously false. Hold the swaps until
+        // every reader has entered its loop.
+        let started = Arc::new(AtomicU64::new(0));
 
         let readers: Vec<_> = (0..READERS)
             .map(|_| {
                 let cell = Arc::clone(&cell);
                 let ceiling = Arc::clone(&ceiling);
                 let stop = Arc::clone(&stop);
+                let started = Arc::clone(&started);
                 std::thread::spawn(move || {
                     let handle = cell.reader();
                     let mut last = 0u64;
                     let mut loads = 0u64;
+                    // One guaranteed pre-swap load, then signal ready.
+                    handle.load().assert_intact();
+                    loads += 1;
+                    started.fetch_add(1, Ordering::SeqCst);
                     while !stop.load(Ordering::Relaxed) {
                         let snap = handle.load();
                         snap.assert_intact();
@@ -301,6 +312,9 @@ mod tests {
             })
             .collect();
 
+        while started.load(Ordering::SeqCst) < READERS as u64 {
+            std::thread::yield_now();
+        }
         for gen in 1..=SWAPS {
             ceiling.store(gen, Ordering::SeqCst);
             cell.publish(Payload::new(gen));

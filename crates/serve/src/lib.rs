@@ -32,5 +32,7 @@ pub mod router;
 pub mod snapshot;
 
 pub use epoch::{EpochCell, EpochReader, DEFAULT_READERS};
-pub use router::{route_traces, RouteOutcome, RouteStats, RouteTarget, Router};
+pub use router::{
+    register_latency_slo, route_traces, RouteOutcome, RouteStats, RouteTarget, Router,
+};
 pub use snapshot::{MigrationOverlay, NodeLane, PlacementSnapshot, SiteLane, NO_NODE};

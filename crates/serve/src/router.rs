@@ -27,6 +27,7 @@
 
 use crate::snapshot::PlacementSnapshot;
 use mmrepl_model::{ObjectId, SiteId};
+use mmrepl_obs::Histogram;
 use mmrepl_workload::Request;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -249,12 +250,19 @@ impl Router {
     }
 
     /// Routes a whole request slice under one `serve.route` span,
-    /// returning the totals accumulated over the slice.
+    /// returning the totals accumulated over the slice. When recording
+    /// is enabled the slice is published once into the live telemetry
+    /// plane (tier counters, latency reservoir, `serve.latency` SLO)
+    /// and the recorder's `serve.route.latency_s` histogram.
     pub fn route_all(&mut self, requests: &[Request]) -> RouteStats {
         let _span = mmrepl_obs::span("serve.route");
         let before = self.stats.clone();
+        let mut latencies = mmrepl_obs::enabled().then(Histogram::for_response_times);
         for req in requests {
-            self.route(req);
+            let out = self.route(req);
+            if let Some(h) = latencies.as_mut() {
+                h.record(out.est_latency);
+            }
         }
         let mut delta = self.stats.clone();
         delta.requests -= before.requests;
@@ -265,6 +273,9 @@ impl Router {
         delta.overlay_deflected -= before.overlay_deflected;
         delta.misroutes -= before.misroutes;
         delta.est_latency_s -= before.est_latency_s;
+        if let Some(h) = latencies {
+            publish_route_telemetry(&delta, &h);
+        }
         delta
     }
 
@@ -350,6 +361,35 @@ impl Router {
             );
         }
     }
+}
+
+/// One routed slice's worth of live telemetry: tier counters, the
+/// sliding latency reservoir, the `serve.latency` SLO (a no-op unless
+/// [`register_latency_slo`] ran), and the recorder histogram the stage
+/// table's tail-latency footer reads. Only called on the enabled path.
+fn publish_route_telemetry(delta: &RouteStats, latencies: &Histogram) {
+    mmrepl_obs::counter_add("serve.route.requests", delta.requests);
+    mmrepl_obs::counter_add("serve.route.objects", delta.objects);
+    mmrepl_obs::counter_add("serve.route.local", delta.local);
+    mmrepl_obs::counter_add("serve.route.peer", delta.peer);
+    mmrepl_obs::counter_add("serve.route.repo", delta.repo);
+    mmrepl_obs::counter_add("serve.route.overlay_deflected", delta.overlay_deflected);
+    mmrepl_obs::observe_hist("serve.route.latency_s", latencies, delta.est_latency_s);
+    mmrepl_obs::slo_record_latencies("serve.latency", latencies);
+    mmrepl_obs::merge_histogram("serve.route.latency_s", latencies);
+}
+
+/// Registers the `serve.latency` SLO from the snapshot's QoS bounds:
+/// the tightest finite per-site bound becomes the latency target, with
+/// the default target when every bound is unbounded. Call once per
+/// study before routing starts; routers then feed the SLO from every
+/// slice they publish.
+pub fn register_latency_slo(snap: &PlacementSnapshot) {
+    let mut bound = f64::INFINITY;
+    for s in 0..snap.n_sites() {
+        bound = bound.min(snap.lane(SiteId::new(s as u32)).qos);
+    }
+    mmrepl_obs::register_slo(mmrepl_obs::SloSpec::from_qos("serve.latency", bound));
 }
 
 /// Routes every site's trace against `snap` across `threads` workers

@@ -159,6 +159,14 @@ pub fn des_replay(
         mmrepl_obs::merge_histogram("des.response_s", outcome.pages.histogram());
         mmrepl_obs::add("des.events", outcome.events);
         mmrepl_obs::add("des.page_requests", outcome.pages.count());
+        // Live mirrors for the telemetry plane.
+        mmrepl_obs::counter_add("des.events", outcome.events);
+        mmrepl_obs::counter_add("des.page_requests", outcome.pages.count());
+        mmrepl_obs::observe_hist(
+            "des.response_s",
+            outcome.pages.histogram(),
+            outcome.mean_response() * outcome.pages.count() as f64,
+        );
     }
     outcome
 }

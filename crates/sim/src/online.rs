@@ -198,6 +198,11 @@ pub fn online_study(
             &[],
             0,
         )));
+        // The serving-latency SLO tracks the tightest QoS bound in the
+        // system; every routed slice below feeds it.
+        if mmrepl_obs::enabled() {
+            mmrepl_serve::register_latency_slo(&cell.load());
+        }
 
         let mut system = base.clone();
         (0..=epochs)
@@ -242,6 +247,14 @@ pub fn online_study(
                         durations.push(dur);
                     }
                     ctl.end_window(&durations);
+                    if mmrepl_obs::enabled() {
+                        let queued: f64 = system
+                            .sites()
+                            .ids()
+                            .map(|s| ctl.queue(s).pending_bytes())
+                            .sum();
+                        mmrepl_obs::gauge_set("online.migration_queue_bytes", queued);
+                    }
                 }
 
                 // Publish the controller's post-epoch placement as an
@@ -259,6 +272,7 @@ pub fn online_study(
                     (s, pend)
                 }));
                 cell.publish(Arc::new(snap));
+                mmrepl_obs::gauge_set("online.epoch", epoch as f64);
                 let (_, served) = route_traces(&cell.load(), &traces, 1);
                 let served_latency = served.est_latency_s / served.requests.max(1) as f64;
 

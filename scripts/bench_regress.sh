@@ -87,9 +87,11 @@ for scale, fresh_t in sorted(fresh["scales"].items()):
             print(f"  {scale}.{metric}: MISSING from candidate run")
     for metric, new in sorted(fresh_t.items()):
         old = base_t.get(metric)
-        # obs_overhead is a fraction, not a timing; it gets its own
-        # absolute gate below instead of a ratio comparison.
-        if metric.startswith("n_") or metric == "obs_overhead" or not isinstance(old, float):
+        # The overhead metrics are fractions, not timings; they get
+        # their own absolute gate below instead of a ratio comparison.
+        if (metric.startswith("n_")
+                or metric in ("obs_overhead", "telemetry_overhead")
+                or not isinstance(old, float)):
             continue
         compared += 1
         # Throughputs (route_mreq_s) run the other way: a regression is
@@ -124,22 +126,26 @@ for scale, fresh_t in sorted(fresh["scales"].items()):
             failures.append(f"{scale}.{metric}: {old:.4f}{unit} -> {new:.4f}{unit} ({pct:+.1f}%)")
         print(f"  {scale}.{metric}: {old:.4f}{unit} -> {new:.4f}{unit} ({pct:+.1f}%) {verdict}")
 
-# Absolute gate on the disabled-tracer cost model: the obs calls one
-# traced plan makes, priced at the measured disabled-path per-call cost,
-# must stay under 2% of the plan time.
+# Absolute gate on the disabled-path cost models: the obs calls one
+# traced plan makes (obs_overhead) and the time-series publications one
+# instrumented routing pass makes (telemetry_overhead), each priced at
+# the measured disabled per-call cost, must stay under 2% of their
+# denominator.
 OBS_CAP = 0.02
 for scale, fresh_t in sorted(fresh["scales"].items()):
-    ov = fresh_t.get("obs_overhead")
-    if not isinstance(ov, float):
-        continue
-    verdict = "ok"
-    if ov > OBS_CAP:
-        verdict = "FAILED"
-        failures.append(
-            f"{scale}.obs_overhead: {ov * 100:.3f}% of plan time exceeds the "
-            f"{OBS_CAP * 100:.0f}% cap")
-    print(f"  {scale}.obs_overhead: {ov * 100:.3f}% of plan time "
-          f"(cap {OBS_CAP * 100:.0f}%) {verdict}")
+    for metric, denom in (("obs_overhead", "plan"),
+                          ("telemetry_overhead", "routing")):
+        ov = fresh_t.get(metric)
+        if not isinstance(ov, float):
+            continue
+        verdict = "ok"
+        if ov > OBS_CAP:
+            verdict = "FAILED"
+            failures.append(
+                f"{scale}.{metric}: {ov * 100:.3f}% of {denom} time exceeds "
+                f"the {OBS_CAP * 100:.0f}% cap")
+        print(f"  {scale}.{metric}: {ov * 100:.3f}% of {denom} time "
+              f"(cap {OBS_CAP * 100:.0f}%) {verdict}")
 
 if compared == 0:
     print("no comparable metrics (quick run vs full baseline?)")
@@ -149,5 +155,5 @@ if failures:
         print(f"  {f}")
     sys.exit(1)
 print(f"\nOK: no metric regressed more than {threshold:.0f}% "
-      "and the obs overhead stays under its cap")
+      "and the obs/telemetry overheads stay under their caps")
 EOF

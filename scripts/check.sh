@@ -150,6 +150,54 @@ print(f"  lossy negotiate ok: {len(doc['cells'])} cells terminated feasible "
       f"under audit (resilience events: {stressed:.0f})")
 EOF
 
+echo "==> telemetry smoke (exporter exposition + monotone counters across scrapes)"
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    online --runs 1 --epochs 1 --windows 2 --seed 7 \
+    --out "$SMOKE_OUT/online-telemetry.json" \
+    --expose "$SMOKE_OUT/metrics.prom" --scrape-interval 0.05 >/dev/null
+cargo run --offline -p mmrepl-cli --bin mmrepl -- \
+    top --study route --refresh 100 --frames 2 \
+    --dump "$SMOKE_OUT/frames" --seed 7 >/dev/null
+python3 - "$SMOKE_OUT/metrics.prom" \
+    "$SMOKE_OUT/frames/scrape-0.prom" "$SMOKE_OUT/frames/scrape-1.prom" <<'EOF'
+import sys
+
+def parse(path):
+    series = {}
+    for line in open(path):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        series[name] = float(value)  # every sample must parse
+    return series
+
+final = parse(sys.argv[1])
+want = ["mmrepl_serve_route_requests_total",
+        'mmrepl_serve_route_latency_s{quantile="0.99"}',
+        "mmrepl_negotiate_rounds_total",
+        'mmrepl_slo_burn_rate{slo="serve.latency",window="short"}']
+missing = [w for w in want if w not in final]
+if missing:
+    print(f"error: exporter scrape is missing series: {missing}", file=sys.stderr)
+    sys.exit(1)
+if final["mmrepl_serve_route_requests_total"] <= 0:
+    print("error: the study routed nothing through the telemetry plane",
+          file=sys.stderr)
+    sys.exit(1)
+
+a, b = parse(sys.argv[2]), parse(sys.argv[3])
+totals = [n for n in a if n.endswith("_total") and "{" not in n]
+bad = [n for n in totals if b.get(n, 0.0) < a[n]]
+if bad:
+    print(f"error: counters went backwards between scrapes: {bad}",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"  telemetry ok: {len(final)} samples parse, "
+      f"{final['mmrepl_serve_route_requests_total']:.0f} routed requests, "
+      f"{len(totals)} counters monotone across scrapes")
+EOF
+
 echo "==> router bench determinism (1-thread summary == 4-thread summary)"
 cargo run --release --offline -p mmrepl-bench --bin router -- \
     --quick --iters 1 --threads 1 --summary-only \
